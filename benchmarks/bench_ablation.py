@@ -1,0 +1,90 @@
+"""Ablations over DVMC design parameters (DESIGN.md Section 5).
+
+Not a paper figure — these quantify the design choices the paper makes
+implicitly: the Verification Cache size (backpressure when too small),
+the verification width (replay throughput), and the membar-injection
+interval (detection-latency/overhead trade-off).
+"""
+
+from dataclasses import replace
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.system.experiments import measure
+
+from bench_common import OPS, emit
+
+
+def _with_dvmc(**kwargs):
+    base = SystemConfig.protected(
+        model=ConsistencyModel.TSO, protocol=ProtocolKind.DIRECTORY
+    )
+    return base.with_dvmc(replace(base.dvmc, **kwargs))
+
+
+def test_vc_size_ablation(benchmark):
+    def experiment():
+        rows = {}
+        for entries in (2, 4, 16, 64):
+            m = measure(
+                _with_dvmc(verification_cache_entries=entries),
+                "jbb",  # store-heavy: stresses VC backpressure
+                ops=OPS,
+                seeds=1,
+            )
+            rows[entries] = m.runtime_mean
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = ["Ablation: Verification Cache size (TSO directory, jbb)"]
+    for entries, cycles in rows.items():
+        lines.append(f"  VC={entries:>3} entries: {cycles:>10.0f} cycles")
+    emit("ablation_vc_size", "\n".join(lines))
+    # A pathologically small VC must not be faster than a generous one.
+    assert rows[2] >= rows[64] * 0.9
+
+
+def test_verification_width_ablation(benchmark):
+    def experiment():
+        rows = {}
+        for width in (1, 2, 4):
+            m = measure(
+                _with_dvmc(verification_width=width),
+                "apache",
+                ops=OPS,
+                seeds=1,
+            )
+            rows[width] = m.runtime_mean
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = ["Ablation: verification stage width (TSO directory, apache)"]
+    for width, cycles in rows.items():
+        lines.append(f"  width={width}: {cycles:>10.0f} cycles")
+    emit("ablation_verify_width", "\n".join(lines))
+    assert rows[1] >= rows[4] * 0.9
+
+
+def test_membar_injection_interval_ablation(benchmark):
+    """Paper: injections are infrequent and have negligible performance
+    impact — overhead should be flat across intervals."""
+
+    def experiment():
+        rows = {}
+        for interval in (1_000, 5_000, 50_000):
+            m = measure(
+                _with_dvmc(membar_injection_interval=interval),
+                "oltp",
+                ops=OPS,
+                seeds=1,
+            )
+            rows[interval] = m.runtime_mean
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lines = ["Ablation: membar-injection interval (TSO directory, oltp)"]
+    for interval, cycles in rows.items():
+        lines.append(f"  every {interval:>6} cycles: {cycles:>10.0f} cycles")
+    emit("ablation_membar_interval", "\n".join(lines))
+    values = list(rows.values())
+    assert max(values) / min(values) < 1.3  # negligible impact

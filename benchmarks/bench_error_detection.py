@@ -1,0 +1,50 @@
+"""Section 6.1: the error-detection experiment.
+
+Random (type, time, location) faults injected into running benchmarks
+on protected systems; the campaign reports per-kind detection counts,
+the detecting checker, detection latency against the SafetyNet window,
+and recovery-point validity — the data behind the paper's statement
+that "DVMC detected all injected errors well within the SafetyNet
+recovery time frame".
+"""
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.faults.campaign import format_summary, run_campaign, summarize
+
+from bench_common import emit
+
+
+def test_error_detection_campaign(benchmark):
+    def experiment():
+        out = {}
+        for protocol in ProtocolKind:
+            config = SystemConfig.protected(
+                model=ConsistencyModel.TSO, protocol=protocol, num_nodes=4
+            )
+            out[protocol.value] = run_campaign(
+                config, workload="slash", ops=130, trials_per_kind=2, seed=11
+            )
+        return out
+
+    campaigns = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    sections = []
+    for protocol, results in campaigns.items():
+        summary = summarize(results)
+        sections.append(f"--- {protocol} (TSO, slash) ---")
+        sections.append(format_summary(summary))
+        # Paper property: every fault that hangs the machine is caught.
+        for r in results:
+            if r.landed and not r.completed:
+                assert r.detected, (protocol, r.kind, r.description)
+        landed = [r for r in results if r.landed]
+        detected = [r for r in landed if r.detected]
+        assert len(detected) >= len(landed) * 0.5, protocol
+        window = SystemConfig().safetynet.recovery_window
+        in_window = [
+            r for r in detected if r.latency is not None and r.latency <= window
+        ]
+        for r in in_window:
+            assert r.recoverable, (protocol, r.kind)
+    emit("error_detection", "\n".join(sections))

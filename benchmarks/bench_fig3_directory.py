@@ -1,0 +1,55 @@
+"""Figure 3: runtimes on the DIRECTORY system, normalised to
+unprotected SC — Base vs. DVMC for SC/TSO/PSO/RMO across the workloads.
+
+Paper shapes under test:
+* the TSO write buffer helps most workloads relative to SC;
+* DVMC slowdown stays modest (paper: <= 11% worst case, mostly <= 6%),
+  worst with SC;
+* PSO/RMO give no significant gain over TSO.
+"""
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+
+from bench_common import emit, measure_grid, runtime_table
+
+
+def _configs():
+    out = {}
+    for model in ConsistencyModel:
+        out[f"{model.value} Base"] = SystemConfig.unprotected(
+            model=model, protocol=ProtocolKind.DIRECTORY
+        )
+        out[f"{model.value} DVMC"] = SystemConfig.protected(
+            model=model, protocol=ProtocolKind.DIRECTORY
+        )
+    return out
+
+
+def test_figure3_directory_runtimes(benchmark):
+    grid = benchmark.pedantic(
+        lambda: measure_grid(_configs()), rounds=1, iterations=1
+    )
+    columns = [
+        f"{m.value} {kind}" for m in ConsistencyModel for kind in ("Base", "DVMC")
+    ]
+    text = runtime_table(
+        "Figure 3. Runtime, directory system (normalised to SC Base)",
+        grid,
+        "SC Base",
+        columns,
+    )
+    emit("fig3_directory", text)
+
+    # Shape assertions (loose: perturbed seeds, scaled system).
+    overheads = []
+    for workload, cells in grid.items():
+        for model in ConsistencyModel:
+            base = cells[f"{model.value} Base"].runtime_mean
+            dvmc = cells[f"{model.value} DVMC"].runtime_mean
+            overheads.append(dvmc / base)
+    # DVMC never catastrophically slows the machine down.
+    assert max(overheads) < 3.0
+    # ...and is usually cheap (median well under 2x even at this scale).
+    overheads.sort()
+    assert overheads[len(overheads) // 2] < 1.8

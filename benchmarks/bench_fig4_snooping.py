@@ -1,0 +1,42 @@
+"""Figure 4: runtimes on the SNOOPING system, normalised to
+unprotected SC — Base vs. DVMC for all four consistency models.
+"""
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+
+from bench_common import emit, measure_grid, runtime_table
+
+
+def _configs():
+    out = {}
+    for model in ConsistencyModel:
+        out[f"{model.value} Base"] = SystemConfig.unprotected(
+            model=model, protocol=ProtocolKind.SNOOPING
+        )
+        out[f"{model.value} DVMC"] = SystemConfig.protected(
+            model=model, protocol=ProtocolKind.SNOOPING
+        )
+    return out
+
+
+def test_figure4_snooping_runtimes(benchmark):
+    grid = benchmark.pedantic(
+        lambda: measure_grid(_configs()), rounds=1, iterations=1
+    )
+    columns = [
+        f"{m.value} {kind}" for m in ConsistencyModel for kind in ("Base", "DVMC")
+    ]
+    text = runtime_table(
+        "Figure 4. Runtime, snooping system (normalised to SC Base)",
+        grid,
+        "SC Base",
+        columns,
+    )
+    emit("fig4_snooping", text)
+
+    for workload, cells in grid.items():
+        for model in ConsistencyModel:
+            base = cells[f"{model.value} Base"].runtime_mean
+            dvmc = cells[f"{model.value} DVMC"].runtime_mean
+            assert dvmc / base < 3.0, (workload, model)

@@ -1,0 +1,58 @@
+"""Figure 5: component breakdown on the TSO directory system:
+Base / SN / SN+DVCC / SN+DVUO / full DVMC (DVTSO).
+
+Paper shapes under test:
+* Uniprocessor Ordering verification dominates the overhead;
+* full DVTSO is no slower than SN+DVUO (the checkers compose freely);
+* SafetyNet alone and coherence verification alone are cheap.
+"""
+
+from repro.config import DVMCConfig, ProtocolKind, SafetyNetConfig, SystemConfig
+from repro.consistency.models import ConsistencyModel
+
+from bench_common import emit, measure_grid, runtime_table
+
+_BASE = dict(model=ConsistencyModel.TSO, protocol=ProtocolKind.DIRECTORY)
+
+CONFIGS = {
+    "Base": SystemConfig.unprotected(**_BASE),
+    "SN": SystemConfig(
+        **_BASE, dvmc=DVMCConfig.disabled(), safetynet=SafetyNetConfig()
+    ),
+    "SN+DVCC": SystemConfig(**_BASE, dvmc=DVMCConfig.coherence_only()),
+    "SN+DVUO": SystemConfig(**_BASE, dvmc=DVMCConfig.uniprocessor_only()),
+    "DVTSO": SystemConfig.protected(**_BASE),
+}
+
+
+def test_figure5_component_breakdown(benchmark):
+    grid = benchmark.pedantic(
+        lambda: measure_grid(CONFIGS), rounds=1, iterations=1
+    )
+    columns = list(CONFIGS)
+    text = runtime_table(
+        "Figure 5. Component breakdown, TSO directory (normalised to Base)",
+        grid,
+        "Base",
+        columns,
+    )
+    emit("fig5_components", text)
+
+    # Shape: averaged over workloads, UO verification dominates and
+    # the cheap components stay cheap.
+    def mean_ratio(label):
+        ratios = [
+            cells[label].runtime_mean / cells["Base"].runtime_mean
+            for cells in grid.values()
+        ]
+        return sum(ratios) / len(ratios)
+
+    sn, dvcc, dvuo, full = (
+        mean_ratio("SN"),
+        mean_ratio("SN+DVCC"),
+        mean_ratio("SN+DVUO"),
+        mean_ratio("DVTSO"),
+    )
+    assert sn <= dvuo + 0.05, "SafetyNet alone should be cheaper than +UO"
+    assert dvcc <= dvuo + 0.05, "coherence checking is off the critical path"
+    assert full <= dvuo * 1.25 + 0.05, "DVTSO ~ SN+DVUO (UO dominates)"

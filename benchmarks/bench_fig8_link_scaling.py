@@ -1,0 +1,56 @@
+"""Figure 8: DVMC overhead vs. link bandwidth (1-3 GB/s), TSO, both
+protocols, averaged over workloads.
+
+Paper shape under test: no clear correlation between link bandwidth and
+DVMC's performance overhead — checker traffic rides idle gaps between
+bursts.
+"""
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.system.experiments import measure
+
+from bench_common import OPS, emit
+
+BANDWIDTHS = (1.0, 1.5, 2.0, 2.5, 3.0)
+WORKLOAD_SUBSET = ("apache", "oltp", "jbb")
+
+
+def test_figure8_link_bandwidth_sweep(benchmark):
+    def experiment():
+        rows = {}
+        for protocol in ProtocolKind:
+            for gbps in BANDWIDTHS:
+                base_cfg = SystemConfig.unprotected(
+                    model=ConsistencyModel.TSO, protocol=protocol
+                ).with_link_bandwidth(gbps)
+                dvmc_cfg = SystemConfig.protected(
+                    model=ConsistencyModel.TSO, protocol=protocol
+                ).with_link_bandwidth(gbps)
+                ratios = []
+                for workload in WORKLOAD_SUBSET:
+                    base = measure(base_cfg, workload, ops=OPS, seeds=1)
+                    dvmc = measure(dvmc_cfg, workload, ops=OPS, seeds=1)
+                    ratios.append(dvmc.runtime_mean / base.runtime_mean)
+                rows[(protocol.value, gbps)] = sum(ratios) / len(ratios)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 8. DVMC runtime overhead vs link bandwidth "
+        "(TSO, mean over workloads, normalised to unprotected)",
+        f"{'protocol':<10}" + "".join(f"{g:>8.1f}" for g in BANDWIDTHS) + "  GB/s",
+    ]
+    for protocol in ProtocolKind:
+        lines.append(
+            f"{protocol.value:<10}"
+            + "".join(f"{rows[(protocol.value, g)]:>8.3f}" for g in BANDWIDTHS)
+        )
+    emit("fig8_link_scaling", "\n".join(lines))
+
+    # Shape: overhead does not systematically explode as bandwidth
+    # shrinks within the studied range (checker traffic fits idle gaps).
+    for protocol in ProtocolKind:
+        values = [rows[(protocol.value, g)] for g in BANDWIDTHS]
+        assert max(values) / min(values) < 1.8, (protocol, values)

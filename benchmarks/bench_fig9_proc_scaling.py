@@ -1,0 +1,54 @@
+"""Figure 9: DVMC overhead vs. processor count (1-8 nodes), TSO, both
+protocols.
+
+Paper shape under test: no strong correlation between system size and
+DVMC overhead — checker traffic is unicast and scales with overall
+traffic.
+"""
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.system.experiments import measure
+
+from bench_common import OPS, emit
+
+NODE_COUNTS = (1, 2, 4, 8)
+WORKLOAD_SUBSET = ("apache", "oltp", "jbb")
+
+
+def test_figure9_processor_count_sweep(benchmark):
+    def experiment():
+        rows = {}
+        for protocol in ProtocolKind:
+            for nodes in NODE_COUNTS:
+                base_cfg = SystemConfig.unprotected(
+                    model=ConsistencyModel.TSO, protocol=protocol
+                ).with_nodes(nodes)
+                dvmc_cfg = SystemConfig.protected(
+                    model=ConsistencyModel.TSO, protocol=protocol
+                ).with_nodes(nodes)
+                ratios = []
+                for workload in WORKLOAD_SUBSET:
+                    base = measure(base_cfg, workload, ops=OPS, seeds=1)
+                    dvmc = measure(dvmc_cfg, workload, ops=OPS, seeds=1)
+                    ratios.append(dvmc.runtime_mean / base.runtime_mean)
+                rows[(protocol.value, nodes)] = sum(ratios) / len(ratios)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    lines = [
+        "Figure 9. DVMC runtime overhead vs processor count "
+        "(TSO, mean over workloads, normalised to unprotected)",
+        f"{'protocol':<10}" + "".join(f"{n:>8}" for n in NODE_COUNTS) + "  nodes",
+    ]
+    for protocol in ProtocolKind:
+        lines.append(
+            f"{protocol.value:<10}"
+            + "".join(f"{rows[(protocol.value, n)]:>8.3f}" for n in NODE_COUNTS)
+        )
+    emit("fig9_proc_scaling", "\n".join(lines))
+
+    for protocol in ProtocolKind:
+        values = [rows[(protocol.value, n)] for n in NODE_COUNTS]
+        assert max(values) / min(values) < 2.0, (protocol, values)

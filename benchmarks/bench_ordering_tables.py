@@ -1,0 +1,49 @@
+"""Tables 1-4: the consistency models' ordering tables.
+
+These are specifications rather than measurements; the benchmark prints
+each table exactly as the paper lays it out and times the Allowable
+Reordering checker's hot path (the per-perform ordering check).
+"""
+
+from repro.common.types import MembarMask, OpType
+from repro.consistency import (
+    PC_TABLE,
+    PSO_TABLE,
+    RMO_TABLE,
+    SC_TABLE,
+    TSO_TABLE,
+    format_table,
+)
+
+from bench_common import emit
+
+
+def test_tables_1_to_4(benchmark):
+    def check_hot_path():
+        # The AR checker's inner loop: one ordering query per op pair.
+        total = 0
+        for table in (SC_TABLE, TSO_TABLE, PSO_TABLE, RMO_TABLE):
+            for first in table.op_types:
+                for second in table.op_types:
+                    total += table.ordered(
+                        first, second, second_mask=MembarMask.ALL
+                    )
+        return total
+
+    benchmark.pedantic(check_hot_path, rounds=50, iterations=10)
+
+    sections = [
+        ("Table 1. Processor Consistency", PC_TABLE),
+        ("Table 2. Total Store Order", TSO_TABLE),
+        ("Table 3. Partial Store Order", PSO_TABLE),
+        ("Table 4. Relaxed Memory Order", RMO_TABLE),
+        ("(SC: all ordered)", SC_TABLE),
+    ]
+    text = "\n\n".join(f"{title}\n{format_table(table)}" for title, table in sections)
+    emit("tables_1_to_4", text)
+
+    # Spot-check the paper's cells.
+    assert TSO_TABLE.ordered(OpType.LOAD, OpType.STORE)
+    assert not TSO_TABLE.ordered(OpType.STORE, OpType.LOAD)
+    assert not PSO_TABLE.ordered(OpType.STORE, OpType.STORE)
+    assert not RMO_TABLE.ordered(OpType.LOAD, OpType.LOAD)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Compare SC, TSO, PSO and RMO on the same workload, with and without
+DVMC — a miniature of the paper's Figures 3 and 4.
+
+Run:  python examples/consistency_model_comparison.py
+"""
+
+from repro import ConsistencyModel, ProtocolKind, SystemConfig
+from repro.system.experiments import measure
+
+
+def main() -> None:
+    workload = "oltp"
+    print(f"Workload: {workload}, 8-node directory system, 2 seeds/point\n")
+    header = f"{'model':<6}{'base cycles':>14}{'DVMC cycles':>14}{'overhead':>10}"
+    print(header)
+    print("-" * len(header))
+
+    sc_base = None
+    for model in ConsistencyModel:
+        base = measure(
+            SystemConfig.unprotected(model=model, protocol=ProtocolKind.DIRECTORY),
+            workload,
+            ops=150,
+            seeds=2,
+        )
+        dvmc = measure(
+            SystemConfig.protected(model=model, protocol=ProtocolKind.DIRECTORY),
+            workload,
+            ops=150,
+            seeds=2,
+        )
+        if sc_base is None:
+            sc_base = base.runtime_mean
+        overhead = dvmc.runtime_mean / base.runtime_mean - 1
+        print(
+            f"{model.value:<6}{base.runtime_mean:>14.0f}"
+            f"{dvmc.runtime_mean:>14.0f}{overhead:>+9.1%}"
+        )
+
+    print(
+        "\nPaper shape: the TSO write buffer helps relative to SC; PSO and"
+        "\nRMO add little on top; DVMC's overhead is worst under SC"
+        "\n(verification serialises store retirement) and modest elsewhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Error-injection demo: corrupt a store in the write buffer mid-run
+and watch DVMC catch it end-to-end — then verify a SafetyNet recovery
+point was still available (the paper's Section 6.1 experiment, one
+trial at a time).
+
+Run:  python examples/error_injection_demo.py
+"""
+
+from repro import ConsistencyModel, SystemConfig, build_system
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+
+
+def run_one(kind: FaultKind, inject_cycle: int = 4000) -> None:
+    config = SystemConfig.protected(model=ConsistencyModel.TSO, num_nodes=4)
+    system = build_system(config, workload="oltp", ops=200)
+    injector = FaultInjector(system, seed=2026)
+    injector.arm(FaultPlan(kind, inject_cycle))
+
+    detection = {}
+
+    def on_violation(report):
+        if detection:
+            return
+        detection.update(
+            cycle=report.cycle,
+            checker=report.checker,
+            kind=report.kind,
+            detail=report.detail,
+            recoverable=system.safetynet.can_recover(inject_cycle),
+        )
+
+    system.dvmc.violations._callback = on_violation
+    system.run(max_cycles=500_000, allow_incomplete=True)
+    system.drain_epochs()
+
+    record = injector.records[0]
+    print(f"=== {kind.value} ===")
+    print(f"  injected @ cycle {inject_cycle}: {record.description}")
+    if detection:
+        latency = detection["cycle"] - inject_cycle
+        print(f"  DETECTED by the {detection['checker']} checker "
+              f"after {latency} cycles: {detection['kind']}")
+        print(f"    {detection['detail']}")
+        print(f"  recovery point still live: {detection['recoverable']}")
+    else:
+        print("  not detected (fault was masked — no architectural effect)")
+    print()
+
+
+def main() -> None:
+    print("DVMC end-to-end error detection (paper Section 6.1)\n")
+    for kind in (
+        FaultKind.WB_VALUE_FLIP,     # caught by Uniprocessor Ordering (VC)
+        FaultKind.WB_REORDER,        # caught by Allowable Reordering
+        FaultKind.MSG_DATA_FLIP,     # caught by Cache Coherence (hashes)
+        FaultKind.LSQ_WRONG_VALUE,   # caught by UO load replay
+        FaultKind.MSG_DROP,          # caught by lost-operation detection
+    ):
+        run_one(kind)
+
+
+if __name__ == "__main__":
+    main()

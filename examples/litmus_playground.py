@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Litmus-test playground: run classic consistency litmus tests (store
+buffering, message passing) under each model and see which outcomes the
+machine produces — with DVMC confirming every execution is legal.
+
+Run:  python examples/litmus_playground.py
+"""
+
+from collections import Counter
+
+from repro import ConsistencyModel, SystemConfig, build_system
+from repro.common.types import MembarMask
+from repro.processor.operations import Compute, Load, Membar, Store
+
+X, Y = 0x2_0000, 0x2_0040  # two words in different cache blocks
+
+
+def store_buffering(model: ConsistencyModel, seed: int, fenced: bool):
+    """Dekker's-style SB: both-zero means stores were buffered."""
+    out = {}
+
+    def p0():
+        yield Store(X, 1)
+        if fenced:
+            yield Membar(MembarMask.STORELOAD)
+        out["r0"] = yield Load(Y)
+
+    def p1():
+        yield Store(Y, 1)
+        if fenced:
+            yield Membar(MembarMask.STORELOAD)
+        out["r1"] = yield Load(X)
+
+    config = SystemConfig.protected(model=model).with_nodes(2).with_seed(seed)
+    system = build_system(config, programs=[p0(), p1()])
+    result = system.run(max_cycles=1_000_000)
+    assert not result.violations, result.violations[:1]
+    return (out["r0"], out["r1"])
+
+
+def message_passing(model: ConsistencyModel, seed: int, delay: int):
+    out = {}
+
+    def producer():
+        yield Store(X, 42)   # payload
+        yield Store(Y, 1)    # flag
+
+    def consumer():
+        yield Compute(delay)
+        out["flag"] = yield Load(Y)
+        out["data"] = yield Load(X)
+
+    config = SystemConfig.protected(model=model).with_nodes(2).with_seed(seed)
+    system = build_system(config, programs=[producer(), consumer()])
+    result = system.run(max_cycles=1_000_000)
+    assert not result.violations
+    return (out["flag"], out["data"])
+
+
+def main() -> None:
+    print("Store buffering (SB):  P0: X=1; r0=Y   P1: Y=1; r1=X")
+    print("  (r0,r1)=(0,0) is forbidden under SC, allowed elsewhere\n")
+    for model in ConsistencyModel:
+        outcomes = Counter(
+            store_buffering(model, seed, fenced=False) for seed in range(1, 7)
+        )
+        print(f"  {model.value:<4} -> {dict(outcomes)}")
+    print("\n  with Membar #StoreLoad under TSO (restores SC behaviour):")
+    outcomes = Counter(
+        store_buffering(ConsistencyModel.TSO, seed, fenced=True)
+        for seed in range(1, 7)
+    )
+    print(f"  TSO+mb -> {dict(outcomes)}")
+
+    print("\nMessage passing (MP): P0: X=42; Y=1   P1: r0=Y; r1=X")
+    print("  flag=1 with data=0 is forbidden under SC/TSO\n")
+    for model in (ConsistencyModel.SC, ConsistencyModel.TSO, ConsistencyModel.PSO):
+        outcomes = Counter(
+            message_passing(model, seed, delay)
+            for seed in range(1, 4)
+            for delay in (1, 60, 200)
+        )
+        stale = outcomes.get((1, 0), 0)
+        print(f"  {model.value:<4} -> {dict(outcomes)}   stale-payload runs: {stale}")
+
+    print("\nEvery run above passed with zero DVMC violations: the")
+    print("observed relaxations are exactly the legal ones.")
+
+
+if __name__ == "__main__":
+    main()

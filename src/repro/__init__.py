@@ -1,0 +1,61 @@
+"""DVMC — Dynamic Verification of Memory Consistency.
+
+A full-system reproduction of Meixner & Sorin, "Dynamic Verification of
+Memory Consistency in Cache-Coherent Multithreaded Computer
+Architectures" (DSN 2006): a discrete-event multiprocessor simulator
+(MOSI directory & snooping coherence, SC/TSO/PSO/RMO cores, torus and
+broadcast-tree interconnects, SafetyNet-style recovery) plus the DVMC
+checker hardware it evaluates.
+
+Quickstart::
+
+    from repro import ConsistencyModel, SystemConfig, build_system
+
+    config = SystemConfig.protected(model=ConsistencyModel.TSO)
+    system = build_system(config, workload="oltp", ops=300)
+    result = system.run()
+    assert result.violations == []   # error-free run
+"""
+
+from .config import (
+    CacheConfig,
+    DVMCConfig,
+    MemoryConfig,
+    NetworkConfig,
+    ProcessorConfig,
+    ProtocolKind,
+    SafetyNetConfig,
+    SystemConfig,
+)
+from .consistency import ConsistencyModel, OrderingTable, table_for
+from .system import (
+    Measurement,
+    RunResult,
+    System,
+    build_system,
+    measure,
+    run_once,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "ConsistencyModel",
+    "DVMCConfig",
+    "Measurement",
+    "MemoryConfig",
+    "NetworkConfig",
+    "OrderingTable",
+    "ProcessorConfig",
+    "ProtocolKind",
+    "RunResult",
+    "SafetyNetConfig",
+    "System",
+    "SystemConfig",
+    "__version__",
+    "build_system",
+    "measure",
+    "run_once",
+    "table_for",
+]

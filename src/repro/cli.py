@@ -1,0 +1,171 @@
+"""Command-line interface: run simulations, campaigns and sweeps.
+
+Examples::
+
+    python -m repro.cli run --workload oltp --model TSO --protocol directory
+    python -m repro.cli compare --workload slash --ops 150
+    python -m repro.cli inject --fault wb-value-flip --at 4000
+    python -m repro.cli campaign --workload slash --trials 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.faults.campaign import format_summary, run_campaign, summarize
+from repro.faults.injector import FaultInjector, FaultKind, FaultPlan
+from repro.system.builder import build_system
+from repro.system.experiments import measure
+from repro.workloads import WORKLOAD_NAMES
+
+
+def _config(args, protected: bool) -> SystemConfig:
+    factory = SystemConfig.protected if protected else SystemConfig.unprotected
+    config = factory(
+        model=ConsistencyModel[args.model],
+        protocol=ProtocolKind[args.protocol.upper()],
+    )
+    return config.with_nodes(args.nodes).with_seed(args.seed)
+
+
+def cmd_run(args) -> int:
+    config = _config(args, protected=not args.unprotected)
+    system = build_system(config, workload=args.workload, ops=args.ops)
+    result = system.run()
+    print(f"cycles:     {result.cycles}")
+    print(f"completed:  {result.completed}")
+    print(f"violations: {len(result.violations)}")
+    for report in result.violations[:5]:
+        print(f"  {report}")
+    if args.stats:
+        for key, value in sorted(system.stats.as_dict().items()):
+            print(f"  {key} = {value}")
+    return 0 if result.completed and not result.violations else 1
+
+
+def cmd_compare(args) -> int:
+    print(f"{'model':<6}{'base':>12}{'DVMC':>12}{'overhead':>10}")
+    for model in ConsistencyModel:
+        base = measure(
+            SystemConfig.unprotected(
+                model=model, protocol=ProtocolKind[args.protocol.upper()]
+            ).with_nodes(args.nodes),
+            args.workload,
+            ops=args.ops,
+            seeds=args.seeds,
+        )
+        dvmc = measure(
+            SystemConfig.protected(
+                model=model, protocol=ProtocolKind[args.protocol.upper()]
+            ).with_nodes(args.nodes),
+            args.workload,
+            ops=args.ops,
+            seeds=args.seeds,
+        )
+        overhead = dvmc.runtime_mean / base.runtime_mean - 1
+        print(
+            f"{model.value:<6}{base.runtime_mean:>12.0f}"
+            f"{dvmc.runtime_mean:>12.0f}{overhead:>+9.1%}"
+        )
+    return 0
+
+
+def cmd_inject(args) -> int:
+    config = _config(args, protected=True)
+    system = build_system(config, workload=args.workload, ops=args.ops)
+    injector = FaultInjector(system, seed=args.seed)
+    injector.arm(FaultPlan(FaultKind(args.fault), args.at))
+    detection = {}
+
+    def on_violation(report):
+        detection.setdefault("report", report)
+
+    system.dvmc.violations._callback = on_violation
+    system.run(max_cycles=args.max_cycles, allow_incomplete=True)
+    system.drain_epochs()
+    record = injector.records[0] if injector.records else None
+    print(f"injected: {record.description if record else '(never fired)'}")
+    if "report" in detection:
+        report = detection["report"]
+        print(f"DETECTED by {report.checker} at cycle {report.cycle}: {report.kind}")
+        print(f"  {report.detail}")
+        return 0
+    print("not detected (masked or latent)")
+    return 2
+
+
+def cmd_campaign(args) -> int:
+    config = _config(args, protected=True)
+    results = run_campaign(
+        config,
+        workload=args.workload,
+        ops=args.ops,
+        trials_per_kind=args.trials,
+        seed=args.seed,
+    )
+    print(format_summary(summarize(results)))
+    hangs_missed = [
+        r for r in results if r.landed and not r.completed and not r.detected
+    ]
+    return 1 if hangs_missed else 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=WORKLOAD_NAMES, default="oltp")
+    parser.add_argument(
+        "--model", choices=[m.name for m in ConsistencyModel], default="TSO"
+    )
+    parser.add_argument(
+        "--protocol", choices=["directory", "snooping"], default="directory"
+    )
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DVMC reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one simulation")
+    _add_common(run)
+    run.add_argument("--unprotected", action="store_true")
+    run.add_argument("--stats", action="store_true", help="dump all counters")
+    run.set_defaults(fn=cmd_run)
+
+    compare = sub.add_parser("compare", help="base-vs-DVMC per model")
+    _add_common(compare)
+    compare.add_argument("--seeds", type=int, default=2)
+    compare.set_defaults(fn=cmd_compare)
+
+    inject = sub.add_parser("inject", help="inject one fault")
+    _add_common(inject)
+    inject.add_argument(
+        "--fault",
+        choices=[k.value for k in FaultKind],
+        default=FaultKind.WB_VALUE_FLIP.value,
+    )
+    inject.add_argument("--at", type=int, default=4000)
+    inject.add_argument("--max-cycles", type=int, default=500_000)
+    inject.set_defaults(fn=cmd_inject)
+
+    campaign = sub.add_parser("campaign", help="full detection campaign")
+    _add_common(campaign)
+    campaign.add_argument("--trials", type=int, default=2)
+    campaign.set_defaults(fn=cmd_campaign)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

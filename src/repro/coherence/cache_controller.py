@@ -1,0 +1,358 @@
+"""Cache-controller machinery shared by the directory and snooping
+protocols.
+
+The controller owns the node's L1 array, serialises core requests per
+block, runs coherence transactions, performs loads/stores/atomics when
+permissions allow, and announces epoch lifecycle events through
+:class:`~repro.coherence.hooks.SystemHooks`.
+
+Evictions are *blocking*: a dirty victim's writeback completes (ack or
+stale notification) before the demand request is issued.  This closes
+the writeback/forward races without NACKs or extra protocol states and
+matches the paper's note that blocks are evicted "before requesting a
+new block".
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import (
+    WORD_MASK,
+    CoherenceState,
+    EpochType,
+    block_of,
+)
+from repro.config import SystemConfig
+from repro.memory.cache import CacheArray, CacheLine
+
+from .hooks import SystemHooks
+
+
+class OpKind(enum.Enum):
+    """Core-request kinds handled by the controller."""
+
+    LOAD = "load"
+    STORE = "store"
+    ATOMIC = "atomic"
+    REPLAY = "replay"  # verification-stage load replay (counted apart)
+    PREFETCH = "prefetch"  # exclusive prefetch (SC store optimisation)
+
+
+class CoreRequest:
+    """One pending core request for a block."""
+
+    __slots__ = ("kind", "addr", "value", "on_done", "issued_at")
+
+    def __init__(
+        self,
+        kind: OpKind,
+        addr: int,
+        value: Optional[int],
+        on_done: Callable,
+        issued_at: int,
+    ):
+        self.kind = kind
+        self.addr = addr
+        self.value = value
+        self.on_done = on_done
+        self.issued_at = issued_at
+
+    @property
+    def needs_write(self) -> bool:
+        return self.kind in (OpKind.STORE, OpKind.ATOMIC, OpKind.PREFETCH)
+
+
+class WritebackEntry:
+    """A dirty block awaiting writeback acknowledgement."""
+
+    __slots__ = ("addr", "data", "state", "responded", "on_done")
+
+    def __init__(
+        self,
+        addr: int,
+        data: List[int],
+        on_done: Callable,
+        state: CoherenceState = CoherenceState.M,
+    ):
+        self.addr = addr
+        self.data = data
+        self.state = state  # state the line had when evicted (M or O)
+        self.responded = False  # serviced a forward while in flight
+        self.on_done = on_done
+
+
+class BaseCacheController:
+    """Per-node L1 controller; protocol subclasses supply transactions.
+
+    Subclasses implement :meth:`_start_transaction` (obtain S or M for a
+    block) and :meth:`_start_writeback` (write a dirty block back) and
+    call :meth:`_transaction_done` / :meth:`_writeback_done` when the
+    network activity completes.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        hooks: SystemHooks,
+        config: SystemConfig,
+        l1: CacheArray,
+    ):
+        self.node = node
+        self.scheduler = scheduler
+        self.stats = stats
+        self.hooks = hooks
+        self.config = config
+        self.l1 = l1
+        self._queues: Dict[int, Deque[CoreRequest]] = {}
+        self._active: Dict[int, object] = {}  # block -> transaction record
+        self._writebacks: Dict[int, WritebackEntry] = {}
+        self._stat = f"l1.{node}"
+        #: When False (snooping), the protocol subclass fires epoch
+        #: hooks itself at serialization points; the shared helpers stay
+        #: silent except for clean-eviction epoch ends (no serialization
+        #: event exists for those).
+        self.manage_epochs = True
+
+    # ------------------------------------------------------------------
+    # Core-facing API
+    # ------------------------------------------------------------------
+    def load(self, addr: int, on_done: Callable[[int], None]) -> None:
+        """Read the word at ``addr``; ``on_done(value)`` when performed."""
+        self._submit(CoreRequest(OpKind.LOAD, addr, None, on_done, self.scheduler.now))
+
+    def store(self, addr: int, value: int, on_done: Callable[[int], None]) -> None:
+        """Write ``value``; ``on_done(old_value)`` when the store performs."""
+        self._submit(CoreRequest(OpKind.STORE, addr, value, on_done, self.scheduler.now))
+
+    def atomic(self, addr: int, value: int, on_done: Callable[[int], None]) -> None:
+        """Atomic swap; ``on_done(old_value)`` when performed."""
+        self._submit(CoreRequest(OpKind.ATOMIC, addr, value, on_done, self.scheduler.now))
+
+    def replay_load(self, addr: int, on_done: Callable[[int], None]) -> None:
+        """Verification-stage replay read (bypasses the write buffer)."""
+        self._submit(CoreRequest(OpKind.REPLAY, addr, None, on_done, self.scheduler.now))
+
+    def prefetch_m(self, addr: int) -> None:
+        """Obtain write permission without writing (store prefetch)."""
+        self._submit(
+            CoreRequest(OpKind.PREFETCH, addr, None, lambda _v: None, self.scheduler.now)
+        )
+
+    def peek_line(self, addr: int) -> Optional[CacheLine]:
+        """Non-intrusive lookup (used by checkers and fault targeting)."""
+        return self.l1.peek(addr)
+
+    # ------------------------------------------------------------------
+    # Request scheduling
+    # ------------------------------------------------------------------
+    def _submit(self, req: CoreRequest) -> None:
+        if req.kind is OpKind.REPLAY:
+            self.stats.incr(f"{self._stat}.replay_accesses")
+        else:
+            self.stats.incr(f"{self._stat}.accesses")
+        delay = self.l1.next_access_delay(self.scheduler.now) + self.config.l1.hit_latency
+        block = block_of(req.addr)
+        queue = self._queues.setdefault(block, deque())
+        queue.append(req)
+        self.scheduler.after(delay, self._service_block, block)
+
+    def _service_block(self, block: int) -> None:
+        """Complete satisfiable queued requests; start a transaction for
+        the first one that needs more permission."""
+        if block in self._active:
+            return
+        queue = self._queues.get(block)
+        while queue:
+            req = queue[0]
+            line = self.l1.peek(block)
+            if self._satisfiable(req, line):
+                queue.popleft()
+                self._perform(req, line)
+                continue
+            if block in self._writebacks:
+                # Eviction of this block still in flight; retry when the
+                # writeback completes (see _writeback_done).
+                return
+            self._begin_miss(req, block, line)
+            return
+        if queue is not None and not queue:
+            self._queues.pop(block, None)
+
+    @staticmethod
+    def _satisfiable(req: CoreRequest, line: Optional[CacheLine]) -> bool:
+        if line is None:
+            return False
+        if req.needs_write:
+            return line.state.can_write()
+        return line.state.can_read()
+
+    def _begin_miss(self, req: CoreRequest, block: int, line: Optional[CacheLine]) -> None:
+        """Evict if necessary (blocking), then start the transaction."""
+        want_m = req.needs_write
+        if req.kind is OpKind.REPLAY:
+            self.stats.incr(f"{self._stat}.replay_misses")
+        else:
+            self.stats.incr(f"{self._stat}.misses")
+        if line is None:
+            victim = self.l1.victim_for(block, pinned=self._pinned)
+            if victim is not None and self._evict(victim, then_block=block):
+                return  # resumes via _writeback_done
+        self._start_transaction(block, want_m)
+
+    def _evict(self, victim: CacheLine, then_block: Optional[int] = None) -> bool:
+        """Evict ``victim``.  Returns True if the caller must wait for a
+        blocking writeback before proceeding with ``then_block``."""
+        addr = victim.addr
+        self.stats.incr(f"{self._stat}.evictions")
+        if self.manage_epochs or not victim.is_dirty():
+            self.hooks.epoch_end(self.node, addr, list(victim.data))
+        self.hooks.invalidation(self.node, addr)
+        self.l1.remove(addr)
+        if victim.is_dirty():
+            entry = WritebackEntry(
+                addr,
+                list(victim.data),
+                on_done=(lambda: self._service_block(then_block))
+                if then_block is not None
+                else (lambda: None),
+                state=victim.state,
+            )
+            self._writebacks[addr] = entry
+            self._start_writeback(entry)
+            return then_block is not None
+        return False
+
+    # ------------------------------------------------------------------
+    # Performing accesses
+    # ------------------------------------------------------------------
+    def _perform(self, req: CoreRequest, line: CacheLine) -> None:
+        self.l1.lookup(req.addr)  # touch LRU
+        if req.kind is OpKind.PREFETCH:
+            req.on_done(0)
+            return
+        if req.kind in (OpKind.LOAD, OpKind.REPLAY):
+            value = line.read_word(req.addr)
+            if req.kind is OpKind.LOAD:
+                self.hooks.access(self.node, req.addr, False)
+            req.on_done(value)
+            return
+        # STORE / ATOMIC: write in place (state M guaranteed).
+        old_value = line.read_word(req.addr)
+        self.hooks.block_write(self.node, line.addr, list(line.data))
+        line.write_word(req.addr, req.value & WORD_MASK)
+        self.hooks.access(self.node, req.addr, True)
+        if req.kind is OpKind.ATOMIC:
+            self.hooks.access(self.node, req.addr, False)
+        req.on_done(old_value)
+
+    # ------------------------------------------------------------------
+    # State-change helpers used by protocol subclasses
+    # ------------------------------------------------------------------
+    def _pinned(self, block: int) -> bool:
+        """Blocks with outstanding transactions must not be evicted."""
+        return block in self._active
+
+    def _install_block(
+        self, block: int, state: CoherenceState, data: List[int]
+    ) -> CacheLine:
+        """Install a freshly arrived block and open its epoch."""
+        victim = self.l1.victim_for(block, pinned=self._pinned)
+        if victim is not None:
+            # The blocking-eviction policy frees a way before requesting,
+            # but a concurrent transaction for another block in the same
+            # set can refill it; evict again (non-blocking is safe here
+            # only for clean victims; dirty victims ride the writeback
+            # buffer and the install proceeds).
+            self._evict(victim)
+        line = self.l1.install(block, state, data)
+        if self.manage_epochs:
+            etype = (
+                EpochType.READ_WRITE
+                if state is CoherenceState.M
+                else EpochType.READ_ONLY
+            )
+            self.hooks.epoch_begin(self.node, block, etype, list(line.data))
+        return line
+
+    def _upgrade_to_m(self, block: int) -> CacheLine:
+        """S/O -> M upgrade: close the RO epoch, open an RW epoch."""
+        line = self.l1.peek(block)
+        if line is None:
+            raise SimulationError(f"upgrade of absent block 0x{block:x}")
+        if self.manage_epochs:
+            self.hooks.epoch_end(self.node, block, list(line.data))
+        line.state = CoherenceState.M
+        if self.manage_epochs:
+            self.hooks.epoch_begin(
+                self.node, block, EpochType.READ_WRITE, list(line.data)
+            )
+        return line
+
+    def _downgrade_to_o(self, block: int) -> Optional[CacheLine]:
+        """M -> O on a forwarded GetS: RW epoch ends, RO epoch begins."""
+        line = self.l1.peek(block)
+        if line is None:
+            return None
+        if line.state is CoherenceState.M:
+            if self.manage_epochs:
+                self.hooks.epoch_end(self.node, block, list(line.data))
+            line.state = CoherenceState.O
+            if self.manage_epochs:
+                self.hooks.epoch_begin(
+                    self.node, block, EpochType.READ_ONLY, list(line.data)
+                )
+        return line
+
+    def _invalidate_block(self, block: int) -> Optional[List[int]]:
+        """Drop the block (remote GetM / Inv).  Returns its data."""
+        line = self.l1.peek(block)
+        if line is None:
+            return None
+        data = list(line.data)
+        if self.manage_epochs:
+            self.hooks.epoch_end(self.node, block, data)
+        self.hooks.invalidation(self.node, block)
+        self.l1.remove(block)
+        return data
+
+    def _writeback_done(self, addr: int, stale: bool) -> None:
+        entry = self._writebacks.pop(addr, None)
+        if entry is None:
+            self.stats.incr(f"{self._stat}.unexpected_wb_ack")
+            return
+        self.stats.incr(
+            f"{self._stat}.writebacks_stale" if stale else f"{self._stat}.writebacks"
+        )
+        entry.on_done()
+
+    # ------------------------------------------------------------------
+    # Protocol hooks (implemented by subclasses)
+    # ------------------------------------------------------------------
+    def _start_transaction(self, block: int, want_m: bool) -> None:
+        raise NotImplementedError
+
+    def _start_writeback(self, entry: WritebackEntry) -> None:
+        raise NotImplementedError
+
+    def _transaction_done(self, block: int) -> None:
+        """Subclasses call this once permissions are in place."""
+        self._active.pop(block, None)
+        self.scheduler.after(1, self._service_block, block)
+
+    # ------------------------------------------------------------------
+    def unexpected(self, what: str) -> None:
+        """Record a message the protocol spec does not allow here.
+
+        Fault-free runs must keep this at zero (asserted in tests);
+        injected faults can legitimately trigger it, and detection then
+        flows through the DVMC checkers rather than simulator errors.
+        """
+        self.stats.incr(f"{self._stat}.unexpected.{what}")

@@ -1,0 +1,409 @@
+"""MOSI directory protocol (paper's directory system, Table 6).
+
+Home memory controllers keep a full-map directory (owner + sharer set)
+and *block*: transactions for a block serialise at its home, queued
+requests waiting for the active transaction's Unblock.  Invalidation
+acknowledgements flow directly from sharers to the requestor.  All
+traffic rides the unordered 2D torus.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set
+
+from repro.common.errors import SimulationError
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import CoherenceState, EpochType, block_of
+from repro.config import SystemConfig
+from repro.interconnect.base import Network
+from repro.interconnect.message import Message
+from repro.memory.cache import CacheArray
+from repro.memory.memory import MainMemory
+
+from .cache_controller import BaseCacheController, WritebackEntry
+from .hooks import SystemHooks
+from .messages import Coh
+
+#: Controller occupancy per handled message, cycles.
+_CTRL_LATENCY = 2
+
+
+class _DirTransaction:
+    """Requestor-side state of an outstanding GetS/GetM."""
+
+    __slots__ = (
+        "block",
+        "want_m",
+        "had_line",
+        "data",
+        "acks_expected",
+        "acks_received",
+        "data_coming",
+    )
+
+    def __init__(self, block: int, want_m: bool, had_line: bool):
+        self.block = block
+        self.want_m = want_m
+        self.had_line = had_line  # upgrading from S/O (data already valid)
+        self.data: Optional[List[int]] = None
+        self.acks_expected: Optional[int] = None
+        self.acks_received = 0
+        self.data_coming: Optional[bool] = None
+
+    def complete(self) -> bool:
+        if not self.want_m:
+            return self.data is not None
+        if self.acks_expected is None or self.data_coming is None:
+            return False
+        if self.acks_received < self.acks_expected:
+            return False
+        return (not self.data_coming) or self.data is not None
+
+
+class DirectoryCacheController(BaseCacheController):
+    """Cache side of the MOSI directory protocol."""
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        hooks: SystemHooks,
+        config: SystemConfig,
+        l1: CacheArray,
+        network: Network,
+        home_of: Callable[[int], int],
+    ):
+        super().__init__(node, scheduler, stats, hooks, config, l1)
+        self.network = network
+        self.home_of = home_of
+
+    # -- outbound ---------------------------------------------------------
+    def _send(self, dst: int, kind: Coh, addr: int, **meta) -> None:
+        size = (
+            self.config.network.data_message_bytes
+            if meta.get("data") is not None
+            else self.config.network.control_message_bytes
+        )
+        data = meta.pop("data", None)
+        self.network.send(
+            Message(
+                src=self.node,
+                dst=dst,
+                kind=kind,
+                addr=addr,
+                data=data,
+                meta=meta,
+                size_bytes=size,
+            )
+        )
+
+    def _start_transaction(self, block: int, want_m: bool) -> None:
+        line = self.l1.peek(block)
+        txn = _DirTransaction(block, want_m, had_line=line is not None)
+        self._active[block] = txn
+        home = self.home_of(block)
+        # have_line tells the home whether an upgrade really holds data;
+        # silent Shared evictions leave the directory's sharer list
+        # stale, so the home cannot rely on it for data-supply decisions.
+        self._send(
+            home,
+            Coh.GETM if want_m else Coh.GETS,
+            block,
+            have_line=line is not None,
+        )
+
+    def _start_writeback(self, entry: WritebackEntry) -> None:
+        self._send(self.home_of(entry.addr), Coh.PUTM, entry.addr, data=entry.data)
+
+    # -- inbound ------------------------------------------------------------
+    def handle_message(self, msg: Message) -> None:
+        """Entry point from the node's network dispatcher."""
+        self.scheduler.after(_CTRL_LATENCY, self._handle, msg)
+
+    def _handle(self, msg: Message) -> None:
+        kind = msg.kind
+        if kind is Coh.DATA:
+            self._on_data(msg)
+        elif kind is Coh.ACK_COUNT:
+            self._on_ack_count(msg)
+        elif kind is Coh.INV_ACK:
+            self._on_inv_ack(msg)
+        elif kind is Coh.FWD_GETS:
+            self._on_fwd_gets(msg)
+        elif kind is Coh.FWD_GETM:
+            self._on_fwd_getm(msg)
+        elif kind is Coh.INV:
+            self._on_inv(msg)
+        elif kind is Coh.WB_ACK:
+            self._writeback_done(msg.addr, stale=False)
+        elif kind is Coh.WB_STALE:
+            self._writeback_done(msg.addr, stale=True)
+        else:
+            self.unexpected(f"kind_{kind}")
+
+    # Transaction replies -------------------------------------------------
+    def _txn(self, addr: int) -> Optional[_DirTransaction]:
+        return self._active.get(block_of(addr))
+
+    def _on_data(self, msg: Message) -> None:
+        txn = self._txn(msg.addr)
+        if txn is None:
+            self.unexpected("data_no_txn")
+            return
+        txn.data = list(msg.data) if msg.data is not None else None
+        self._maybe_finish(txn)
+
+    def _on_ack_count(self, msg: Message) -> None:
+        txn = self._txn(msg.addr)
+        if txn is None or not txn.want_m:
+            self.unexpected("ackcount_no_txn")
+            return
+        txn.acks_expected = msg.meta["acks"]
+        txn.data_coming = msg.meta["data_coming"]
+        self._maybe_finish(txn)
+
+    def _on_inv_ack(self, msg: Message) -> None:
+        txn = self._txn(msg.addr)
+        if txn is None or not txn.want_m:
+            self.unexpected("invack_no_txn")
+            return
+        txn.acks_received += 1
+        self._maybe_finish(txn)
+
+    def _maybe_finish(self, txn: _DirTransaction) -> None:
+        if not txn.complete():
+            return
+        block = txn.block
+        line = self.l1.peek(block)
+        if txn.want_m:
+            if line is not None:
+                if txn.data is not None:
+                    # Upgrade with a fresh copy (owner supplied data):
+                    # the RO epoch ends over the *old* line content; the
+                    # RW epoch begins over the arriving data.
+                    self.hooks.epoch_end(self.node, block, list(line.data))
+                    line.data = list(txn.data)
+                    line.state = CoherenceState.M
+                    self.hooks.epoch_begin(
+                        self.node, block, EpochType.READ_WRITE, list(line.data)
+                    )
+                else:
+                    self._upgrade_to_m(block)
+            else:
+                if txn.data is None:
+                    # Only reachable under injected faults (e.g. a lost
+                    # or misrouted Data): abandon; the watchdog detects
+                    # the stuck core request.
+                    self.unexpected("getm_no_data_or_line")
+                    self._active.pop(block, None)
+                    return
+                self._install_block(block, CoherenceState.M, txn.data)
+        else:
+            if txn.data is None:
+                self.unexpected("gets_no_data")
+                self._active.pop(block, None)
+                return
+            self._install_block(block, CoherenceState.S, txn.data)
+        self._send(self.home_of(block), Coh.UNBLOCK, block)
+        self._transaction_done(block)
+
+    # Remote-initiated actions ---------------------------------------------
+    def _on_fwd_gets(self, msg: Message) -> None:
+        requestor = msg.meta["requestor"]
+        block = block_of(msg.addr)
+        line = self.l1.peek(block)
+        if line is not None and line.state.is_owner():
+            self._downgrade_to_o(block)
+            self._send(requestor, Coh.DATA, block, data=list(line.data))
+            return
+        wb = self._writebacks.get(block)
+        if wb is not None:
+            wb.responded = True
+            self._send(requestor, Coh.DATA, block, data=list(wb.data))
+            return
+        self.unexpected("fwd_gets_no_copy")
+
+    def _on_fwd_getm(self, msg: Message) -> None:
+        requestor = msg.meta["requestor"]
+        block = block_of(msg.addr)
+        line = self.l1.peek(block)
+        if line is not None and line.state.is_owner():
+            data = self._invalidate_block(block)
+            self._send(requestor, Coh.DATA, block, data=data)
+            return
+        wb = self._writebacks.get(block)
+        if wb is not None:
+            wb.responded = True
+            self._send(requestor, Coh.DATA, block, data=list(wb.data))
+            return
+        self.unexpected("fwd_getm_no_copy")
+
+    def _on_inv(self, msg: Message) -> None:
+        requestor = msg.meta["requestor"]
+        block = block_of(msg.addr)
+        line = self.l1.peek(block)
+        if line is not None:
+            if line.state.is_owner():
+                # Spec: Inv only targets S sharers; owners get Fwd_GetM.
+                self.unexpected("inv_on_owner")
+            self._invalidate_block(block)
+        # Always ack, even when the copy was silently evicted earlier.
+        self._send(requestor, Coh.INV_ACK, block)
+
+
+class _DirEntry:
+    """Home-side directory state for one block."""
+
+    __slots__ = ("owner", "sharers", "busy", "queue")
+
+    def __init__(self) -> None:
+        self.owner: Optional[int] = None  # None => memory is owner
+        self.sharers: Set[int] = set()
+        self.busy = False
+        self.queue: Deque[Message] = deque()
+
+
+class DirectoryMemoryController:
+    """Home side: full-map blocking directory plus its memory slice."""
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        hooks: SystemHooks,
+        config: SystemConfig,
+        memory: MainMemory,
+        network: Network,
+    ):
+        self.node = node
+        self.scheduler = scheduler
+        self.stats = stats
+        self.hooks = hooks
+        self.config = config
+        self.memory = memory
+        self.network = network
+        self._entries: Dict[int, _DirEntry] = {}
+        self._stat = f"dir.{node}"
+
+    def entry(self, block: int) -> _DirEntry:
+        ent = self._entries.get(block)
+        if ent is None:
+            ent = _DirEntry()
+            self._entries[block] = ent
+        return ent
+
+    # -- outbound ---------------------------------------------------------
+    def _send(self, dst: int, kind: Coh, addr: int, **meta) -> None:
+        data = meta.pop("data", None)
+        size = (
+            self.config.network.data_message_bytes
+            if data is not None
+            else self.config.network.control_message_bytes
+        )
+        self.network.send(
+            Message(
+                src=self.node,
+                dst=dst,
+                kind=kind,
+                addr=addr,
+                data=data,
+                meta=meta,
+                size_bytes=size,
+            )
+        )
+
+    # -- inbound ------------------------------------------------------------
+    def handle_message(self, msg: Message) -> None:
+        self.scheduler.after(_CTRL_LATENCY, self._handle, msg)
+
+    def _handle(self, msg: Message) -> None:
+        block = block_of(msg.addr)
+        ent = self.entry(block)
+        if msg.kind is Coh.UNBLOCK:
+            self._on_unblock(block, ent)
+            return
+        if ent.busy:
+            ent.queue.append(msg)
+            return
+        self._process(msg, block, ent)
+
+    def _process(self, msg: Message, block: int, ent: _DirEntry) -> None:
+        if msg.kind is Coh.GETS:
+            self._on_gets(msg.src, block, ent)
+        elif msg.kind is Coh.GETM:
+            self._on_getm(msg.src, block, ent, msg.meta.get("have_line", False))
+        elif msg.kind is Coh.PUTM:
+            self._on_putm(msg, block, ent)
+        else:
+            self.stats.incr(f"{self._stat}.unexpected")
+
+    def _on_gets(self, requestor: int, block: int, ent: _DirEntry) -> None:
+        ent.busy = True
+        self.stats.incr(f"{self._stat}.gets")
+        self.hooks.home_request(self.node, block)
+        if ent.owner is None:
+            data = self.memory.read_block(block)
+            self.scheduler.after(
+                self.config.memory.latency,
+                lambda: self._send(requestor, Coh.DATA, block, data=data),
+            )
+        else:
+            self._send(ent.owner, Coh.FWD_GETS, block, requestor=requestor)
+        ent.sharers.add(requestor)
+        # Owner (if any) retains ownership in O state.
+
+    def _on_getm(
+        self, requestor: int, block: int, ent: _DirEntry, have_line: bool = False
+    ) -> None:
+        ent.busy = True
+        self.stats.incr(f"{self._stat}.getm")
+        self.hooks.home_request(self.node, block)
+        invalidatees = ent.sharers - {requestor}
+        data_coming = not (
+            ent.owner == requestor or (requestor in ent.sharers and have_line)
+        )
+        if ent.owner is not None and ent.owner != requestor:
+            self._send(ent.owner, Coh.FWD_GETM, block, requestor=requestor)
+            data_coming = True
+            invalidatees.discard(ent.owner)
+        elif ent.owner is None and data_coming:
+            data = self.memory.read_block(block)
+            self.scheduler.after(
+                self.config.memory.latency,
+                lambda: self._send(requestor, Coh.DATA, block, data=data),
+            )
+        self._send(
+            requestor,
+            Coh.ACK_COUNT,
+            block,
+            acks=len(invalidatees),
+            data_coming=data_coming,
+        )
+        for sharer in sorted(invalidatees):
+            self._send(sharer, Coh.INV, block, requestor=requestor)
+        ent.owner = requestor
+        ent.sharers = set()
+
+    def _on_putm(self, msg: Message, block: int, ent: _DirEntry) -> None:
+        self.stats.incr(f"{self._stat}.putm")
+        if ent.owner == msg.src:
+            if msg.data is None:
+                raise SimulationError("PutM without data")
+            self.hooks.memory_write(
+                self.node, block, self.memory.read_block(block)
+            )
+            self.memory.write_block(block, msg.data)
+            ent.owner = None
+            self._send(msg.src, Coh.WB_ACK, block)
+        else:
+            self._send(msg.src, Coh.WB_STALE, block)
+
+    def _on_unblock(self, block: int, ent: _DirEntry) -> None:
+        ent.busy = False
+        while ent.queue and not ent.busy:
+            queued = ent.queue.popleft()
+            self._process(queued, block, ent)

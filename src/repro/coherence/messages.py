@@ -1,0 +1,52 @@
+"""Coherence protocol message kinds.
+
+Shared by the MOSI directory and snooping protocols, plus the message
+kinds the DVMC coherence checker and SafetyNet add to the interconnect
+(both consume real bandwidth; paper Figures 7-8).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Coh(enum.Enum):
+    """Directory-protocol and data-network message kinds."""
+
+    # Requests, cache -> home
+    GETS = "GetS"
+    GETM = "GetM"
+    PUTM = "PutM"  # writeback of an M or O block (carries data)
+
+    # Home -> cache / cache -> cache
+    FWD_GETS = "Fwd_GetS"  # home asks owner to supply data, keep O
+    FWD_GETM = "Fwd_GetM"  # home asks owner to supply data, go I
+    INV = "Inv"  # home asks sharer to invalidate
+    INV_ACK = "InvAck"  # sharer -> requestor
+    ACK_COUNT = "AckCount"  # home -> requestor: how many InvAcks to await
+    DATA = "Data"  # data block transfer
+    WB_ACK = "WBAck"  # home accepted a writeback
+    WB_STALE = "WBStale"  # writeback raced with an ownership transfer
+    UNBLOCK = "Unblock"  # requestor -> home: transaction complete
+
+
+class Snoop(enum.Enum):
+    """Snooping address-network broadcast kinds (totally ordered)."""
+
+    GETS = "Snoop_GetS"
+    GETM = "Snoop_GetM"
+    PUTM = "Snoop_PutM"
+
+
+class Dvcc(enum.Enum):
+    """Coherence-checker messages (cache -> home memory controller)."""
+
+    INFORM_EPOCH = "InformEpoch"
+    INFORM_OPEN_EPOCH = "InformOpenEpoch"
+    INFORM_CLOSED_EPOCH = "InformClosedEpoch"
+
+
+class Sn(enum.Enum):
+    """SafetyNet checkpoint-coordination messages."""
+
+    CKPT_VALIDATE = "CkptValidate"

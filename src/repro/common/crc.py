@@ -1,0 +1,69 @@
+"""CRC-16 hashing of data blocks.
+
+The Cache Coherence checker hashes 64-byte blocks down to 16 bits for
+the CET, MET and Inform-Epoch messages (paper Section 4.3, "Data Block
+Hashing").  The paper uses CRC-16; we implement CRC-16/CCITT-FALSE
+(polynomial 0x1021, init 0xFFFF), table driven.
+
+Aliasing (two blocks with equal hashes) yields a false *negative* with
+probability about 1/65536 for blocks differing in >= 16 bits; CRC-16
+detects all corruptions of fewer than 16 bits within a block.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .types import WORD_MASK, WORDS_PER_BLOCK
+
+_POLY = 0x1021
+_INIT = 0xFFFF
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte << 8
+        for _ in range(8):
+            if crc & 0x8000:
+                crc = ((crc << 1) ^ _POLY) & 0xFFFF
+            else:
+                crc = (crc << 1) & 0xFFFF
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc16_bytes(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE over a byte string."""
+    crc = _INIT
+    for byte in data:
+        crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def crc16_words(words: Iterable[int]) -> int:
+    """CRC-16 over a sequence of 32-bit words (big-endian byte order).
+
+    This is the hash applied to cache blocks: a block is its
+    :data:`~repro.common.types.WORDS_PER_BLOCK` words in order.
+    """
+    crc = _INIT
+    for word in words:
+        word &= WORD_MASK
+        for shift in (24, 16, 8, 0):
+            byte = (word >> shift) & 0xFF
+            crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
+    return crc
+
+
+def hash_block(block: Iterable[int]) -> int:
+    """Hash a data block (list of words) to 16 bits for epoch checking."""
+    words = list(block)
+    if len(words) != WORDS_PER_BLOCK:
+        raise ValueError(
+            f"block must have {WORDS_PER_BLOCK} words, got {len(words)}"
+        )
+    return crc16_words(words)

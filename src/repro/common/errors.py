@@ -1,0 +1,43 @@
+"""Exception hierarchy for the DVMC reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid or inconsistent configuration values."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation itself malfunctions (not a detected
+    hardware error; those are reported as :class:`ViolationReport`)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while cores still have work.
+
+    In an unprotected system an injected fault can hang the machine;
+    with DVMC enabled the watchdog/membar-injection path should detect
+    the lost operation before this is raised.
+    """
+
+
+class ProtocolError(SimulationError):
+    """Raised when a coherence controller receives a message that its
+    specification does not allow in the current state.
+
+    This indicates a bug in the simulator (or an injected fault that
+    escaped containment), never expected behaviour.
+    """
+
+
+class TraceFormatError(ReproError):
+    """Raised when parsing a malformed memory trace."""
+
+
+class RecoveryError(ReproError):
+    """Raised when backward error recovery cannot restore a valid
+    pre-error state (e.g. the needed checkpoint already expired)."""

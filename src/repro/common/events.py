@@ -1,0 +1,111 @@
+"""Discrete-event simulation kernel.
+
+All hardware components share a single :class:`Scheduler`.  Components
+schedule callbacks at absolute or relative cycle times; the scheduler
+runs them in time order, breaking ties by insertion order so runs are
+deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from .errors import SimulationError
+
+
+class Event:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler keyed by cycle count."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far (for progress/statistics)."""
+        return self._events_processed
+
+    def at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, current time is {self.now}"
+            )
+        event = Event(time, next(self._counter), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback, *args)
+
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run events until the queue drains or a bound is hit.
+
+        Args:
+            until: stop once simulated time would exceed this cycle.
+            stop_when: predicate polled after every event; stops when true.
+            max_events: hard cap on the number of callbacks executed
+                (guards against runaway simulations in tests).
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                self.now = until
+                return
+            if not self.step():
+                return
+            executed += 1
+            if stop_when is not None and stop_when():
+                return
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events} at cycle {self.now}"
+                )

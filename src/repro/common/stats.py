@@ -1,0 +1,121 @@
+"""Lightweight statistics collection.
+
+Components register named counters and histograms on a shared
+:class:`StatsRegistry`.  Benchmarks read the registry to regenerate the
+paper's tables and figures (runtime, replay misses, link utilisation).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+
+class Histogram:
+    """Streaming histogram tracking count/sum/min/max and samples."""
+
+    __slots__ = ("count", "total", "min", "max", "_sq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._sq = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self._sq += value * value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean
+        var = max(0.0, self._sq / self.count - mean * mean)
+        return math.sqrt(var)
+
+
+class StatsRegistry:
+    """Hierarchical counter/histogram store.
+
+    Keys are dotted paths, conventionally ``component.node.metric``
+    (e.g. ``"l1.3.replay_misses"``); :meth:`sum` aggregates over glob-like
+    prefixes.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._histograms: Dict[str, Histogram] = defaultdict(Histogram)
+
+    # Counters -----------------------------------------------------------
+    def incr(self, key: str, amount: int = 1) -> None:
+        """Increment counter ``key`` by ``amount``."""
+        self._counters[key] += amount
+
+    def set_counter(self, key: str, value: int) -> None:
+        self._counters[key] = value
+
+    def counter(self, key: str) -> int:
+        return self._counters.get(key, 0)
+
+    def sum(self, prefix: str) -> int:
+        """Sum of all counters whose key starts with ``prefix``."""
+        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+
+    def max_over(self, prefix: str) -> Tuple[str, int]:
+        """(key, value) of the largest counter under ``prefix``.
+
+        Used for Figure 7's "mean bandwidth on the highest loaded link".
+        Returns ``("", 0)`` when no counter matches.
+        """
+        best_key, best = "", 0
+        for k, v in self._counters.items():
+            if k.startswith(prefix) and v > best:
+                best_key, best = k, v
+        return best_key, best
+
+    # Histograms ---------------------------------------------------------
+    def record(self, key: str, value: float) -> None:
+        self._histograms[key].record(value)
+
+    def histogram(self, key: str) -> Histogram:
+        return self._histograms[key]
+
+    # Reporting ----------------------------------------------------------
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flatten everything into a plain dict (counters + histogram means)."""
+        out: Dict[str, float] = dict(self._counters)
+        for key, hist in self._histograms.items():
+            out[f"{key}.mean"] = hist.mean
+            out[f"{key}.count"] = hist.count
+        return out
+
+
+def mean_stddev(values: Iterable[float]) -> Tuple[float, float]:
+    """Mean and sample standard deviation of ``values``.
+
+    The paper reports mean and one standard deviation across ten
+    perturbed runs; experiment harnesses use this helper for the same.
+    """
+    vals: List[float] = list(values)
+    if not vals:
+        return 0.0, 0.0
+    mean = sum(vals) / len(vals)
+    if len(vals) < 2:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    return mean, math.sqrt(var)

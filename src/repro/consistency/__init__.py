@@ -1,0 +1,27 @@
+"""Memory consistency models as ordering tables (paper Section 2.2)."""
+
+from .models import ConsistencyModel
+from .ordering_table import OrderingTable
+from .tables import (
+    PC_TABLE,
+    PSO_TABLE,
+    RMO_TABLE,
+    SC_TABLE,
+    TABLES,
+    TSO_TABLE,
+    format_table,
+    table_for,
+)
+
+__all__ = [
+    "ConsistencyModel",
+    "OrderingTable",
+    "PC_TABLE",
+    "PSO_TABLE",
+    "RMO_TABLE",
+    "SC_TABLE",
+    "TSO_TABLE",
+    "TABLES",
+    "format_table",
+    "table_for",
+]

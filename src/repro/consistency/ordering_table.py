@@ -1,0 +1,108 @@
+"""Ordering tables: the paper's specification of consistency models.
+
+A consistency model is specified as a table indexed by (first operation
+type, second operation type).  ``True`` in cell (OPx, OPy) means: every
+operation of type OPx that precedes an operation Y of type OPy in
+program order must also perform before Y (paper Section 2.2).
+
+SPARC v9 Membars carry a 4-bit mask (#LL, #LS, #SL, #SS); table entries
+in Membar rows/columns hold masks rather than booleans, and a boolean
+is obtained by ANDing the instruction's mask with the table's mask
+(paper Section 4).  We represent every cell as a
+:class:`~repro.common.types.MembarMask`; plain ``True`` cells use
+``MembarMask.ALL`` and ``False`` cells use ``MembarMask.NONE``, which
+makes the AND rule uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.common.types import MembarMask, OpType
+
+Cell = MembarMask
+_TableKey = Tuple[OpType, OpType]
+
+
+class OrderingTable:
+    """Immutable ordering table with membar-mask cells.
+
+    Args:
+        name: display name of the consistency model.
+        entries: mapping ``(first, second) -> bool | MembarMask``.
+            Missing cells default to unordered (``MembarMask.NONE``).
+        op_types: operation types labelling rows/columns.  Atomics are
+            implicit (they take both LOAD and STORE constraints).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        entries: Mapping[_TableKey, object],
+        op_types: Iterable[OpType] = (OpType.LOAD, OpType.STORE),
+    ):
+        self.name = name
+        self.op_types: Tuple[OpType, ...] = tuple(op_types)
+        table: Dict[_TableKey, Cell] = {}
+        for (first, second), value in entries.items():
+            if isinstance(value, bool):
+                cell = MembarMask.ALL if value else MembarMask.NONE
+            elif isinstance(value, MembarMask):
+                cell = value
+            else:
+                raise TypeError(f"cell ({first}, {second}) must be bool or MembarMask")
+            table[(first, second)] = cell
+        self._table = table
+
+    def cell(self, first: OpType, second: OpType) -> Cell:
+        """Raw mask stored for (first, second); NONE if absent."""
+        return self._table.get((first, second), MembarMask.NONE)
+
+    def ordered(
+        self,
+        first: OpType,
+        second: OpType,
+        first_mask: MembarMask = MembarMask.ALL,
+        second_mask: MembarMask = MembarMask.ALL,
+    ) -> bool:
+        """Is there an ordering constraint between the operation types?
+
+        ``first_mask``/``second_mask`` are the instruction masks when the
+        corresponding operation is a Membar (otherwise leave ALL).  The
+        constraint exists when ``table_mask & first_mask & second_mask``
+        is non-zero, generalising the paper's AND rule.  Atomics are
+        expanded to their constituent LOAD and STORE types: an ordering
+        exists if any constituent pair is ordered.
+        """
+        for f in first.access_types() if first is OpType.ATOMIC else (first,):
+            for s in second.access_types() if second is OpType.ATOMIC else (second,):
+                mask = self._table.get((f, s), MembarMask.NONE)
+                if mask & first_mask & second_mask:
+                    return True
+        return False
+
+    def constrains_any(self, first: OpType) -> bool:
+        """True if type ``first`` is ordered before *some* type."""
+        return any(self.ordered(first, second) for second in self.op_types)
+
+    def predecessors_of(self, second: OpType) -> Tuple[OpType, ...]:
+        """All op types OPx with a constraint OPx < ``second``.
+
+        Used by the Allowable Reordering checker's lost-operation scan:
+        when an operation of type OPy performs, outstanding older
+        operations of any predecessor type indicate a lost operation.
+        """
+        return tuple(
+            first for first in self.op_types if self.ordered(first, second)
+        )
+
+    def as_bool_grid(self) -> Dict[_TableKey, bool]:
+        """Boolean view over access types only (for table printing)."""
+        return {
+            (f, s): self.ordered(f, s)
+            for f in self.op_types
+            for s in self.op_types
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrderingTable({self.name!r})"

@@ -1,0 +1,140 @@
+"""Concrete ordering tables for SC, TSO, PSO and RMO.
+
+These transcribe the paper's Tables 2-4 (plus the all-ordered SC
+table).  All four tables also carry Membar rows/columns: SPARC v9's
+masked Membar instruction is valid under every model, and the
+Allowable Reordering checker evaluates Membar cells by ANDing the
+instruction mask with the table mask (paper Section 4).
+
+PSO's ``Stbar`` provides Store-Store ordering and is equivalent to
+``Membar #SS`` (paper Table 3 note); it appears as its own operation
+type exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.types import MembarMask, OpType
+
+from .models import ConsistencyModel
+from .ordering_table import OrderingTable
+
+_LL = MembarMask.LOADLOAD
+_LS = MembarMask.LOADSTORE
+_SL = MembarMask.STORELOAD
+_SS = MembarMask.STORESTORE
+_ALL = MembarMask.ALL
+
+# Membar cells shared by every table: a preceding load must perform
+# before a membar whose mask orders loads against anything (#LL or
+# #LS); symmetrically for the other three cells.
+_MEMBAR_CELLS = {
+    (OpType.LOAD, OpType.MEMBAR): _LL | _LS,
+    (OpType.STORE, OpType.MEMBAR): _SL | _SS,
+    (OpType.MEMBAR, OpType.LOAD): _LL | _SL,
+    (OpType.MEMBAR, OpType.STORE): _LS | _SS,
+    (OpType.MEMBAR, OpType.MEMBAR): _ALL,
+}
+
+#: Sequential Consistency: every pair of memory operations is ordered.
+SC_TABLE = OrderingTable(
+    "SC",
+    {
+        (OpType.LOAD, OpType.LOAD): True,
+        (OpType.LOAD, OpType.STORE): True,
+        (OpType.STORE, OpType.LOAD): True,
+        (OpType.STORE, OpType.STORE): True,
+        **_MEMBAR_CELLS,
+    },
+    op_types=(OpType.LOAD, OpType.STORE, OpType.MEMBAR),
+)
+
+#: Total Store Order (paper Table 2): only Store->Load is relaxed.
+TSO_TABLE = OrderingTable(
+    "TSO",
+    {
+        (OpType.LOAD, OpType.LOAD): True,
+        (OpType.LOAD, OpType.STORE): True,
+        (OpType.STORE, OpType.LOAD): False,
+        (OpType.STORE, OpType.STORE): True,
+        **_MEMBAR_CELLS,
+    },
+    op_types=(OpType.LOAD, OpType.STORE, OpType.MEMBAR),
+)
+
+#: Partial Store Order (paper Table 3): Store->Store also relaxed;
+#: Stbar restores Store-Store ordering.
+PSO_TABLE = OrderingTable(
+    "PSO",
+    {
+        (OpType.LOAD, OpType.LOAD): True,
+        (OpType.LOAD, OpType.STORE): True,
+        (OpType.LOAD, OpType.STBAR): False,
+        (OpType.STORE, OpType.LOAD): False,
+        (OpType.STORE, OpType.STORE): False,
+        (OpType.STORE, OpType.STBAR): True,
+        (OpType.STBAR, OpType.LOAD): False,
+        (OpType.STBAR, OpType.STORE): True,
+        (OpType.STBAR, OpType.STBAR): False,
+        **_MEMBAR_CELLS,
+    },
+    op_types=(OpType.LOAD, OpType.STORE, OpType.STBAR, OpType.MEMBAR),
+)
+
+#: Relaxed Memory Order (paper Table 4): nothing ordered except via
+#: Membar masks.
+RMO_TABLE = OrderingTable(
+    "RMO",
+    {
+        (OpType.LOAD, OpType.LOAD): False,
+        (OpType.LOAD, OpType.STORE): False,
+        (OpType.STORE, OpType.LOAD): False,
+        (OpType.STORE, OpType.STORE): False,
+        **_MEMBAR_CELLS,
+    },
+    op_types=(OpType.LOAD, OpType.STORE, OpType.MEMBAR),
+)
+
+#: Processor Consistency (paper Table 1) — shown for completeness; TSO
+#: is the PC variant the implementation runs.
+PC_TABLE = OrderingTable(
+    "PC",
+    {
+        (OpType.LOAD, OpType.LOAD): True,
+        (OpType.LOAD, OpType.STORE): True,
+        (OpType.STORE, OpType.LOAD): False,
+        (OpType.STORE, OpType.STORE): True,
+    },
+)
+
+TABLES: Dict[ConsistencyModel, OrderingTable] = {
+    ConsistencyModel.SC: SC_TABLE,
+    ConsistencyModel.TSO: TSO_TABLE,
+    ConsistencyModel.PSO: PSO_TABLE,
+    ConsistencyModel.RMO: RMO_TABLE,
+}
+
+
+def table_for(model: ConsistencyModel) -> OrderingTable:
+    """Ordering table implementing ``model``."""
+    return TABLES[model]
+
+
+def format_table(table: OrderingTable) -> str:
+    """Render an ordering table the way the paper prints them."""
+    ops = table.op_types
+    header = "1st\\2nd".ljust(9) + "".join(op.name.ljust(8) for op in ops)
+    lines = [header]
+    for first in ops:
+        cells = []
+        for second in ops:
+            mask = table.cell(first, second)
+            if mask == MembarMask.ALL:
+                cells.append("true".ljust(8))
+            elif mask == MembarMask.NONE:
+                cells.append("false".ljust(8))
+            else:
+                cells.append(f"0x{int(mask):x}".ljust(8))
+        lines.append(first.name.ljust(9) + "".join(cells))
+    return "\n".join(lines)

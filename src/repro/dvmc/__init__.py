@@ -1,0 +1,18 @@
+"""DVMC: dynamic verification of memory consistency (the paper's core
+contribution) — three composable invariant checkers."""
+
+from .coherence_checker import CETEntry, CoherenceChecker, METEntry
+from .framework import DVMC, ViolationLog
+from .reordering import AllowableReorderingChecker
+from .uniprocessor import UniprocessorOrderingChecker, VCEntry
+
+__all__ = [
+    "AllowableReorderingChecker",
+    "CETEntry",
+    "CoherenceChecker",
+    "DVMC",
+    "METEntry",
+    "UniprocessorOrderingChecker",
+    "VCEntry",
+    "ViolationLog",
+]

@@ -1,0 +1,454 @@
+"""Cache Coherence checker (paper Section 4.3): epochs, CET, MET.
+
+Each cache keeps a **Cache Epoch Table (CET)** entry per held block:
+epoch type (Read-Only / Read-Write), logical begin time, CRC-16 of the
+block at epoch begin, and a DataReadyBit (an epoch can begin before its
+data arrives).  When an epoch ends, the cache sends an **Inform-Epoch**
+to the block's home memory controller — a real network message (block
+address, epoch type, begin/end logical times, begin/end data hashes) —
+whose traffic is what Figure 7 measures.
+
+Each home's **Memory Epoch Table (MET)** processes Inform-Epochs in
+epoch-*begin*-time order (a bounded priority queue re-sorts the nearly
+ordered arrival stream) and verifies Plakal-style rules: (1) accesses
+happen in appropriate epochs (checked at the CET), (2) Read-Write
+epochs never overlap other epochs, (3) the data at an epoch's begin
+equals the data at the most recent Read-Write epoch's end.
+
+Timestamps are stored 16-bit; long-lived epochs are *scrubbed* before
+wraparound using a per-CET FIFO that triggers Inform-Open-Epoch /
+Inform-Closed-Epoch message pairs, with matching open-epoch tracking
+(sharer bitmask / owner id) at the MET.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.common.crc import hash_block
+from repro.common.events import Scheduler
+from repro.common.logical_time import LogicalTimeBase
+from repro.common.stats import StatsRegistry
+from repro.common.types import EpochType, ViolationReport, block_of
+from repro.config import SystemConfig
+from repro.interconnect.message import Message
+
+from repro.coherence.messages import Dvcc
+
+#: How much logical time the MET waits before processing an inform,
+#: letting stragglers with earlier begin times arrive first.
+MET_SORT_SLACK = 128
+
+#: Cycles between MET priority-queue drain sweeps and CET scrub sweeps.
+SWEEP_PERIOD = 500
+
+
+class CETEntry:
+    """One cache-side epoch record (34 bits in hardware)."""
+
+    __slots__ = (
+        "etype",
+        "begin",
+        "begin_hash",
+        "data_ready",
+        "ended",
+        "end",
+        "end_hash",
+        "open_informed",
+    )
+
+    def __init__(self, etype: EpochType, begin: int):
+        self.etype = etype
+        self.begin = begin
+        self.begin_hash: Optional[int] = None
+        self.data_ready = False
+        self.ended = False
+        self.end = 0
+        self.end_hash: Optional[int] = None
+        #: An Inform-Open-Epoch was sent (wraparound scrubbing); the end
+        #: must be reported with Inform-Closed-Epoch instead.
+        self.open_informed = False
+
+
+class METEntry:
+    """Home-side per-block epoch summary (48 bits in hardware)."""
+
+    __slots__ = ("last_ro_end", "last_rw_end", "last_rw_end_hash", "open_ro", "open_rw")
+
+    def __init__(self, created: int, data_hash: int):
+        self.last_ro_end = created
+        self.last_rw_end = created
+        #: None means unknown (after an open RW epoch closed without a
+        #: hash — the Inform-Closed-Epoch carries only address + time).
+        self.last_rw_end_hash: Optional[int] = data_hash
+        self.open_ro: Set[int] = set()
+        self.open_rw: Optional[int] = None
+
+
+class CoherenceChecker:
+    """System-wide DVCC: one CET per cache, one MET per home node."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        config: SystemConfig,
+        logical_time: LogicalTimeBase,
+        home_of: Callable[[int], int],
+        memories,  # node -> MainMemory (for MET entry creation)
+        send: Callable[[Message], None],
+        violations: Callable[[ViolationReport], None],
+    ):
+        self.scheduler = scheduler
+        self.stats = stats
+        self.config = config
+        self.lt = logical_time
+        self.home_of = home_of
+        self.memories = memories
+        self.send = send
+        self.violations = violations
+        num = config.num_nodes
+        self._cet: List[Dict[int, CETEntry]] = [dict() for _ in range(num)]
+        self._met: List[Dict[int, METEntry]] = [dict() for _ in range(num)]
+        self._pq: List[List[Tuple[int, int, int, dict]]] = [
+            [] for _ in range(num)
+        ]
+        self._pq_seq = itertools.count()
+        #: Scrub FIFOs: (block, begin_full) per epoch, per node.
+        self._scrub_fifo: List[List[Tuple[int, int]]] = [[] for _ in range(num)]
+        self._wrap_horizon = (1 << config.dvmc.timestamp_bits) // 2
+        scheduler.after(SWEEP_PERIOD, self._sweep)
+
+    # ------------------------------------------------------------------
+    # Hook subscriptions (wired by the system builder)
+    # ------------------------------------------------------------------
+    def attach(self, hooks) -> None:
+        hooks.on_epoch_begin(self.epoch_begin)
+        hooks.on_epoch_data(self.epoch_data)
+        hooks.on_epoch_end(self.epoch_end)
+        hooks.on_access(self.check_access)
+        hooks.on_home_request(self.home_request)
+
+    # ------------------------------------------------------------------
+    # CET side
+    # ------------------------------------------------------------------
+    def epoch_begin(
+        self,
+        node: int,
+        addr: int,
+        etype: EpochType,
+        data: Optional[list],
+        lt: Optional[int] = None,
+    ) -> None:
+        block = block_of(addr)
+        cet = self._cet[node]
+        if block in cet and not cet[block].ended:
+            # The protocol opened an epoch over a live one: itself a
+            # coherence anomaly worth flagging.
+            self._violate(node, "epoch-begin-over-open", f"block 0x{block:x}")
+        entry = CETEntry(etype, self.lt.now(node) if lt is None else lt)
+        if data is not None:
+            entry.begin_hash = hash_block(data)
+            entry.data_ready = True
+        cet[block] = entry
+        self._scrub_fifo[node].append((block, entry.begin))
+        if len(self._scrub_fifo[node]) > self.config.dvmc.scrub_fifo_entries:
+            self._scrub_check(node)
+        self.stats.incr(f"dvcc.{node}.epochs_begun")
+
+    def epoch_data(self, node: int, addr: int, data: list) -> None:
+        block = block_of(addr)
+        entry = self._cet[node].get(block)
+        if entry is None:
+            self._violate(node, "data-without-epoch", f"block 0x{block:x}")
+            return
+        if not entry.data_ready:
+            entry.begin_hash = hash_block(data)
+            entry.data_ready = True
+        if entry.ended:
+            # Degenerate epoch (block handed over before data arrived).
+            if entry.end_hash is None:
+                entry.end_hash = entry.begin_hash
+            self._finish_epoch(node, block, entry)
+
+    def epoch_end(
+        self,
+        node: int,
+        addr: int,
+        data: Optional[list],
+        lt: Optional[int] = None,
+    ) -> None:
+        block = block_of(addr)
+        entry = self._cet[node].get(block)
+        if entry is None:
+            self._violate(node, "end-without-epoch", f"block 0x{block:x}")
+            return
+        if entry.ended:
+            self._violate(node, "double-epoch-end", f"block 0x{block:x}")
+            return
+        entry.ended = True
+        entry.end = self.lt.now(node) if lt is None else lt
+        if data is not None:
+            entry.end_hash = hash_block(data)
+        elif entry.data_ready:
+            entry.end_hash = entry.begin_hash
+        if entry.data_ready:
+            self._finish_epoch(node, block, entry)
+        # else: wait for epoch_data to supply the hashes.
+
+    def _finish_epoch(self, node: int, block: int, entry: CETEntry) -> None:
+        del self._cet[node][block]
+        home = self.home_of(block)
+        if entry.open_informed:
+            self._send_inform(
+                node,
+                home,
+                Dvcc.INFORM_CLOSED_EPOCH,
+                block,
+                {"etype": entry.etype, "end": entry.end},
+            )
+        else:
+            self._send_inform(
+                node,
+                home,
+                Dvcc.INFORM_EPOCH,
+                block,
+                {
+                    "etype": entry.etype,
+                    "begin": entry.begin,
+                    "end": entry.end,
+                    "begin_hash": entry.begin_hash,
+                    "end_hash": entry.end_hash,
+                },
+            )
+
+    def check_access(self, node: int, addr: int, is_store: bool) -> None:
+        """Rule 1: accesses happen within appropriate epochs."""
+        entry = self._cet[node].get(block_of(addr))
+        if entry is None:
+            self._violate(
+                node,
+                "access-without-epoch",
+                f"{'store' if is_store else 'load'} 0x{addr:x}",
+            )
+            return
+        if is_store and (entry.etype is not EpochType.READ_WRITE or entry.ended):
+            self._violate(node, "store-outside-rw-epoch", f"0x{addr:x}")
+
+    def cet_occupancy(self, node: int) -> int:
+        return len(self._cet[node])
+
+    # ------------------------------------------------------------------
+    # Scrubbing (timestamp wraparound, paper 4.3 "Logical Time")
+    # ------------------------------------------------------------------
+    def _scrub_check(self, node: int) -> None:
+        fifo = self._scrub_fifo[node]
+        now = self.lt.now(node)
+        keep: List[Tuple[int, int]] = []
+        for block, begin in fifo:
+            entry = self._cet[node].get(block)
+            if entry is None or entry.begin != begin or entry.open_informed:
+                continue  # epoch already over (or renumbered, or informed)
+            if now - begin >= self._wrap_horizon:
+                entry.open_informed = True
+                self._send_inform(
+                    node,
+                    self.home_of(block),
+                    Dvcc.INFORM_OPEN_EPOCH,
+                    block,
+                    {
+                        "etype": entry.etype,
+                        "begin": entry.begin,
+                        "begin_hash": entry.begin_hash,
+                    },
+                )
+                self.stats.incr(f"dvcc.{node}.open_informs")
+            else:
+                keep.append((block, begin))
+        self._scrub_fifo[node] = keep
+
+    # ------------------------------------------------------------------
+    # Inform transport
+    # ------------------------------------------------------------------
+    def _send_inform(
+        self, src: int, dst: int, kind: Dvcc, block: int, meta: dict
+    ) -> None:
+        self.stats.incr(f"dvcc.{src}.informs_sent")
+        self.send(
+            Message(
+                src=src,
+                dst=dst,
+                kind=kind,
+                addr=block,
+                meta=meta,
+                size_bytes=self.config.network.inform_epoch_bytes,
+            )
+        )
+
+    def handle_message(self, msg: Message) -> None:
+        """Inform arriving at a home memory controller's MET.
+
+        All inform kinds ride the same begin-time-sorted priority queue;
+        an Inform-Closed-Epoch sorts by its end time, which keeps it
+        behind its paired Inform-Open-Epoch (end >= begin).
+        """
+        home = msg.dst
+        meta = msg.meta
+        begin = (
+            meta["end"]
+            if msg.kind is Dvcc.INFORM_CLOSED_EPOCH
+            else meta.get("begin", 0)
+        )
+        heapq.heappush(
+            self._pq[home],
+            (begin, next(self._pq_seq), msg.src, {"kind": msg.kind, "addr": msg.addr, **meta}),
+        )
+        if len(self._pq[home]) > self.config.dvmc.priority_queue_entries:
+            self.stats.incr(f"dvcc.{home}.pq_forced_drains")
+            self._drain(home, force_one=True)
+        else:
+            self._drain(home)
+
+    # ------------------------------------------------------------------
+    # MET side
+    # ------------------------------------------------------------------
+    def home_request(self, home: int, addr: int) -> None:
+        """Create the MET entry at first request (paper 4.3)."""
+        block = block_of(addr)
+        if block not in self._met[home]:
+            data = self.memories[home].read_block(block)
+            self._met[home][block] = METEntry(self.lt.now(home), hash_block(data))
+
+    def _met_entry(self, home: int, block: int) -> METEntry:
+        entry = self._met[home].get(block)
+        if entry is None:
+            # Shouldn't happen fault-free (home_request precedes epochs),
+            # but injected faults can reorder things; create leniently.
+            data = self.memories[home].read_block(block)
+            entry = METEntry(0, hash_block(data))
+            self._met[home][block] = entry
+        return entry
+
+    def _drain(self, home: int, force_one: bool = False) -> None:
+        pq = self._pq[home]
+        now = self.lt.now(home)
+        while pq:
+            begin = pq[0][0]
+            if not force_one and now - begin < MET_SORT_SLACK:
+                return
+            _, _, src, inform = heapq.heappop(pq)
+            self._process_inform(home, src, inform)
+            force_one = False
+
+    def flush(self) -> None:
+        """Process every queued inform (end of simulation)."""
+        for home in range(self.config.num_nodes):
+            pq = self._pq[home]
+            while pq:
+                _, _, src, inform = heapq.heappop(pq)
+                self._process_inform(home, src, inform)
+
+    def _process_inform(self, home: int, src: int, inform: dict) -> None:
+        self.stats.incr(f"dvcc.{home}.informs_processed")
+        block = block_of(inform["addr"])
+        if inform["kind"] is Dvcc.INFORM_CLOSED_EPOCH:
+            self._met_close_open(home, block, src, inform)
+            return
+        entry = self._met_entry(home, block)
+        etype: EpochType = inform["etype"]
+        begin = inform["begin"]
+        begin_hash = inform.get("begin_hash")
+        is_open = inform["kind"] is Dvcc.INFORM_OPEN_EPOCH
+
+        # Rule 2: Read-Write epochs do not overlap other epochs.
+        if etype is EpochType.READ_WRITE:
+            limit = max(entry.last_ro_end, entry.last_rw_end)
+        else:
+            limit = entry.last_rw_end
+        if begin < limit:
+            self._violate(
+                home,
+                "epoch-overlap",
+                f"block 0x{block:x}: {etype.value} epoch from node {src} "
+                f"begins at {begin} before a conflicting epoch ended at {limit}",
+            )
+        if entry.open_rw is not None and entry.open_rw != src:
+            self._violate(
+                home,
+                "epoch-overlap-open",
+                f"block 0x{block:x}: epoch begins while node "
+                f"{entry.open_rw} holds an open RW epoch",
+            )
+        if etype is EpochType.READ_WRITE and any(
+            n != src for n in entry.open_ro
+        ):
+            self._violate(
+                home,
+                "epoch-overlap-open",
+                f"block 0x{block:x}: RW epoch while RO epochs open",
+            )
+
+        # Rule 3: data propagates intact from the last RW epoch.
+        if (
+            begin_hash is not None
+            and entry.last_rw_end_hash is not None
+            and begin_hash != entry.last_rw_end_hash
+        ):
+            self._violate(
+                home,
+                "data-propagation",
+                f"block 0x{block:x}: epoch begins with hash "
+                f"{begin_hash:#06x}, last RW epoch ended with "
+                f"{entry.last_rw_end_hash:#06x}",
+            )
+
+        if is_open:
+            if etype is EpochType.READ_WRITE:
+                entry.open_rw = src
+            else:
+                entry.open_ro.add(src)
+            return
+
+        end = inform["end"]
+        end_hash = inform.get("end_hash")
+        if etype is EpochType.READ_WRITE:
+            if end > entry.last_rw_end:
+                entry.last_rw_end = end
+                entry.last_rw_end_hash = end_hash
+        else:
+            if inform.get("end_hash") is not None and begin_hash is not None:
+                if inform["end_hash"] != begin_hash:
+                    self._violate(
+                        home,
+                        "ro-epoch-data-changed",
+                        f"block 0x{block:x} changed during a read-only epoch",
+                    )
+            entry.last_ro_end = max(entry.last_ro_end, end)
+
+    def _met_close_open(self, home: int, block: int, src: int, meta: dict) -> None:
+        """Inform-Closed-Epoch: only address and end time (paper 4.3)."""
+        entry = self._met_entry(home, block)
+        end = meta["end"]
+        if meta["etype"] is EpochType.READ_WRITE:
+            if entry.open_rw == src:
+                entry.open_rw = None
+            entry.last_rw_end = max(entry.last_rw_end, end)
+            entry.last_rw_end_hash = None  # unknown until the next epoch
+        else:
+            entry.open_ro.discard(src)
+            entry.last_ro_end = max(entry.last_ro_end, end)
+
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        for node in range(self.config.num_nodes):
+            self._scrub_check(node)
+            self._drain(node)
+        self.scheduler.after(SWEEP_PERIOD, self._sweep)
+
+    def _violate(self, node: int, kind: str, detail: str) -> None:
+        self.stats.incr(f"dvcc.{node}.violations")
+        self.violations(
+            ViolationReport("CC", self.scheduler.now, node, kind, detail)
+        )

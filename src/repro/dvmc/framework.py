@@ -1,0 +1,71 @@
+"""DVMC framework assembly (paper Section 3).
+
+DVMC composes three independently replaceable checkers — Uniprocessor
+Ordering, Allowable Reordering, Cache Coherence — which together are
+sufficient for memory consistency (Appendix A).  This module provides
+the violation sink shared by all checkers and a small container that
+the system builder populates according to the
+:class:`~repro.config.DVMCConfig` enables (Base / SN / SN+DVCC /
+SN+DVUO / full DVMC, as in Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.types import ViolationReport
+
+
+class ViolationLog:
+    """Collects violation reports from every checker.
+
+    ``first`` gives the earliest detection, which the error-injection
+    campaign compares against the SafetyNet recovery window.  An
+    optional callback supports tests that want to react immediately.
+    """
+
+    def __init__(self, callback=None):
+        self.reports: List[ViolationReport] = []
+        self._callback = callback
+
+    def __call__(self, report: ViolationReport) -> None:
+        self.reports.append(report)
+        if self._callback is not None:
+            self._callback(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    @property
+    def first(self) -> Optional[ViolationReport]:
+        return self.reports[0] if self.reports else None
+
+    def by_checker(self, checker: str) -> List[ViolationReport]:
+        return [r for r in self.reports if r.checker == checker]
+
+    def clear(self) -> None:
+        self.reports.clear()
+
+
+class DVMC:
+    """The per-system checker bundle (populated by the SystemBuilder)."""
+
+    def __init__(self) -> None:
+        self.violations = ViolationLog()
+        self.uo_checkers: list = []  # one per core, or empty
+        self.ar_checkers: list = []  # one per core, or empty
+        self.coherence_checker = None  # CoherenceChecker or None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(
+            self.uo_checkers or self.ar_checkers or self.coherence_checker
+        )
+
+    def finalize(self) -> None:
+        """Flush buffered checker state (end of simulation): drain the
+        MET priority queues and run a final lost-operation scan."""
+        if self.coherence_checker is not None:
+            self.coherence_checker.flush()
+        for ar in self.ar_checkers:
+            ar.check_outstanding()

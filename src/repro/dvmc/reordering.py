@@ -1,0 +1,171 @@
+"""Allowable Reordering checker (paper Section 4.2).
+
+Every instruction gets a sequence number at decode (its program-order
+rank).  When an operation performs, the checker verifies that no
+*younger* operation of a constrained type performed earlier, using one
+``max{OP}`` counter per operation type — plus one counter per Membar
+mask bit, so a Membar only constrains the access kinds its mask names.
+
+Lost operations are detected by comparing committed against performed
+operations at Membar points; because real Membars can be arbitrarily
+rare, artificial membar checks are injected periodically (paper: about
+one per 100k cycles, negligible cost, no effect on correctness).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict
+
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import MembarMask, OpType, ViolationReport
+from repro.config import SystemConfig
+from repro.consistency.ordering_table import OrderingTable
+
+_MASK_BITS = (
+    MembarMask.LOADLOAD,
+    MembarMask.LOADSTORE,
+    MembarMask.STORELOAD,
+    MembarMask.STORESTORE,
+)
+
+
+class AllowableReorderingChecker:
+    """Per-core AR checker.
+
+    ``table`` is provided through a zero-argument callable so that
+    SPARC v9's runtime consistency-model switching (PSTATE.MM) is
+    honoured: the checker always consults the table active *now*.
+    """
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        config: SystemConfig,
+        table: Callable[[], OrderingTable],
+        violations: Callable[[ViolationReport], None],
+    ):
+        self.node = node
+        self.scheduler = scheduler
+        self.stats = stats
+        self.config = config
+        self.table = table
+        self.violations = violations
+        self._max: Dict[OpType, int] = {t: -1 for t in OpType}
+        self._membar_bit_max: Dict[MembarMask, int] = {b: -1 for b in _MASK_BITS}
+        #: committed-but-not-yet-performed operations, insertion ordered.
+        self._outstanding: "OrderedDict[int, tuple]" = OrderedDict()
+        self._stat = f"ar.{node}"
+        self._interval = config.dvmc.membar_injection_interval
+        #: Set by the system builder; used by the progress watchdog.
+        self.core = None
+        scheduler.after(self._interval, self._injected_membar_check)
+
+    # -- event feed -----------------------------------------------------------
+    def committed(self, op_type: OpType, seq: int, cycle: int) -> None:
+        """An operation committed; it must eventually perform."""
+        if op_type.is_memory_access():
+            self._outstanding[seq] = (op_type, cycle)
+
+    def performed(self, op_type: OpType, seq: int, mask: MembarMask) -> None:
+        """An operation performed; check it against the ordering table."""
+        self._outstanding.pop(seq, None)
+        table = self.table()
+        first_mask = mask if op_type is OpType.MEMBAR else MembarMask.ALL
+        targets = (
+            op_type.access_types() if op_type is OpType.ATOMIC else (op_type,)
+        )
+        for target in targets:
+            for second in table.op_types:
+                if second is OpType.MEMBAR:
+                    # Per-bit counters: only membars whose mask shares a
+                    # bit with this cell constrain `target`.
+                    cell = table.cell(target, OpType.MEMBAR)
+                    for bit in _MASK_BITS:
+                        if (cell & bit & first_mask) and self._membar_bit_max[bit] > seq:
+                            self._violate(target, OpType.MEMBAR, seq)
+                elif table.ordered(target, second, first_mask=first_mask):
+                    if self._max[second] > seq:
+                        self._violate(target, second, seq)
+        # Update the max counters.
+        for target in targets:
+            if seq > self._max[target]:
+                self._max[target] = seq
+        if op_type is OpType.MEMBAR:
+            for bit in _MASK_BITS:
+                if mask & bit and seq > self._membar_bit_max[bit]:
+                    self._membar_bit_max[bit] = seq
+            if seq > self._max[OpType.MEMBAR]:
+                self._max[OpType.MEMBAR] = seq
+
+    # -- lost-operation detection ------------------------------------------------
+    def check_outstanding(self) -> None:
+        """Membar-point check: committed operations older than the
+        injection interval should long since have performed."""
+        now = self.scheduler.now
+        stale = [
+            (seq, op_type, cycle)
+            for seq, (op_type, cycle) in self._outstanding.items()
+            if now - cycle > self._interval
+        ]
+        for seq, op_type, cycle in stale:
+            self._outstanding.pop(seq, None)
+            self.stats.incr(f"{self._stat}.violations")
+            self.violations(
+                ViolationReport(
+                    "AR",
+                    now,
+                    self.node,
+                    "lost-operation",
+                    f"{op_type.value} seq {seq} committed at cycle {cycle} "
+                    f"never performed",
+                )
+            )
+
+    def _injected_membar_check(self) -> None:
+        self.stats.incr(f"{self._stat}.injected_membars")
+        self.check_outstanding()
+        self._watchdog()
+        self.scheduler.after(self._interval, self._injected_membar_check)
+
+    def _watchdog(self) -> None:
+        """Catch operations lost before commit (e.g. a dropped data
+        response leaves a load stuck in execute forever): a core with
+        unfinished work but no progress for several membar-injection
+        intervals has lost an operation."""
+        core = self.core
+        if core is None or core.quiescent:
+            return
+        stalled = self.scheduler.now - core.last_progress_cycle
+        if stalled > 3 * self._interval:
+            self.stats.incr(f"{self._stat}.violations")
+            self.violations(
+                ViolationReport(
+                    "AR",
+                    self.scheduler.now,
+                    self.node,
+                    "lost-operation",
+                    f"core {self.node} made no progress for {stalled} cycles",
+                )
+            )
+
+    # -- internals -----------------------------------------------------------
+    def _violate(self, first: OpType, second: OpType, seq: int) -> None:
+        self.stats.incr(f"{self._stat}.violations")
+        self.violations(
+            ViolationReport(
+                "AR",
+                self.scheduler.now,
+                self.node,
+                "illegal-reordering",
+                f"{first.value} seq {seq} performed after a younger "
+                f"{second.value} it is ordered before",
+            )
+        )
+
+    @property
+    def outstanding_count(self) -> int:
+        return len(self._outstanding)

@@ -1,0 +1,235 @@
+"""Uniprocessor Ordering checker (paper Section 4.1).
+
+Every committed memory operation is replayed in program order in the
+verification stage.  Stores are speculative during replay and write a
+dedicated **Verification Cache (VC)** instead of architectural state;
+replayed loads read the VC first and fall back to the L1 (bypassing the
+write buffer).  A replayed load value differing from the original
+execution signals a Uniprocessor Ordering violation — unless the block
+was invalidated while the load was speculative, in which case the core
+treats it as load-order mis-speculation and squashes (paper 4.1).
+
+A VC entry for word *w* is allocated when a store to *w* commits and
+freed when the store performs; at deallocation the value written to the
+cache must equal the VC value (Appendix A, Proof 1).  Under RMO, load
+values may live in the VC after execution and satisfy replays without
+touching the L1 (the paper's single-thread-verification optimisation),
+which is why RMO shows no replay misses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import ViolationReport, word_of
+from repro.config import SystemConfig
+
+
+class VCEntry:
+    """Per-word VC state: latest committed value + outstanding stores.
+
+    ``load_seq`` marks entries whose value was deposited by an executed
+    load (the RMO optimisation) rather than a committed store; replays
+    only compare against a load-deposited value if it is the replaying
+    load's own (a younger load may legally have observed a different
+    value from a remote writer).
+    """
+
+    __slots__ = ("value", "count", "oldest_commit_cycle", "last_used", "load_seq")
+
+    def __init__(self, value: int, count: int, cycle: int, load_seq=None):
+        self.value = value
+        self.count = count  # committed-but-unperformed stores to this word
+        self.oldest_commit_cycle = cycle
+        self.last_used = cycle
+        self.load_seq = load_seq
+
+
+class UniprocessorOrderingChecker:
+    """Per-core UO checker owning the Verification Cache."""
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        config: SystemConfig,
+        controller,
+        violations: Callable[[ViolationReport], None],
+        rmo_mode: bool,
+    ):
+        self.node = node
+        self.scheduler = scheduler
+        self.stats = stats
+        self.config = config
+        self.controller = controller
+        self.violations = violations
+        #: RMO optimisation: keep executed load values in the VC.
+        self.rmo_mode = rmo_mode
+        self._vc: Dict[int, VCEntry] = {}
+        self._capacity = config.dvmc.verification_cache_entries
+        self._stat = f"uo.{node}"
+        self._scan_interval = config.dvmc.membar_injection_interval
+        scheduler.after(self._scan_interval, self._scan_stale)
+
+    # -- store path --------------------------------------------------------
+    def commit_store(self, seq: int, addr: int, value: int) -> bool:
+        """Replay a committed store into the VC.
+
+        Returns False when the VC is full of live store entries; the
+        verification stage must stall and retry (backpressure).
+        """
+        word = word_of(addr)
+        entry = self._vc.get(word)
+        now = self.scheduler.now
+        if entry is None:
+            if len(self._vc) >= self._capacity and not self._evict_clean():
+                return False
+            entry = VCEntry(value, 0, now)
+            self._vc[word] = entry
+        if entry.count == 0:
+            entry.oldest_commit_cycle = now
+        entry.value = value
+        entry.count += 1
+        entry.last_used = now
+        entry.load_seq = None
+        self.stats.incr(f"{self._stat}.vc_store_allocs")
+        return True
+
+    def store_performed(self, seq: int, addr: int, value_written: int) -> None:
+        """A store reached the cache; free its VC entry and check it."""
+        word = word_of(addr)
+        entry = self._vc.get(word)
+        if entry is None or entry.count == 0:
+            self._violate(
+                "store-no-vc-entry",
+                f"store seq {seq} performed at 0x{addr:x} with no live VC entry",
+            )
+            return
+        entry.count -= 1
+        if entry.count == 0:
+            if entry.value != value_written:
+                self._violate(
+                    "store-value-mismatch",
+                    f"word 0x{word:x}: cache got 0x{value_written:x}, "
+                    f"VC holds 0x{entry.value:x}",
+                )
+            if self.rmo_mode:
+                entry.last_used = self.scheduler.now
+            else:
+                del self._vc[word]
+
+    # -- load path -----------------------------------------------------------
+    def note_load_executed(self, addr: int, value: int, seq: Optional[int] = None) -> None:
+        """Record an executed load's value (RMO VC optimisation).
+
+        The value recorded is the one supplied by the cache/forwarding
+        path *before* any downstream (LSQ) corruption can touch it, so
+        a later replay-compare catches wrong-value faults.
+        """
+        if not self.rmo_mode:
+            return
+        word = word_of(addr)
+        entry = self._vc.get(word)
+        if entry is None:
+            if len(self._vc) >= self._capacity and not self._evict_clean():
+                return  # optimisation only; dropping is safe
+            self._vc[word] = VCEntry(value, 0, self.scheduler.now, load_seq=seq)
+        elif entry.count == 0:
+            entry.value = value
+            entry.last_used = self.scheduler.now
+            entry.load_seq = seq
+
+    def note_atomic(self, addr: int, new_value: int) -> None:
+        """An atomic reached its verification slot: in program order its
+        value supersedes any load-deposited value for the word."""
+        entry = self._vc.get(word_of(addr))
+        if entry is not None and entry.count == 0:
+            entry.value = new_value
+            entry.last_used = self.scheduler.now
+            entry.load_seq = None
+
+    def replay_load(
+        self,
+        addr: int,
+        original_value: Optional[int],
+        done: Callable[[bool, int], None],
+        seq: Optional[int] = None,
+    ) -> None:
+        """Replay a committed load; ``done(mismatch, replay_value)``."""
+        word = word_of(addr)
+        entry = self._vc.get(word)
+        if entry is not None and entry.count == 0 and not self.rmo_mode:
+            # Residual load-value entry from an RMO section; outside RMO
+            # only live store entries may satisfy replays.
+            entry = None
+        if entry is not None:
+            entry.last_used = self.scheduler.now
+            if entry.load_seq is not None and entry.load_seq != seq:
+                # The entry holds a *different* load's observation: the
+                # words may legally differ (a remote store intervened
+                # between the two loads under RMO); the compare would be
+                # vacuous, so skip it.
+                self.stats.incr(f"{self._stat}.replay_stale_entries")
+                done(False, original_value if original_value is not None else 0)
+                return
+            self.stats.incr(f"{self._stat}.replay_vc_hits")
+            done(entry.value != original_value, entry.value)
+            return
+        self.stats.incr(f"{self._stat}.replay_cache_reads")
+        self.controller.replay_load(
+            addr, lambda value: done(value != original_value, value)
+        )
+
+    def flush_clean_entries(self) -> None:
+        """Drop count==0 entries (called on consistency-model switches:
+        load-value entries from one model must not leak into another)."""
+        for word in [w for w, e in self._vc.items() if e.count == 0]:
+            del self._vc[word]
+
+    def report_mismatch(self, addr: int, original, replayed) -> None:
+        self._violate(
+            "load-replay-mismatch",
+            f"load 0x{addr:x}: executed 0x{original:x}, replayed 0x{replayed:x}",
+        )
+
+    # -- housekeeping ----------------------------------------------------------
+    def _evict_clean(self) -> bool:
+        """Drop the LRU count==0 (load-value) entry; False if none."""
+        victim_word, victim = None, None
+        for word, entry in self._vc.items():
+            if entry.count == 0 and (
+                victim is None or entry.last_used < victim.last_used
+            ):
+                victim_word, victim = word, entry
+        if victim_word is None:
+            return False
+        del self._vc[victim_word]
+        return True
+
+    def _scan_stale(self) -> None:
+        """Detect stores that never perform (e.g. lost to a corrupted
+        write-buffer address): a live VC entry far older than any normal
+        store latency means the store was lost."""
+        now = self.scheduler.now
+        for word, entry in self._vc.items():
+            if entry.count > 0 and now - entry.oldest_commit_cycle > self._scan_interval:
+                self._violate(
+                    "store-lost",
+                    f"store to 0x{word:x} committed at cycle "
+                    f"{entry.oldest_commit_cycle} never performed",
+                )
+                entry.oldest_commit_cycle = now  # report once per interval
+        self.scheduler.after(self._scan_interval, self._scan_stale)
+
+    def _violate(self, kind: str, detail: str) -> None:
+        self.stats.incr(f"{self._stat}.violations")
+        self.violations(
+            ViolationReport("UO", self.scheduler.now, self.node, kind, detail)
+        )
+
+    @property
+    def vc_occupancy(self) -> int:
+        return len(self._vc)

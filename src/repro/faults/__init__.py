@@ -1,0 +1,29 @@
+"""Fault injection and error-detection campaigns (paper Section 6.1)."""
+
+from .campaign import (
+    TrialResult,
+    format_summary,
+    run_campaign,
+    run_trial,
+    summarize,
+)
+from .injector import (
+    ALL_FAULT_KINDS,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    InjectionRecord,
+)
+
+__all__ = [
+    "ALL_FAULT_KINDS",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "InjectionRecord",
+    "TrialResult",
+    "format_summary",
+    "run_campaign",
+    "run_trial",
+    "summarize",
+]

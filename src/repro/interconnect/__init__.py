@@ -1,0 +1,16 @@
+"""Interconnection networks: 2D torus and ordered broadcast tree."""
+
+from .base import FaultAction, FaultHook, Network
+from .broadcast import BroadcastTreeNetwork
+from .message import Message
+from .torus import TorusNetwork, grid_shape
+
+__all__ = [
+    "BroadcastTreeNetwork",
+    "FaultAction",
+    "FaultHook",
+    "Message",
+    "Network",
+    "TorusNetwork",
+    "grid_shape",
+]

@@ -1,0 +1,98 @@
+"""Abstract network interface and fault hooks.
+
+Networks deliver :class:`~repro.interconnect.message.Message` objects to
+per-node handlers.  A single fault hook can be installed; the fault
+injector uses it to drop, duplicate, misroute, delay, or corrupt
+messages in flight (paper Section 6.1's injected network errors).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+
+from .message import Message
+
+
+class FaultAction(enum.Enum):
+    """What a network fault hook asks the network to do with a message."""
+
+    DELIVER = "deliver"  # normal delivery (possibly after mutation)
+    DROP = "drop"
+    DUPLICATE = "duplicate"  # deliver twice
+    MISROUTE = "misroute"  # deliver to ``hook``-chosen wrong node
+
+
+#: Hook signature: called once per message on send; may mutate the
+#: message (bit flips) and returns (action, misroute_destination).
+FaultHook = Callable[[Message], "tuple[FaultAction, Optional[int]]"]
+
+
+class Network(ABC):
+    """Base class for interconnect models."""
+
+    def __init__(self, name: str, scheduler: Scheduler, stats: StatsRegistry):
+        self.name = name
+        self.scheduler = scheduler
+        self.stats = stats
+        self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._fault_hook: Optional[FaultHook] = None
+        self.messages_sent = 0
+
+    def register(self, node: int, handler: Callable[[Message], None]) -> None:
+        """Attach the handler receiving messages addressed to ``node``."""
+        if node in self._handlers:
+            raise ConfigError(f"node {node} already registered on {self.name}")
+        self._handlers[node] = handler
+
+    def set_fault_hook(self, hook: Optional[FaultHook]) -> None:
+        """Install (or clear) the fault-injection hook."""
+        self._fault_hook = hook
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._handlers)
+
+    def _apply_fault_hook(self, message: Message) -> "list[Message]":
+        """Run the hook; return the list of messages to actually route."""
+        if self._fault_hook is None:
+            return [message]
+        action, misroute_to = self._fault_hook(message)
+        if action is FaultAction.DROP:
+            self.stats.incr(f"net.{self.name}.faults.dropped")
+            return []
+        if action is FaultAction.DUPLICATE:
+            self.stats.incr(f"net.{self.name}.faults.duplicated")
+            return [message, message.copy_for_duplicate()]
+        if action is FaultAction.MISROUTE:
+            self.stats.incr(f"net.{self.name}.faults.misrouted")
+            if misroute_to is None:
+                raise SimulationError("misroute fault without destination")
+            message.dst = misroute_to
+            return [message]
+        return [message]
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            raise SimulationError(
+                f"{self.name}: no handler for node {message.dst}"
+            )
+        handler(message)
+
+    @abstractmethod
+    def send(self, message: Message) -> None:
+        """Route ``message`` to its destination with modelled timing."""
+
+    def total_bytes(self) -> int:
+        """Total bytes carried (sum over links)."""
+        return self.stats.sum(f"net.{self.name}.link.")
+
+    def max_link_bytes(self) -> int:
+        """Bytes carried by the busiest link (paper Figure 7)."""
+        return self.stats.max_over(f"net.{self.name}.link.")[1]

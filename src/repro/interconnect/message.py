@@ -1,0 +1,60 @@
+"""Network messages.
+
+The interconnect treats message kinds opaquely; coherence protocols and
+the DVMC coherence checker define their own kind enums.  Sizes follow
+the paper's accounting: data messages carry a 64 B block plus header,
+control messages are small, and Inform-Epoch messages carry an address,
+epoch type, two 16-bit timestamps and two 16-bit hashes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+_uid_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """A unicast message between two nodes.
+
+    Attributes:
+        src: sending node id.
+        dst: destination node id.
+        kind: protocol-defined message kind (any hashable; usually an enum).
+        addr: block address the message concerns (or 0 for barriers).
+        data: optional data-block payload (list of words); mutable so the
+            fault injector can flip bits in flight.
+        meta: protocol-defined extras (ack counts, epoch info, requestor).
+        size_bytes: wire size used for bandwidth accounting.
+        uid: unique id for tracing and duplicate detection in tests.
+    """
+
+    src: int
+    dst: int
+    kind: Any
+    addr: int = 0
+    data: Optional[List[int]] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+    size_bytes: int = 8
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def copy_for_duplicate(self) -> "Message":
+        """Clone with a fresh uid (used by the duplication fault)."""
+        return Message(
+            src=self.src,
+            dst=self.dst,
+            kind=self.kind,
+            addr=self.addr,
+            data=None if self.data is None else list(self.data),
+            meta=dict(self.meta),
+            size_bytes=self.size_bytes,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Message(#{self.uid} {self.kind} {self.src}->{self.dst} "
+            f"addr=0x{self.addr:x})"
+        )

@@ -1,0 +1,149 @@
+"""2D torus with XY (dimension-order) routing.
+
+The paper's data network (both protocols) and the directory system's
+only network: a 2D torus of 2.5 GB/s links (Table 6).  Messages are
+routed hop by hop; each directed link serialises one message at a time
+at the configured bytes/cycle, and per-link byte counters feed the
+Figure 7 bandwidth analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.common.errors import ConfigError
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.config import NetworkConfig
+
+from .base import Network
+from .message import Message
+
+
+def grid_shape(num_nodes: int) -> Tuple[int, int]:
+    """(rows, cols) of the most-square grid holding ``num_nodes``.
+
+    The paper's 8-node systems form a 2x4 torus.
+    """
+    rows = int(math.isqrt(num_nodes))
+    while rows > 1 and num_nodes % rows != 0:
+        rows -= 1
+    return rows, num_nodes // rows
+
+
+class _Link:
+    """One directed link: serialisation + occupancy tracking."""
+
+    __slots__ = ("free_at", "key")
+
+    def __init__(self, key: str):
+        self.free_at = 0
+        self.key = key
+
+
+class TorusNetwork(Network):
+    """2D torus, XY routing, wraparound in both dimensions.
+
+    Delivery order between different source-destination pairs is not
+    globally ordered (the paper's torus is "unordered"); per-link
+    transmission is FIFO.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        num_nodes: int,
+        config: NetworkConfig,
+    ):
+        super().__init__(name, scheduler, stats)
+        if num_nodes < 1:
+            raise ConfigError("torus needs at least one node")
+        self.config = config
+        self.rows, self.cols = grid_shape(num_nodes)
+        self._num_nodes = num_nodes
+        self._links: Dict[Tuple[int, int], _Link] = {}
+
+    # Topology helpers ---------------------------------------------------
+    def _coords(self, node: int) -> Tuple[int, int]:
+        return divmod(node, self.cols)
+
+    def _node_at(self, row: int, col: int) -> int:
+        return (row % self.rows) * self.cols + (col % self.cols)
+
+    def _step_toward(self, cur: int, dst: int) -> int:
+        """Next hop under XY routing with shortest wraparound."""
+        crow, ccol = self._coords(cur)
+        drow, dcol = self._coords(dst)
+        if ccol != dcol:
+            fwd = (dcol - ccol) % self.cols
+            back = (ccol - dcol) % self.cols
+            step = 1 if fwd <= back else -1
+            return self._node_at(crow, ccol + step)
+        fwd = (drow - crow) % self.rows
+        back = (crow - drow) % self.rows
+        step = 1 if fwd <= back else -1
+        return self._node_at(crow + step, ccol)
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Full node path from ``src`` to ``dst`` (inclusive)."""
+        path = [src]
+        cur = src
+        guard = self.rows + self.cols + 2
+        while cur != dst:
+            cur = self._step_toward(cur, dst)
+            path.append(cur)
+            if len(path) > guard:  # pragma: no cover - defensive
+                raise ConfigError("routing loop in torus")
+        return path
+
+    def _link(self, a: int, b: int) -> _Link:
+        link = self._links.get((a, b))
+        if link is None:
+            link = _Link(f"net.{self.name}.link.{a}-{b}")
+            self._links[(a, b)] = link
+        return link
+
+    # Sending ------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Inject ``message``; it traverses links hop by hop."""
+        self.messages_sent += 1
+        for msg in self._apply_fault_hook(message):
+            if msg.dst == msg.src:
+                # Local delivery (e.g. home node is the requestor):
+                # bypasses the network after the switch latency.
+                self.scheduler.after(
+                    self.config.switch_latency, self._deliver, msg
+                )
+                continue
+            self._hop(msg, msg.src)
+
+    def _hop(self, msg: Message, at_node: int) -> None:
+        nxt = self._step_toward(at_node, msg.dst)
+        link = self._link(at_node, nxt)
+        ser = self.config.serialization_cycles(msg.size_bytes)
+        start = max(self.scheduler.now, link.free_at)
+        link.free_at = start + ser
+        self.stats.incr(link.key, msg.size_bytes)
+        arrival_delay = (
+            (start - self.scheduler.now)
+            + ser
+            + self.config.link_latency
+            + self.config.switch_latency
+        )
+        if nxt == msg.dst:
+            self.scheduler.after(arrival_delay, self._deliver, msg)
+        else:
+            self.scheduler.after(arrival_delay, self._hop, msg, nxt)
+
+    # Introspection ------------------------------------------------------
+    def link_utilization(self, elapsed_cycles: int) -> Dict[str, float]:
+        """Per-link bytes/cycle over ``elapsed_cycles`` (Figure 7/8)."""
+        if elapsed_cycles <= 0:
+            return {}
+        out = {}
+        for (a, b), link in self._links.items():
+            out[f"{a}-{b}"] = self.stats.counter(link.key) / elapsed_cycles
+        return out

@@ -1,0 +1,6 @@
+"""Storage substrate: main memory and cache arrays."""
+
+from .cache import CacheArray, CacheLine
+from .memory import MainMemory
+
+__all__ = ["CacheArray", "CacheLine", "MainMemory"]

@@ -1,0 +1,174 @@
+"""Set-associative cache array with LRU replacement and port modelling.
+
+This is the storage half of a cache; coherence behaviour lives in
+:mod:`repro.coherence.cache_controller`.  Port accounting matters for
+DVMC: load replay in the verification stage shares L1 ports with
+regular execution (paper Section 6.2.2), so the array hands out access
+slots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.common.types import (
+    WORD_MASK,
+    WORDS_PER_BLOCK,
+    CoherenceState,
+    block_of,
+    word_index,
+)
+from repro.config import CacheConfig
+
+
+class CacheLine:
+    """One cache line: coherence state + data + LRU bookkeeping."""
+
+    __slots__ = ("addr", "state", "data", "last_used")
+
+    def __init__(self, addr: int, state: CoherenceState, data: List[int]):
+        self.addr = addr
+        self.state = state
+        self.data = list(data)
+        self.last_used = 0
+
+    def read_word(self, addr: int) -> int:
+        return self.data[word_index(addr)]
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.data[word_index(addr)] = value & WORD_MASK
+
+    def is_dirty(self) -> bool:
+        return self.state in (CoherenceState.M, CoherenceState.O)
+
+
+class CacheArray:
+    """Set-associative array of :class:`CacheLine`.
+
+    The array never makes coherence decisions; it stores lines, picks
+    LRU victims, and models port contention.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: CacheConfig,
+        block_size: int,
+        stats: StatsRegistry,
+    ):
+        self.name = name
+        self.config = config
+        self.block_size = block_size
+        self.num_sets = config.num_sets(block_size)
+        self._sets: List[Dict[int, CacheLine]] = [
+            {} for _ in range(self.num_sets)
+        ]
+        self._stats = stats
+        self._use_clock = 0
+        # Port model: (cycle, accesses already granted in that cycle).
+        self._port_cycle = -1
+        self._port_used = 0
+
+    def _set_index(self, addr: int) -> int:
+        return (block_of(addr) // self.block_size) % self.num_sets
+
+    # Lookup / insert ------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[CacheLine]:
+        """Line holding ``addr`` in any valid state, updating LRU."""
+        line = self._sets[self._set_index(addr)].get(block_of(addr))
+        if line is not None and line.state is not CoherenceState.I:
+            self._use_clock += 1
+            line.last_used = self._use_clock
+            return line
+        return None
+
+    def peek(self, addr: int) -> Optional[CacheLine]:
+        """Like :meth:`lookup` but without touching LRU state."""
+        line = self._sets[self._set_index(addr)].get(block_of(addr))
+        if line is not None and line.state is not CoherenceState.I:
+            return line
+        return None
+
+    def victim_for(self, addr: int, pinned=None) -> Optional[CacheLine]:
+        """LRU line that must be evicted to make room for ``addr``.
+
+        Returns None when the set has a free way (or already holds the
+        block).  ``pinned`` is an optional predicate over block
+        addresses; pinned lines (e.g. blocks with an outstanding
+        coherence transaction) are never chosen.
+        """
+        index = self._set_index(addr)
+        cache_set = self._sets[index]
+        base = block_of(addr)
+        if base in cache_set:
+            return None
+        live = [
+            line
+            for line in cache_set.values()
+            if line.state is not CoherenceState.I
+        ]
+        if len(live) < self.config.associativity:
+            return None
+        if pinned is not None:
+            live = [line for line in live if not pinned(line.addr)]
+            if not live:
+                raise SimulationError(
+                    f"{self.name}: set {index} full of pinned lines"
+                )
+        return min(live, key=lambda line: line.last_used)
+
+    def install(self, addr: int, state: CoherenceState, data: List[int]) -> CacheLine:
+        """Place a block; caller must have evicted the victim already."""
+        if len(data) != WORDS_PER_BLOCK:
+            raise SimulationError("bad block size on install")
+        index = self._set_index(addr)
+        cache_set = self._sets[index]
+        base = block_of(addr)
+        # Drop stale invalid entries beyond associativity.
+        invalid = [a for a, l in cache_set.items() if l.state is CoherenceState.I]
+        for a in invalid:
+            del cache_set[a]
+        live = [l for l in cache_set.values() if l.state is not CoherenceState.I]
+        if base not in cache_set and len(live) >= self.config.associativity:
+            raise SimulationError(
+                f"{self.name}: set {index} full installing 0x{base:x}"
+            )
+        line = CacheLine(base, state, data)
+        self._use_clock += 1
+        line.last_used = self._use_clock
+        cache_set[base] = line
+        return line
+
+    def remove(self, addr: int) -> Optional[CacheLine]:
+        """Remove and return the line for ``addr``, if present."""
+        return self._sets[self._set_index(addr)].pop(block_of(addr), None)
+
+    def lines(self) -> List[CacheLine]:
+        """All valid lines (for checkpointing and fault targeting)."""
+        out = []
+        for cache_set in self._sets:
+            out.extend(
+                l for l in cache_set.values() if l.state is not CoherenceState.I
+            )
+        return out
+
+    # Port model -----------------------------------------------------------
+    def next_access_delay(self, now: int) -> int:
+        """Extra cycles until a port is free, and reserve that slot.
+
+        With ``ports`` accesses per cycle, the (ports+1)-th access in a
+        cycle is pushed to the next cycle, and so on.
+        """
+        if now > self._port_cycle:
+            self._port_cycle = now
+            self._port_used = 1
+            return 0
+        # now == self._port_cycle (time never goes backwards)
+        if self._port_used < self.config.ports:
+            self._port_used += 1
+            return 0
+        extra = self._port_used // self.config.ports
+        self._port_used += 1
+        return extra

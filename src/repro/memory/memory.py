@@ -1,0 +1,86 @@
+"""Word-granularity main memory with an ECC model.
+
+The paper requires ECC on all main-memory DRAMs (and cache lines) so
+that data blocks cannot change except through stores/writebacks;
+Appendix A calls this *Cache Correctness*.  The fault injector can
+corrupt data either within ECC's correction capability (corrected,
+counted) or beyond it (the corruption lands; DVMC must catch the
+consequences end-to-end).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.common.types import (
+    BLOCK_SIZE,
+    WORD_MASK,
+    WORDS_PER_BLOCK,
+    block_of,
+    word_index,
+)
+
+
+class MainMemory:
+    """Sparse block-addressed memory image.
+
+    Each node's memory controller owns the blocks for which it is home;
+    they can share one :class:`MainMemory` (interleaving is a routing
+    concern) or hold separate instances.
+    """
+
+    def __init__(self, stats: StatsRegistry, ecc_enabled: bool = True, name: str = "mem"):
+        self._blocks: Dict[int, List[int]] = {}
+        self._stats = stats
+        self._name = name
+        self.ecc_enabled = ecc_enabled
+
+    def read_block(self, addr: int) -> List[int]:
+        """Copy of the block containing ``addr`` (zero-filled if untouched)."""
+        block = self._blocks.get(block_of(addr))
+        if block is None:
+            return [0] * WORDS_PER_BLOCK
+        return list(block)
+
+    def write_block(self, addr: int, data: List[int]) -> None:
+        """Overwrite the block containing ``addr``."""
+        if len(data) != WORDS_PER_BLOCK:
+            raise SimulationError(
+                f"block write needs {WORDS_PER_BLOCK} words, got {len(data)}"
+            )
+        self._blocks[block_of(addr)] = [w & WORD_MASK for w in data]
+
+    def read_word(self, addr: int) -> int:
+        block = self._blocks.get(block_of(addr))
+        if block is None:
+            return 0
+        return block[word_index(addr)]
+
+    def write_word(self, addr: int, value: int) -> None:
+        base = block_of(addr)
+        block = self._blocks.setdefault(base, [0] * WORDS_PER_BLOCK)
+        block[word_index(addr)] = value & WORD_MASK
+
+    # Fault injection ----------------------------------------------------
+    def corrupt_word(self, addr: int, bitmask: int, defeat_ecc: bool = False) -> bool:
+        """Flip ``bitmask`` bits in the word at ``addr``.
+
+        Returns True if the corruption actually landed.  With ECC
+        enabled, single-word flips are corrected at the array (counted
+        as ``mem.ecc_corrected``) unless ``defeat_ecc`` forces a
+        multi-bit escape.
+        """
+        if self.ecc_enabled and not defeat_ecc:
+            self._stats.incr(f"{self._name}.ecc_corrected")
+            return False
+        base = block_of(addr)
+        block = self._blocks.setdefault(base, [0] * WORDS_PER_BLOCK)
+        block[word_index(addr)] ^= bitmask & WORD_MASK
+        self._stats.incr(f"{self._name}.corruptions")
+        return True
+
+    def touched_blocks(self) -> List[int]:
+        """Addresses of blocks ever written (for checkpoint snapshots)."""
+        return list(self._blocks.keys())

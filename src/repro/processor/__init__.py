@@ -1,0 +1,32 @@
+"""Processor model: pipeline core, write buffers, operations."""
+
+from .core import Core, OpRec, SQUASH_PENALTY
+from .operations import (
+    Atomic,
+    Batch,
+    Compute,
+    Load,
+    Membar,
+    MemoryOp,
+    Stbar,
+    Store,
+    Yieldable,
+)
+from .write_buffer import WBEntry, WriteBuffer
+
+__all__ = [
+    "Atomic",
+    "Batch",
+    "Compute",
+    "Core",
+    "Load",
+    "Membar",
+    "MemoryOp",
+    "OpRec",
+    "SQUASH_PENALTY",
+    "Stbar",
+    "Store",
+    "WBEntry",
+    "WriteBuffer",
+    "Yieldable",
+]

@@ -1,0 +1,679 @@
+"""Simplified out-of-order core with a DVMC verification stage.
+
+The core executes a workload *program* (a Python generator yielding
+:mod:`~repro.processor.operations`), modelling the pipeline stages that
+matter to memory consistency (paper Figure 2):
+
+``decode`` (sequence numbers, ROB allocation) ->
+``execute`` (loads bind values, speculatively under SC/TSO/PSO;
+non-speculatively under RMO) ->
+``commit`` (in order; stores enter the write buffer) ->
+``verify`` (DVMC only: in-order replay against the Verification Cache
+and L1) -> ``retire``.
+
+Perform points follow the paper (Section 4.1): stores perform when they
+write the cache (write-buffer drain, or post-verification for SC, which
+has no write buffer); loads perform at the verification stage in
+load-ordered models (SC/TSO/PSO) and at execute under RMO.  Ordering
+enforcement is driven *generically* from the active ordering table, so
+the same machinery implements all four models; the Allowable Reordering
+checker then independently verifies the result.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import MembarMask, OpType, block_of
+from repro.config import SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.consistency.ordering_table import OrderingTable
+from repro.consistency.tables import table_for
+
+from .operations import Atomic, Batch, Compute, Load, Membar, SetModel, Stbar, Store
+from .write_buffer import WBEntry, WriteBuffer
+
+#: Extra stall cycles charged for a load-order mis-speculation squash.
+SQUASH_PENALTY = 12
+
+
+class OpRec:
+    """Pipeline bookkeeping for one in-flight operation."""
+
+    __slots__ = (
+        "seq",
+        "op_type",
+        "addr",
+        "value",
+        "mask",
+        "executed",
+        "bound_value",
+        "committed",
+        "in_verify",
+        "verified",
+        "performed",
+        "squashed",
+        "release",
+    )
+
+    def __init__(self, seq: int, op) -> None:
+        self.seq = seq
+        self.op_type: OpType = op.op_type
+        self.addr = getattr(op, "addr", 0)
+        self.value = getattr(op, "value", None)
+        self.mask: MembarMask = getattr(op, "mask", MembarMask.ALL)
+        self.executed = False
+        self.bound_value: Optional[int] = None
+        self.committed = False
+        self.in_verify = False
+        self.verified = False
+        self.performed = False
+        self.squashed = False
+        self.release: Optional[Callable[[Optional[int]], None]] = None
+
+
+class Core:
+    """One processor (thread context) driving a workload program."""
+
+    def __init__(
+        self,
+        node: int,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        config: SystemConfig,
+        controller,
+        program,
+        uo_checker=None,
+        ar_checker=None,
+        model: Optional[ConsistencyModel] = None,
+    ):
+        self.node = node
+        self.scheduler = scheduler
+        self.stats = stats
+        self.config = config
+        self.controller = controller
+        self.program = program
+        self.uo = uo_checker
+        self.ar = ar_checker
+        self.model = model or config.model
+        self.table: OrderingTable = table_for(self.model)
+
+        self._inflight: Deque[OpRec] = deque()
+        self._verify_q: Deque[OpRec] = deque()
+        self._next_seq = 0
+        self._spec_loads: Dict[int, List[OpRec]] = {}
+        self._sc_store_outstanding = False
+        self.finished = False
+        self._started = False
+        self._pump_scheduled = False
+        self._stall_until = 0
+        self._stat = f"core.{node}"
+        self.last_progress_cycle = 0
+
+        uses_wb = self.model is not ConsistencyModel.SC
+        self.wb: Optional[WriteBuffer] = (
+            WriteBuffer(
+                node,
+                config.processor.write_buffer_size,
+                in_order=not self.model.allows_store_store_reordering,
+                stats=stats,
+                issue=self._issue_store,
+                on_perform=self._store_performed,
+                require_verified=self.uo is not None,
+            )
+            if uses_wb
+            else None
+        )
+        # Verify-stage slot accounting (verification_width per cycle).
+        self._verify_cycle = -1
+        self._verify_used = 0
+        self._verify_retry_scheduled = False
+        #: Fault injection: XOR applied to the next load's bound value
+        #: (models LSQ mis-forwarding / load reordering errors).
+        self.fault_load_value_xor: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Program driving
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.scheduler.after(0, self._advance, None)
+
+    def _advance(self, result) -> None:
+        """Feed the previous result to the program; decode what it yields."""
+        try:
+            yielded = self.program.send(result)
+        except StopIteration:
+            self.finished = True
+            self._kick()
+            return
+        self.last_progress_cycle = self.scheduler.now
+        if isinstance(yielded, Compute):
+            self.stats.incr(f"{self._stat}.compute_cycles", yielded.cycles)
+            self.scheduler.after(max(1, yielded.cycles), self._advance, None)
+            return
+        if isinstance(yielded, SetModel):
+            self._switch_model(yielded.model)
+            return
+        ops = yielded.ops if isinstance(yielded, Batch) else [yielded]
+        if not ops:
+            self.scheduler.after(1, self._advance, None)
+            return
+        self._decode_group(ops, is_batch=isinstance(yielded, Batch))
+
+    def _switch_model(self, model: ConsistencyModel) -> None:
+        """Drain the pipeline, then adopt ``model``'s ordering rules.
+
+        SPARC v9 serialises on a PSTATE.MM write; we model that as
+        waiting until every in-flight operation performed and the write
+        buffer drained, then swapping the ordering table (the AR checker
+        reads it through the core, so it follows automatically) and the
+        write-buffer drain policy.
+        """
+        drained = (
+            not self._inflight
+            and not self._verify_q
+            and (self.wb is None or self.wb.empty)
+            and not self._sc_store_outstanding
+        )
+        if not drained:
+            self._kick()
+            self.scheduler.after(4, self._switch_model, model)
+            return
+        self.model = model
+        self.table = table_for(model)
+        if model is ConsistencyModel.SC:
+            self.wb = None
+        else:
+            if self.wb is None:
+                self.wb = WriteBuffer(
+                    self.node,
+                    self.config.processor.write_buffer_size,
+                    in_order=not model.allows_store_store_reordering,
+                    stats=self.stats,
+                    issue=self._issue_store,
+                    on_perform=self._store_performed,
+                    require_verified=self.uo is not None,
+                )
+            else:
+                self.wb.in_order = not model.allows_store_store_reordering
+                self.wb.max_outstanding = 1 if self.wb.in_order else 4
+        if self.uo is not None:
+            self.uo.rmo_mode = not model.requires_load_order
+            self.uo.flush_clean_entries()
+        self.stats.incr(f"{self._stat}.model_switches")
+        self.scheduler.after(2, self._advance, None)
+
+    def _decode_group(self, ops: List, is_batch: bool) -> None:
+        if len(self._inflight) + len(ops) > self.config.processor.rob_size:
+            # ROB full: retry when retirement frees entries.
+            self.scheduler.after(2, self._decode_group, ops, is_batch)
+            return
+        recs = []
+        for op in ops:
+            rec = OpRec(self._next_seq, op)
+            self._next_seq += 1
+            self._inflight.append(rec)
+            recs.append(rec)
+            self.stats.incr(f"{self._stat}.ops.{rec.op_type.value}")
+
+        results: List[Optional[int]] = [None] * len(recs)
+        remaining = {"n": len(recs)}
+
+        def release_one(index: int, value: Optional[int]) -> None:
+            results[index] = value
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                out = results if is_batch else results[0]
+                self.scheduler.after(1, self._advance, out)
+
+        for index, rec in enumerate(recs):
+            rec.release = lambda v, i=index: release_one(i, v)
+        decode_delay = 1 + len(ops) // max(1, self.config.processor.fetch_width)
+        for rec in recs:
+            self.scheduler.after(decode_delay, self._execute, rec)
+
+    # ------------------------------------------------------------------
+    # Execute stage
+    # ------------------------------------------------------------------
+    def _execute(self, rec: OpRec) -> None:
+        kind = rec.op_type
+        if kind is OpType.LOAD:
+            self._execute_load(rec)
+        elif kind is OpType.STORE:
+            rec.executed = True
+            if self.model is ConsistencyModel.SC:
+                # SC baseline optimisation: exclusive prefetch so the
+                # commit-time store usually hits in M (paper Section 4).
+                self.controller.prefetch_m(rec.addr)
+            self._release(rec, None)
+            self._kick()
+        elif kind is OpType.ATOMIC:
+            self._execute_atomic(rec)
+        else:  # MEMBAR / STBAR
+            rec.executed = True
+            self._release(rec, None)
+            self._kick()
+
+    def _lsq_forward(self, rec: OpRec) -> Optional[int]:
+        """Forward from an older in-flight (not yet buffered) store."""
+        from repro.common.types import word_of
+
+        word = word_of(rec.addr)
+        value = None
+        for other in self._inflight:
+            if other.seq >= rec.seq:
+                break
+            if (
+                not other.performed  # performed stores live in the cache
+                and other.op_type in (OpType.STORE, OpType.ATOMIC)
+                and word_of(other.addr) == word
+            ):
+                value = other.value
+        return value
+
+    def _execute_load(self, rec: OpRec) -> None:
+        forwarded = self._lsq_forward(rec)
+        if forwarded is None and self.wb is not None:
+            forwarded = self.wb.forward(rec.addr)
+        if forwarded is not None:
+            rec.executed = True
+            rec.bound_value = forwarded
+            if self.uo is not None:
+                self.uo.note_load_executed(rec.addr, forwarded, rec.seq)
+            if self.model.requires_load_order:
+                # The forwarded value is still speculative until the
+                # load verifies; remote writes in between mean squash.
+                self._spec_loads.setdefault(block_of(rec.addr), []).append(rec)
+            else:
+                self._mark_performed(rec)
+            self._release(rec, forwarded)
+            self._kick()
+            return
+        if self.model.requires_load_order:
+            # Speculative issue; squash tracking via invalidations.
+            self._spec_loads.setdefault(block_of(rec.addr), []).append(rec)
+            self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
+        else:
+            # RMO: loads perform at execute, non-speculatively.
+            if self._can_perform(rec):
+                self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
+            else:
+                self.scheduler.after(2, self._execute_load, rec)
+
+    def _load_bound(self, rec: OpRec, value: int) -> None:
+        if self.uo is not None:
+            # Recorded from the cache response, before the (faultable)
+            # LSQ path delivers the value to the register file.
+            self.uo.note_load_executed(rec.addr, value, rec.seq)
+        if self.fault_load_value_xor is not None:
+            value ^= self.fault_load_value_xor
+            self.fault_load_value_xor = None
+            self.stats.incr(f"{self._stat}.injected_load_faults")
+        rec.executed = True
+        rec.bound_value = value
+        if not self.model.requires_load_order:
+            self._mark_performed(rec)
+        self._release(rec, value)
+        self._kick()
+
+    def _execute_atomic(self, rec: OpRec) -> None:
+        # Atomics satisfy both load and store ordering constraints and
+        # access the cache directly (never buffered).
+        if not self._can_perform(rec) or (self.wb is not None and not self.wb.empty):
+            self.scheduler.after(2, self._execute_atomic, rec)
+            return
+        self.controller.atomic(
+            rec.addr, rec.value, lambda old: self._atomic_done(rec, old)
+        )
+
+    def _atomic_done(self, rec: OpRec, old_value: int) -> None:
+        rec.executed = True
+        rec.bound_value = old_value
+        self._mark_performed(rec)
+        self._release(rec, old_value)
+        self._kick()
+
+    @staticmethod
+    def _release(rec: OpRec, value: Optional[int]) -> None:
+        if rec.release is not None:
+            rec.release(value)
+            rec.release = None
+
+    # ------------------------------------------------------------------
+    # Commit stage (in order)
+    # ------------------------------------------------------------------
+    def _try_commit(self) -> None:
+        for rec in self._inflight:
+            if rec.committed:
+                continue
+            if not rec.executed:
+                return
+            if not self._commit_one(rec):
+                return
+
+    def _commit_one(self, rec: OpRec) -> bool:
+        kind = rec.op_type
+        if kind is OpType.STORE:
+            if self.wb is None:
+                rec.committed = True  # SC: performs after verification
+                if self.uo is None:
+                    self._sc_issue_store(rec)
+            else:
+                if self.wb.full:
+                    self.stats.incr(f"{self._stat}.wb_full_stalls")
+                    return False
+                entry = self.wb.insert(rec.seq, rec.addr, rec.value)
+                if self.uo is None:
+                    entry.verified = True
+                rec.committed = True
+        else:
+            rec.committed = True
+            if kind in (OpType.STBAR, OpType.MEMBAR) and self.wb is not None:
+                if kind is OpType.STBAR or rec.mask & MembarMask.STORESTORE:
+                    self.wb.fence()
+        if self.ar is not None and not rec.performed:
+            # Ops that performed before commit (atomics, RMO loads,
+            # forwarded loads) are already globally visible.
+            self.ar.committed(rec.op_type, rec.seq, self.scheduler.now)
+        if self.uo is not None:
+            rec.in_verify = True
+            self._verify_q.append(rec)
+        else:
+            self._post_commit_perform(rec)
+        return True
+
+    def _post_commit_perform(self, rec: OpRec) -> None:
+        """Baseline (no verify stage): commit is the perform point for
+        loads and barriers in load-ordered models."""
+        rec.verified = True
+        kind = rec.op_type
+        if kind is OpType.LOAD and self.model.requires_load_order:
+            self._resolve_speculation(rec)
+            self._mark_performed(rec)
+        elif kind in (OpType.MEMBAR, OpType.STBAR):
+            self._perform_barrier_when_ready(rec)
+
+    def _sc_issue_store(self, rec: OpRec) -> None:
+        if self._sc_store_outstanding or not self._can_perform(rec):
+            self.scheduler.after(2, self._sc_issue_store, rec)
+            return
+        self._sc_store_outstanding = True
+
+        def done(old_value: int) -> None:
+            self._sc_store_outstanding = False
+            if self.uo is not None:
+                self.uo.store_performed(rec.seq, rec.addr, rec.value)
+            self._mark_performed(rec)
+
+        self.controller.store(rec.addr, rec.value, done)
+
+    # ------------------------------------------------------------------
+    # Verification stage (DVMC Uniprocessor Ordering, paper 4.1)
+    # ------------------------------------------------------------------
+    def _verify_slot_delay(self) -> int:
+        now = self.scheduler.now
+        if now > self._verify_cycle:
+            self._verify_cycle = now
+            self._verify_used = 1
+            return 0
+        if self._verify_used < self.config.dvmc.verification_width:
+            self._verify_used += 1
+            return 0
+        extra = self._verify_used // self.config.dvmc.verification_width
+        self._verify_used += 1
+        return extra
+
+    def _pump_verify(self) -> None:
+        while self._verify_q:
+            rec = self._verify_q[0]
+            if not self._verify_one(rec):
+                return
+
+    def _verify_one(self, rec: OpRec) -> bool:
+        kind = rec.op_type
+        if kind is OpType.LOAD and self.model.requires_load_order:
+            # The load performs here; its ordering constraints must hold.
+            if not self._can_perform(rec):
+                self._schedule_verify_retry(2)
+                return False
+        if kind is OpType.STORE:
+            if not self.uo.commit_store(rec.seq, rec.addr, rec.value):
+                self.stats.incr(f"{self._stat}.vc_full_stalls")
+                self._schedule_verify_retry(4)
+                return False
+            self._verify_q.popleft()
+            rec.verified = True
+            if self.wb is None:
+                self._sc_issue_store(rec)
+            else:
+                self.wb.mark_verified(rec.seq)
+            self._kick()
+            return True
+        self._verify_q.popleft()
+        delay = (
+            self._verify_slot_delay() + self.config.dvmc.verification_stage_latency
+        )
+        if kind is OpType.LOAD:
+            self.scheduler.after(delay, self._replay_load, rec)
+        else:
+            # MEMBAR / STBAR / ATOMIC: no replay action.
+            self.scheduler.after(delay, self._verify_trivial, rec)
+        return True
+
+    def _schedule_verify_retry(self, delay: int) -> None:
+        if self._verify_retry_scheduled:
+            return
+        self._verify_retry_scheduled = True
+
+        def fire() -> None:
+            self._verify_retry_scheduled = False
+            self._pump_verify()
+
+        self.scheduler.after(delay, fire)
+
+    def _verify_trivial(self, rec: OpRec) -> None:
+        rec.verified = True
+        if rec.op_type is OpType.ATOMIC:
+            # The atomic takes its program-order slot in the VC here,
+            # not at execute (replays of older loads come first).
+            self.uo.note_atomic(rec.addr, rec.value)
+        elif rec.op_type in (OpType.MEMBAR, OpType.STBAR):
+            self._perform_barrier_when_ready(rec)
+        self._kick()
+
+    def _replay_load(self, rec: OpRec) -> None:
+        def done(mismatch: bool, replay_value: int) -> None:
+            if mismatch:
+                if rec.squashed:
+                    # Tracked write to a speculatively loaded address:
+                    # legitimate mis-speculation, not an error (paper 4.1).
+                    rec.bound_value = replay_value
+                    self.stats.incr(f"{self._stat}.load_squashes")
+                    self._stall_until = self.scheduler.now + SQUASH_PENALTY
+                else:
+                    self.uo.report_mismatch(rec.addr, rec.bound_value, replay_value)
+            rec.verified = True
+            if self.model.requires_load_order:
+                self._resolve_speculation(rec)
+                self._mark_performed(rec)
+            self._kick()
+
+        self.uo.replay_load(rec.addr, rec.bound_value, done, seq=rec.seq)
+
+    # ------------------------------------------------------------------
+    # Perform bookkeeping
+    # ------------------------------------------------------------------
+    def _perform_barrier_when_ready(self, rec: OpRec) -> None:
+        if rec.performed:
+            return
+        if self._can_perform(rec):
+            self._mark_performed(rec)
+        else:
+            self.scheduler.after(2, self._perform_barrier_when_ready, rec)
+
+    def _mark_performed(self, rec: OpRec) -> None:
+        if rec.performed:
+            return
+        rec.performed = True
+        if self.ar is not None:
+            self.ar.performed(rec.op_type, rec.seq, rec.mask)
+        self._kick()
+
+    def _resolve_speculation(self, rec: OpRec) -> None:
+        block = block_of(rec.addr)
+        recs = self._spec_loads.get(block)
+        if recs is not None:
+            try:
+                recs.remove(rec)
+            except ValueError:
+                pass
+            if not recs:
+                del self._spec_loads[block]
+
+    def on_invalidation(self, block: int) -> None:
+        """A write (or eviction) hit a speculatively loaded block."""
+        for rec in self._spec_loads.get(block, ()):  # unverified loads
+            if not rec.performed:
+                rec.squashed = True
+
+    # ------------------------------------------------------------------
+    # Write-buffer interaction
+    # ------------------------------------------------------------------
+    def _issue_store(self, entry: WBEntry, on_done: Callable[[int], None]) -> None:
+        self.controller.store(entry.addr, entry.value, on_done)
+
+    def _store_performed(self, entry: WBEntry, old_value: int) -> None:
+        if self.uo is not None:
+            self.uo.store_performed(entry.seq, entry.addr, entry.value)
+        rec = self._find_rec(entry.seq)
+        if rec is not None:
+            self._mark_performed(rec)
+        elif self.ar is not None:
+            # Already retired from the ROB; notify the checker directly.
+            self.ar.performed(OpType.STORE, entry.seq, MembarMask.ALL)
+        self._kick()
+
+    def _find_rec(self, seq: int) -> Optional[OpRec]:
+        for rec in self._inflight:
+            if rec.seq == seq:
+                return rec
+        return None
+
+    def _may_drain(self, entry: WBEntry) -> bool:
+        """Ordering-table veto for write-buffer drains."""
+        for rec in self._inflight:
+            if rec.seq >= entry.seq or rec.performed:
+                continue
+            if rec.op_type is OpType.LOAD:
+                if self.table.ordered(OpType.LOAD, OpType.STORE):
+                    return False
+            elif rec.op_type is OpType.MEMBAR:
+                if self.table.ordered(
+                    OpType.MEMBAR, OpType.STORE, first_mask=rec.mask
+                ):
+                    return False
+            elif rec.op_type is OpType.STBAR:
+                if self.table.ordered(OpType.STBAR, OpType.STORE):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Generic ordering-table gate
+    # ------------------------------------------------------------------
+    def _has_unperformed_older(self, op_type: OpType, before_seq: int) -> bool:
+        if op_type is OpType.STORE:
+            if self.wb is not None and self.wb.has_store_older_than(before_seq):
+                return True
+            if self._sc_store_outstanding:
+                return True
+        for rec in self._inflight:
+            if rec.seq >= before_seq:
+                break
+            if not rec.performed and (
+                rec.op_type is op_type
+                or (rec.op_type is OpType.ATOMIC and op_type in rec.op_type.access_types())
+            ):
+                return True
+        return False
+
+    def _can_perform(self, rec: OpRec) -> bool:
+        """May ``rec`` perform now without violating the ordering table?"""
+        targets = (
+            rec.op_type.access_types()
+            if rec.op_type is OpType.ATOMIC
+            else (rec.op_type,)
+        )
+        for target in targets:
+            for other in self._inflight:
+                if other.seq >= rec.seq:
+                    break
+                if other.performed:
+                    continue
+                first_mask = (
+                    other.mask if other.op_type is OpType.MEMBAR else MembarMask.ALL
+                )
+                if self.table.ordered(
+                    other.op_type, target, first_mask=first_mask, second_mask=rec.mask
+                ):
+                    return False
+            # Stores already retired to the write buffer:
+            if self.table.ordered(OpType.STORE, target, second_mask=rec.mask):
+                if self.wb is not None and self.wb.has_store_older_than(rec.seq):
+                    return False
+                if self._sc_store_outstanding:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Retirement and the pump
+    # ------------------------------------------------------------------
+    def _try_retire(self) -> None:
+        while self._inflight:
+            rec = self._inflight[0]
+            done_stage = rec.verified if self.uo is not None else rec.committed
+            if not done_stage:
+                return
+            kind = rec.op_type
+            if kind is OpType.STORE:
+                if self.wb is None and not rec.performed:
+                    return  # SC: stores retire once performed
+            elif not rec.performed:
+                return
+            self._inflight.popleft()
+            self.stats.incr(f"{self._stat}.retired")
+            self.last_progress_cycle = self.scheduler.now
+
+    def _kick(self) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        delay = max(1, self._stall_until - self.scheduler.now)
+        self.scheduler.after(delay, self._pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        self._try_commit()
+        if self.uo is not None:
+            self._pump_verify()
+        if self.wb is not None:
+            self.wb.drain(self._may_drain)
+        self._try_retire()
+
+    # ------------------------------------------------------------------
+    @property
+    def quiescent(self) -> bool:
+        """Program done and every side effect globally visible."""
+        return (
+            self.finished
+            and not self._inflight
+            and not self._verify_q
+            and (self.wb is None or self.wb.empty)
+            and not self._sc_store_outstanding
+        )

@@ -1,0 +1,97 @@
+"""Operations that workload programs yield to the core.
+
+Workloads are Python generators: each ``yield`` hands the core one
+operation (or a :class:`Batch` of independent operations) and receives
+the result (load value, atomic's old value, or None) once the value is
+architecturally bound.  See :mod:`repro.workloads` for the programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.common.types import MembarMask, OpType
+from repro.consistency.models import ConsistencyModel
+
+
+@dataclass(frozen=True)
+class Load:
+    """Read a word.  Yield result: the loaded value."""
+
+    addr: int
+
+    op_type = OpType.LOAD
+
+
+@dataclass(frozen=True)
+class Store:
+    """Write a word.  Yield result: None (stores do not block)."""
+
+    addr: int
+    value: int
+
+    op_type = OpType.STORE
+
+
+@dataclass(frozen=True)
+class Atomic:
+    """Atomic swap (SPARC ``swap``).  Yield result: the old value."""
+
+    addr: int
+    value: int
+
+    op_type = OpType.ATOMIC
+
+
+@dataclass(frozen=True)
+class Membar:
+    """SPARC v9 masked memory barrier.  Yield result: None."""
+
+    mask: MembarMask = MembarMask.ALL
+
+    op_type = OpType.MEMBAR
+
+
+@dataclass(frozen=True)
+class Stbar:
+    """PSO store barrier (equivalent to Membar #SS).  Yield result: None."""
+
+    op_type = OpType.STBAR
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Non-memory work occupying the core for ``cycles`` cycles."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class SetModel:
+    """Switch the core's consistency model (SPARC v9 PSTATE.MM).
+
+    The paper's benchmarks contain 32-bit TSO code sections that force
+    PSO/RMO systems to switch to TSO at runtime (Table 8); DVMC's
+    checkers follow the switch via their ordering-table indirection.
+    The core drains its pipeline and write buffer before switching.
+    Yield result: None.
+    """
+
+    model: ConsistencyModel
+
+
+@dataclass(frozen=True)
+class Batch:
+    """Independent operations the core may execute out of order.
+
+    The yield result is the list of per-operation results, in the order
+    given.  Used by workloads to expose memory-level parallelism (and
+    by tests to exercise out-of-order load execution under RMO).
+    """
+
+    ops: List[Union[Load, Store, Atomic]] = field(default_factory=list)
+
+
+MemoryOp = Union[Load, Store, Atomic, Membar, Stbar]
+Yieldable = Union[Load, Store, Atomic, Membar, Stbar, Compute, Batch, SetModel]

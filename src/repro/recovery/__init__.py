@@ -1,0 +1,5 @@
+"""Backward error recovery (SafetyNet-style checkpointing)."""
+
+from .safetynet import Checkpoint, SafetyNet
+
+__all__ = ["Checkpoint", "SafetyNet"]

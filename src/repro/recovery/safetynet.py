@@ -1,0 +1,156 @@
+"""SafetyNet-style backward error recovery (checkpoint/log).
+
+DVMC detects errors; a BER mechanism recovers from them.  The paper
+uses SafetyNet [26]: the system keeps several in-flight checkpoints and
+can roll back to any live one, giving a recovery window of roughly
+100k cycles.  This model implements the contract DVMC relies on:
+
+* periodic checkpoints with bounded lifetime (old ones are *validated*
+  and retired once all checkers have had time to flag errors);
+* copy-on-write undo logging of architectural block writes, so the
+  memory image at any live checkpoint can be reconstructed;
+* a small amount of checkpoint-coordination traffic on the interconnect.
+
+A full pipeline/register rollback is out of scope (the workload
+generators cannot be rewound); the error-injection campaign instead
+validates the paper's criteria: detection latency inside the recovery
+window and a live checkpoint at detection time, and unit tests verify
+the reconstructed memory image matches a snapshot.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.errors import RecoveryError
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.config import SystemConfig
+from repro.interconnect.message import Message
+
+from repro.coherence.messages import Sn
+
+
+class Checkpoint:
+    """One checkpoint interval's undo log."""
+
+    __slots__ = ("index", "start_cycle", "undo", "validated")
+
+    def __init__(self, index: int, start_cycle: int):
+        self.index = index
+        self.start_cycle = start_cycle
+        #: block -> architectural data at checkpoint time (first touch).
+        self.undo: "OrderedDict[int, List[int]]" = OrderedDict()
+        self.validated = False
+
+
+class SafetyNet:
+    """System-wide checkpointing service."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        stats: StatsRegistry,
+        config: SystemConfig,
+        send=None,
+    ):
+        self.scheduler = scheduler
+        self.stats = stats
+        self.config = config.safetynet
+        self.num_nodes = config.num_nodes
+        self.network_config = config.network
+        self._send = send  # optional: callable(Message) for ckpt traffic
+        self._checkpoints: Deque[Checkpoint] = deque()
+        self._next_index = 0
+        self._open_checkpoint()
+        scheduler.after(self.config.checkpoint_interval, self._advance)
+
+    # -- hook subscriptions -------------------------------------------------
+    def attach(self, hooks) -> None:
+        hooks.on_block_write(self._on_block_write)
+
+    def _on_block_write(self, node: int, block: int, old_data: list) -> None:
+        ckpt = self._checkpoints[-1]
+        if block not in ckpt.undo:
+            ckpt.undo[block] = list(old_data)
+            self.stats.incr("sn.log_entries")
+
+    # -- checkpoint lifecycle -------------------------------------------------
+    def _open_checkpoint(self) -> None:
+        self._checkpoints.append(
+            Checkpoint(self._next_index, self.scheduler.now)
+        )
+        self._next_index += 1
+        self.stats.incr("sn.checkpoints")
+
+    def _advance(self) -> None:
+        self._open_checkpoint()
+        # Retire the oldest checkpoint once the window is exceeded.
+        while len(self._checkpoints) > self.config.max_checkpoints:
+            retired = self._checkpoints.popleft()
+            retired.validated = True
+            self.stats.incr("sn.checkpoints_retired")
+        # Checkpoint-coordination traffic (validation round).
+        if self._send is not None:
+            for node in range(1, self.num_nodes):
+                self._send(
+                    Message(
+                        src=node,
+                        dst=0,
+                        kind=Sn.CKPT_VALIDATE,
+                        size_bytes=self.network_config.control_message_bytes,
+                    )
+                )
+        self.scheduler.after(self.config.checkpoint_interval, self._advance)
+
+    # -- recovery interface -------------------------------------------------
+    @property
+    def oldest_live_cycle(self) -> int:
+        """Start cycle of the oldest checkpoint we can still roll back to."""
+        return self._checkpoints[0].start_cycle
+
+    def can_recover(self, error_cycle: int) -> bool:
+        """Is a checkpoint taken at or before ``error_cycle`` still live?
+
+        This is the paper's validity criterion: the error must be
+        detected before the last pre-error checkpoint expires.
+        """
+        return self.oldest_live_cycle <= error_cycle
+
+    def recovery_point_for(self, error_cycle: int) -> Optional[Checkpoint]:
+        """Latest live checkpoint taken at or before ``error_cycle``."""
+        candidate = None
+        for ckpt in self._checkpoints:
+            if ckpt.start_cycle <= error_cycle:
+                candidate = ckpt
+            else:
+                break
+        return candidate
+
+    def reconstruct_memory_image(
+        self, current_image: Dict[int, List[int]], error_cycle: int
+    ) -> Dict[int, List[int]]:
+        """Roll ``current_image`` back to the recovery point's state.
+
+        Applies undo logs newest-to-oldest down to (and including) the
+        checkpoint covering ``error_cycle``.  Raises
+        :class:`RecoveryError` if that checkpoint already expired.
+        """
+        point = self.recovery_point_for(error_cycle)
+        if point is None:
+            raise RecoveryError(
+                f"no live checkpoint at or before cycle {error_cycle}"
+            )
+        image = {block: list(data) for block, data in current_image.items()}
+        for ckpt in reversed(self._checkpoints):
+            if ckpt.index < point.index:
+                break
+            for block, old in ckpt.undo.items():
+                image[block] = list(old)
+        self.stats.incr("sn.recoveries")
+        return image
+
+    @property
+    def live_checkpoints(self) -> int:
+        return len(self._checkpoints)

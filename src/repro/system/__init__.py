@@ -1,0 +1,23 @@
+"""System assembly and experiment harness."""
+
+from .builder import RunResult, System, build_system
+from .experiments import (
+    DEFAULT_SEEDS,
+    Measurement,
+    format_series,
+    measure,
+    normalized_runtimes,
+    run_once,
+)
+
+__all__ = [
+    "DEFAULT_SEEDS",
+    "Measurement",
+    "RunResult",
+    "System",
+    "build_system",
+    "format_series",
+    "measure",
+    "normalized_runtimes",
+    "run_once",
+]

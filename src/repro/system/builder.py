@@ -1,0 +1,370 @@
+"""System assembly: config -> fully wired simulated machine.
+
+Builds the interconnect(s), memory controllers, cache controllers,
+cores, logical-time base, DVMC checkers and SafetyNet for either
+protocol, and wires the observation hooks between them.  This is the
+main entry point of the library::
+
+    from repro import SystemConfig, build_system
+    system = build_system(SystemConfig.protected(), workload="oltp", ops=500)
+    result = system.run()
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.common.errors import ConfigError, DeadlockError
+from repro.common.events import Scheduler
+from repro.common.logical_time import (
+    DirectoryLogicalTime,
+    SnoopingLogicalTime,
+)
+from repro.common.stats import StatsRegistry
+from repro.common.types import BLOCK_SIZE, CoherenceState, block_of
+from repro.config import ProtocolKind, SystemConfig
+from repro.coherence.directory import (
+    DirectoryCacheController,
+    DirectoryMemoryController,
+)
+from repro.coherence.hooks import SystemHooks
+from repro.coherence.messages import Coh, Dvcc, Sn, Snoop
+from repro.coherence.snooping import (
+    SnoopingCacheController,
+    SnoopingMemoryController,
+)
+from repro.dvmc.coherence_checker import CoherenceChecker
+from repro.dvmc.framework import DVMC
+from repro.dvmc.reordering import AllowableReorderingChecker
+from repro.dvmc.uniprocessor import UniprocessorOrderingChecker
+from repro.interconnect.broadcast import BroadcastTreeNetwork
+from repro.interconnect.message import Message
+from repro.interconnect.torus import TorusNetwork
+from repro.memory.cache import CacheArray
+from repro.memory.memory import MainMemory
+from repro.processor.core import Core
+from repro.recovery.safetynet import SafetyNet
+from repro.workloads.suite import make_program
+
+#: Directory logical-clock period (cycles per logical tick).
+CLOCK_PERIOD = 10
+
+
+class RunResult:
+    """Outcome of a simulation run."""
+
+    def __init__(self, system: "System"):
+        self.cycles = system.scheduler.now
+        self.stats = system.stats
+        self.violations = system.dvmc.violations.reports
+        self.completed = all(core.quiescent for core in system.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RunResult(cycles={self.cycles}, completed={self.completed}, "
+            f"violations={len(self.violations)})"
+        )
+
+
+class System:
+    """A fully wired machine (see :func:`build_system`)."""
+
+    def __init__(self, config: SystemConfig):
+        config.validate()
+        self.config = config
+        self.scheduler = Scheduler()
+        self.stats = StatsRegistry()
+        self.hooks = SystemHooks()
+        self.cores: List[Core] = []
+        self.cache_controllers: list = []
+        self.memory_controllers: list = []
+        self.memories: List[MainMemory] = []
+        self.dvmc = DVMC()
+        self.safetynet: Optional[SafetyNet] = None
+        self.data_network: Optional[TorusNetwork] = None
+        self.address_network: Optional[BroadcastTreeNetwork] = None
+        self.logical_time = None
+
+    # -- address interleaving ------------------------------------------------
+    def home_of(self, addr: int) -> int:
+        """Home node of a block (block-interleaved across nodes)."""
+        return (block_of(addr) // BLOCK_SIZE) % self.config.num_nodes
+
+    # -- running ---------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        allow_incomplete: bool = False,
+    ) -> RunResult:
+        """Run until every core's program finishes and drains.
+
+        Raises :class:`DeadlockError` if the deadline passes with work
+        remaining (unless ``allow_incomplete``, used by fault campaigns
+        where injected errors may legitimately hang the machine).
+        """
+        for core in self.cores:
+            core.start()
+        check = {"n": 0}
+
+        def done() -> bool:
+            check["n"] += 1
+            if check["n"] % 64:
+                return False
+            return all(core.quiescent for core in self.cores)
+
+        self.scheduler.run(until=max_cycles, stop_when=done)
+        self.dvmc.finalize()
+        result = RunResult(self)
+        if not result.completed and not allow_incomplete:
+            stuck = [c.node for c in self.cores if not c.quiescent]
+            raise DeadlockError(
+                f"cores {stuck} did not finish by cycle {self.scheduler.now}"
+            )
+        return result
+
+    def run_cycles(self, cycles: int) -> None:
+        """Advance the simulation by a bounded number of cycles."""
+        for core in self.cores:
+            core.start()
+        self.scheduler.run(until=self.scheduler.now + cycles)
+
+    # -- inspection ---------------------------------------------------------------
+    def memory_image(self) -> Dict[int, List[int]]:
+        """Architectural value of every touched block.
+
+        A block's value lives at its owner cache (M/O) if one exists,
+        else at its home memory.
+        """
+        image: Dict[int, List[int]] = {}
+        for memory in self.memories:
+            for block in memory.touched_blocks():
+                image[block] = memory.read_block(block)
+        for controller in self.cache_controllers:
+            for line in controller.l1.lines():
+                if line.state in (CoherenceState.M, CoherenceState.O):
+                    image[line.addr] = list(line.data)
+        return image
+
+    def drain_epochs(self, settle_cycles: int = 20_000) -> None:
+        """Evict every cache line so all epochs close and their
+        Inform-Epochs reach the MET (used by fault campaigns to bound
+        detection latency for faults that would otherwise be observed
+        at the block's next natural epoch end)."""
+        for controller in self.cache_controllers:
+            for line in list(controller.l1.lines()):
+                controller._evict(line)
+        self.scheduler.run(until=self.scheduler.now + settle_cycles)
+        self.dvmc.finalize()
+
+    def scrub_memory(self, settle_cycles: int = 40_000) -> None:
+        """Touch every memory-resident block once (a scrubber pass).
+
+        Long-running servers eventually re-reference every live block;
+        our benchmark runs are short, so fault campaigns use an explicit
+        scrub to activate latent corruption the way hardware memory
+        scrubbers do.  Each touched block opens and closes an epoch,
+        driving the data-propagation check at its home MET.
+        """
+        blocks = sorted(
+            {
+                block
+                for memory in self.memories
+                for block in memory.touched_blocks()
+            }
+        )
+        for i, block in enumerate(blocks):
+            controller = self.cache_controllers[i % self.config.num_nodes]
+            controller.load(block, lambda _v: None)
+        self.scheduler.run(until=self.scheduler.now + settle_cycles)
+
+    @property
+    def violations(self):
+        return self.dvmc.violations.reports
+
+
+def build_system(
+    config: SystemConfig,
+    workload: str = "oltp",
+    ops: int = 400,
+    programs: Optional[List] = None,
+) -> System:
+    """Construct a complete machine.
+
+    Args:
+        config: machine description.
+        workload: name from :data:`repro.workloads.WORKLOAD_NAMES`
+            (ignored when ``programs`` is given).
+        ops: approximate per-core operation count for the workload.
+        programs: optional explicit per-core generator list (length
+            ``config.num_nodes``) for custom programs and litmus tests.
+    """
+    system = System(config)
+    sched = system.scheduler
+    stats = system.stats
+    hooks = system.hooks
+    num = config.num_nodes
+
+    # Memories -----------------------------------------------------------
+    system.memories = [
+        MainMemory(stats, config.memory.ecc_enabled, name=f"mem.{n}")
+        for n in range(num)
+    ]
+
+    # Networks -----------------------------------------------------------
+    system.data_network = TorusNetwork("data", sched, stats, num, config.network)
+    if config.protocol is ProtocolKind.SNOOPING:
+        system.address_network = BroadcastTreeNetwork(
+            "addr", sched, stats, num, config.network
+        )
+
+    # Logical time ---------------------------------------------------------
+    if config.protocol is ProtocolKind.SNOOPING:
+        lt = SnoopingLogicalTime(num)
+        hooks.on_snoop_tick(lt.tick)
+    else:
+        min_latency = config.network.link_latency + config.network.serialization_cycles(
+            config.network.control_message_bytes
+        )
+        period = min(CLOCK_PERIOD, max(1, min_latency - 1))
+        skews = [n % max(1, min_latency - 1) for n in range(num)]
+        lt = DirectoryLogicalTime(sched, skews, period=period)
+        if lt.max_skew_delta >= min_latency:
+            raise ConfigError("clock skew exceeds minimum network latency")
+    system.logical_time = lt
+
+    # Controllers -----------------------------------------------------------
+    for n in range(num):
+        l1 = CacheArray(f"l1.{n}", config.l1, config.block_size, stats)
+        if config.protocol is ProtocolKind.DIRECTORY:
+            cache_ctrl = DirectoryCacheController(
+                n, sched, stats, hooks, config, l1, system.data_network,
+                system.home_of,
+            )
+            mem_ctrl = DirectoryMemoryController(
+                n, sched, stats, hooks, config, system.memories[n],
+                system.data_network,
+            )
+        else:
+            cache_ctrl = SnoopingCacheController(
+                n, sched, stats, hooks, config, l1,
+                system.address_network, system.data_network, system.home_of,
+            )
+            mem_ctrl = SnoopingMemoryController(
+                n, sched, stats, hooks, config, system.memories[n],
+                system.data_network, system.home_of,
+            )
+        if config.protocol is ProtocolKind.SNOOPING:
+            cache_ctrl.logical_time = lt
+        system.cache_controllers.append(cache_ctrl)
+        system.memory_controllers.append(mem_ctrl)
+
+    # DVMC checkers -----------------------------------------------------------
+    violations = system.dvmc.violations
+    if config.dvmc.enable_coherence:
+        system.dvmc.coherence_checker = CoherenceChecker(
+            sched,
+            stats,
+            config,
+            lt,
+            system.home_of,
+            system.memories,
+            system.data_network.send,
+            violations,
+        )
+        system.dvmc.coherence_checker.attach(hooks)
+
+    # SafetyNet -----------------------------------------------------------
+    if config.safetynet.enabled:
+        system.safetynet = SafetyNet(
+            sched, stats, config, send=system.data_network.send
+        )
+        system.safetynet.attach(hooks)
+
+    # Node message routing -----------------------------------------------------
+    _wire_routers(system)
+
+    # Cores and per-core checkers ------------------------------------------------
+    for n in range(num):
+        program = (
+            programs[n]
+            if programs is not None
+            else make_program(
+                workload, n, num, config.model, config.seed, ops
+            )
+        )
+        core = Core(
+            n,
+            sched,
+            stats,
+            config,
+            system.cache_controllers[n],
+            program,
+        )
+        if config.dvmc.enable_uniprocessor:
+            uo = UniprocessorOrderingChecker(
+                n,
+                sched,
+                stats,
+                config,
+                system.cache_controllers[n],
+                violations,
+                rmo_mode=not config.model.requires_load_order,
+            )
+            core.uo = uo
+            if core.wb is not None:
+                core.wb.require_verified = True
+            system.dvmc.uo_checkers.append(uo)
+        if config.dvmc.enable_reordering:
+            ar = AllowableReorderingChecker(
+                n, sched, stats, config, (lambda c=core: c.table), violations
+            )
+            core.ar = ar
+            ar.core = core
+            system.dvmc.ar_checkers.append(ar)
+        system.cores.append(core)
+
+    hooks.on_invalidation(
+        lambda node, block: system.cores[node].on_invalidation(block)
+    )
+    return system
+
+
+def _wire_routers(system: System) -> None:
+    """Register per-node dispatchers on the network(s)."""
+    config = system.config
+    directory = config.protocol is ProtocolKind.DIRECTORY
+
+    for n in range(config.num_nodes):
+        cache_ctrl = system.cache_controllers[n]
+        mem_ctrl = system.memory_controllers[n]
+
+        def torus_handler(msg: Message, n=n, cache_ctrl=cache_ctrl, mem_ctrl=mem_ctrl):
+            kind = msg.kind
+            if isinstance(kind, Dvcc):
+                checker = system.dvmc.coherence_checker
+                if checker is not None:
+                    checker.handle_message(msg)
+                return
+            if isinstance(kind, Sn):
+                return  # checkpoint coordination sink
+            if directory:
+                if kind in (Coh.GETS, Coh.GETM, Coh.PUTM, Coh.UNBLOCK):
+                    mem_ctrl.handle_message(msg)
+                else:
+                    cache_ctrl.handle_message(msg)
+            else:
+                if kind is Coh.PUTM:
+                    mem_ctrl.handle_data(msg)
+                else:
+                    cache_ctrl.handle_data(msg)
+
+        system.data_network.register(n, torus_handler)
+
+        if not directory:
+
+            def addr_handler(msg: Message, n=n, cache_ctrl=cache_ctrl, mem_ctrl=mem_ctrl):
+                system.hooks.snoop_tick(n)
+                cache_ctrl.handle_snoop(msg)
+                mem_ctrl.handle_snoop(msg)
+
+            system.address_network.register(n, addr_handler)

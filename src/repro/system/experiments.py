@@ -1,0 +1,137 @@
+"""Experiment harness used by the benchmarks.
+
+Runs (config, workload) points with perturbed seeds, exactly like the
+paper's methodology ("we run each simulation ten times with small
+pseudo-random perturbations ... mean result values as well as error
+bars that correspond to one standard deviation"), and extracts the
+metrics each figure plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.stats import mean_stddev
+from repro.config import SystemConfig
+from repro.consistency.models import ConsistencyModel
+
+from .builder import RunResult, System, build_system
+
+#: Seeds per data point (the paper uses 10; 3 keeps benches fast while
+#: still producing error bars — raise via ``seeds=`` for paper fidelity).
+DEFAULT_SEEDS = 3
+
+
+@dataclass
+class Measurement:
+    """One configuration's aggregated metrics across seeds."""
+
+    runtime_mean: float
+    runtime_std: float
+    max_link_bytes_per_cycle: float
+    replay_misses: int
+    replay_accesses: int
+    l1_misses: int
+    l1_accesses: int
+    violations: int
+
+    @property
+    def replay_miss_ratio(self) -> float:
+        """Replay misses normalised to regular misses (Figure 6)."""
+        if self.l1_misses == 0:
+            return 0.0
+        return self.replay_misses / self.l1_misses
+
+
+def run_once(
+    config: SystemConfig,
+    workload: str,
+    ops: int,
+    max_cycles: int = 50_000_000,
+) -> Tuple[System, RunResult]:
+    """Build and run one system to completion."""
+    system = build_system(config, workload=workload, ops=ops)
+    result = system.run(max_cycles=max_cycles)
+    return system, result
+
+
+def measure(
+    config: SystemConfig,
+    workload: str,
+    ops: int = 300,
+    seeds: int = DEFAULT_SEEDS,
+) -> Measurement:
+    """Run ``seeds`` perturbed replicas and aggregate the metrics."""
+    runtimes: List[float] = []
+    max_link = 0.0
+    replay_misses = replay_accesses = 0
+    l1_misses = l1_accesses = 0
+    violations = 0
+    for seed in range(1, seeds + 1):
+        system, result = run_once(config.with_seed(seed), workload, ops)
+        runtimes.append(result.cycles)
+        stats = system.stats
+        if result.cycles:
+            link = stats.max_over("net.")[1] / result.cycles
+            max_link = max(max_link, link)
+        replay_misses += sum(
+            stats.counter(f"l1.{n}.replay_misses")
+            for n in range(config.num_nodes)
+        )
+        replay_accesses += sum(
+            stats.counter(f"l1.{n}.replay_accesses")
+            for n in range(config.num_nodes)
+        )
+        l1_misses += sum(
+            stats.counter(f"l1.{n}.misses") for n in range(config.num_nodes)
+        )
+        l1_accesses += sum(
+            stats.counter(f"l1.{n}.accesses") for n in range(config.num_nodes)
+        )
+        violations += len(result.violations)
+    mean, std = mean_stddev(runtimes)
+    return Measurement(
+        runtime_mean=mean,
+        runtime_std=std,
+        max_link_bytes_per_cycle=max_link,
+        replay_misses=replay_misses,
+        replay_accesses=replay_accesses,
+        l1_misses=l1_misses,
+        l1_accesses=l1_accesses,
+        violations=violations,
+    )
+
+
+def normalized_runtimes(
+    measurements: Dict[str, Measurement], baseline_key: str
+) -> Dict[str, Tuple[float, float]]:
+    """Normalise runtimes to a baseline (the paper normalises to
+    unprotected SC).  Returns ``key -> (mean_ratio, std_ratio)``."""
+    base = measurements[baseline_key].runtime_mean
+    if base == 0:
+        raise ValueError("baseline runtime is zero")
+    return {
+        key: (m.runtime_mean / base, m.runtime_std / base)
+        for key, m in measurements.items()
+    }
+
+
+def format_series(
+    title: str,
+    rows: Dict[str, Dict[str, Tuple[float, float]]],
+    columns: List[str],
+) -> str:
+    """Render a figure's data as the paper-style table of bars.
+
+    ``rows`` maps workload -> {column -> (mean, std)}.
+    """
+    width = max(10, max(len(c) for c in columns) + 8)
+    out = [title, "workload".ljust(10) + "".join(c.ljust(width) for c in columns)]
+    for workload, cells in rows.items():
+        line = workload.ljust(10)
+        for column in columns:
+            mean, std = cells.get(column, (float("nan"), 0.0))
+            line += f"{mean:6.3f} ±{std:5.3f}".ljust(width)
+        out.append(line)
+    return "\n".join(out)

@@ -1,0 +1,11 @@
+"""Offline golden-reference trace verification (test oracle)."""
+
+from .trace import Trace, TraceChecker, TraceEvent, TraceViolation, record_program
+
+__all__ = [
+    "Trace",
+    "TraceChecker",
+    "TraceEvent",
+    "TraceViolation",
+    "record_program",
+]

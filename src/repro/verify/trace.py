@@ -1,0 +1,182 @@
+"""Offline trace recording and golden-reference checking.
+
+DVMC checks consistency *online* with bounded hardware.  For testing we
+also provide an offline reference: wrap a workload program with
+:func:`record_program`, run the simulation, and hand the collected
+per-core traces to :class:`TraceChecker`, which validates value-level
+properties that any coherent, consistent execution must satisfy:
+
+* every load returns a value some store actually wrote to that word
+  (or the word's initial value);
+* a core's loads respect its own program order (Uniprocessor Ordering:
+  a load sees its core's most recent prior store to the word, unless a
+  store from another core could have intervened);
+* per-word write serialisation: atomics to a word never observe a
+  value that was never current for that word.
+
+Full offline consistency verification is NP-hard (paper Section 3);
+this checker is deliberately a conservative subset used to
+cross-validate the online checkers in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.common.types import word_of
+from repro.processor.operations import Atomic, Batch, Load, Store
+
+
+@dataclass
+class TraceEvent:
+    """One recorded memory operation."""
+
+    core: int
+    index: int  # program-order index within the core
+    kind: str  # "load" | "store" | "atomic"
+    addr: int
+    value: int  # load result / stored value / atomic's new value
+    old_value: Optional[int] = None  # atomic's returned (swapped-out) value
+
+
+@dataclass
+class Trace:
+    """Per-core event streams collected from one run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def per_core(self) -> Dict[int, List[TraceEvent]]:
+        out: Dict[int, List[TraceEvent]] = {}
+        for event in self.events:
+            out.setdefault(event.core, []).append(event)
+        for stream in out.values():
+            stream.sort(key=lambda e: e.index)
+        return out
+
+    def words_touched(self) -> Set[int]:
+        return {word_of(e.addr) for e in self.events}
+
+
+def record_program(core_id: int, program, trace: Trace):
+    """Wrap a workload generator, recording every memory operation.
+
+    The wrapper is transparent: it forwards each yielded operation to
+    the core and passes results back, logging (op, result) pairs.
+    """
+    index = 0
+    result = None
+    while True:
+        try:
+            op = program.send(result)
+        except StopIteration:
+            return
+        result = yield op
+        ops = op.ops if isinstance(op, Batch) else [op]
+        results = result if isinstance(op, Batch) else [result]
+        for sub_op, sub_result in zip(ops, results):
+            if isinstance(sub_op, Load):
+                trace.events.append(
+                    TraceEvent(core_id, index, "load", sub_op.addr, sub_result)
+                )
+            elif isinstance(sub_op, Store):
+                trace.events.append(
+                    TraceEvent(core_id, index, "store", sub_op.addr, sub_op.value)
+                )
+            elif isinstance(sub_op, Atomic):
+                trace.events.append(
+                    TraceEvent(
+                        core_id,
+                        index,
+                        "atomic",
+                        sub_op.addr,
+                        sub_op.value,
+                        old_value=sub_result,
+                    )
+                )
+            index += 1
+
+
+@dataclass
+class TraceViolation:
+    """One offline-checker finding."""
+
+    rule: str
+    core: int
+    index: int
+    detail: str
+
+
+class TraceChecker:
+    """Golden-reference value checks over a recorded :class:`Trace`."""
+
+    def __init__(self, trace: Trace, initial_value: int = 0):
+        self.trace = trace
+        self.initial = initial_value
+
+    def check(self) -> List[TraceViolation]:
+        """Run all offline checks; returns violations (empty = clean)."""
+        return self.check_load_values() + self.check_uniprocessor_ordering()
+
+    # ------------------------------------------------------------------
+    def _written_values(self) -> Dict[int, Set[int]]:
+        written: Dict[int, Set[int]] = {}
+        for event in self.trace.events:
+            if event.kind in ("store", "atomic"):
+                written.setdefault(word_of(event.addr), set()).add(event.value)
+        return written
+
+    def check_load_values(self) -> List[TraceViolation]:
+        """Every load (and atomic's old value) was actually written."""
+        written = self._written_values()
+        violations = []
+        for event in self.trace.events:
+            word = word_of(event.addr)
+            observed = (
+                event.value if event.kind == "load" else event.old_value
+            )
+            if event.kind == "store" or observed is None:
+                continue
+            legal = written.get(word, set()) | {self.initial}
+            if observed not in legal:
+                violations.append(
+                    TraceViolation(
+                        "out-of-thin-air",
+                        event.core,
+                        event.index,
+                        f"{event.kind} of 0x{event.addr:x} observed "
+                        f"0x{observed:x}, never written",
+                    )
+                )
+        return violations
+
+    def check_uniprocessor_ordering(self) -> List[TraceViolation]:
+        """A core's load sees its own latest prior store to the word,
+        unless another core also wrote that word (remote stores may
+        legally intervene; such words are skipped conservatively)."""
+        writers: Dict[int, Set[int]] = {}
+        for event in self.trace.events:
+            if event.kind in ("store", "atomic"):
+                writers.setdefault(word_of(event.addr), set()).add(event.core)
+        violations = []
+        for core, stream in self.trace.per_core().items():
+            last_local: Dict[int, int] = {}
+            for event in stream:
+                word = word_of(event.addr)
+                if event.kind in ("store", "atomic"):
+                    last_local[word] = event.value
+                    continue
+                if writers.get(word, set()) - {core}:
+                    continue  # shared word: remote values are legal
+                expected = last_local.get(word, self.initial)
+                if event.value != expected:
+                    violations.append(
+                        TraceViolation(
+                            "uniprocessor-ordering",
+                            core,
+                            event.index,
+                            f"load 0x{event.addr:x} got 0x{event.value:x}, "
+                            f"expected 0x{expected:x}",
+                        )
+                    )
+        return violations

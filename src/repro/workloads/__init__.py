@@ -1,0 +1,27 @@
+"""Synthetic commercial workloads and synchronisation primitives."""
+
+from .primitives import UNLOCKED, LOCKED, barrier_wait, lock_acquire, lock_release
+from .suite import (
+    PROGRAMS,
+    THIRTY_TWO_BIT_FRACTION,
+    WORKLOAD_NAMES,
+    lock_addr,
+    make_program,
+    private_addr,
+    shared_addr,
+)
+
+__all__ = [
+    "LOCKED",
+    "PROGRAMS",
+    "THIRTY_TWO_BIT_FRACTION",
+    "UNLOCKED",
+    "WORKLOAD_NAMES",
+    "barrier_wait",
+    "lock_acquire",
+    "lock_addr",
+    "lock_release",
+    "make_program",
+    "private_addr",
+    "shared_addr",
+]

@@ -1,0 +1,251 @@
+"""Synthetic analogues of the Wisconsin Commercial Workload Suite.
+
+The paper evaluates DVMC on apache, oltp (DB2/TPC-C-like), jbb
+(SPECjbb), slashcode, and barnes (paper Table 8).  Real binaries and
+Simics disk images are unavailable, so each generator reproduces the
+*sharing and synchronisation profile* that drives the paper's results:
+
+=========  ==========================================================
+apache     read-mostly shared document cache, per-request private
+           work, shared hit-counter updates under a lock
+oltp       per-transaction row locking over a moderately contended
+           lock table, read-modify-write bursts on row data
+jbb        object churn in per-thread heaps (low sharing, store
+           heavy), occasional global statistics updates
+slash      few hot locks with short critical sections — the lock
+           handoff pattern behind slashcode's high variance
+barnes     barrier-separated phases: read neighbours' bodies,
+           write own region (scientific sharing)
+=========  ==========================================================
+
+A fraction of each workload's dynamic operations runs in 32-bit TSO
+mode (paper Table 8's "32-bit Ops" column): under PSO/RMO those
+sections issue the extra Stbars/Membars that TSO-coded SPARC v8 code
+relies on, modelled here with explicit barrier insertion.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator
+
+from repro.common.rng import SplitRng
+from repro.common.types import BLOCK_SIZE, MembarMask
+from repro.consistency.models import ConsistencyModel
+from repro.processor.operations import (
+    Atomic,
+    Batch,
+    Compute,
+    Load,
+    Membar,
+    SetModel,
+    Store,
+)
+
+from .primitives import barrier_wait, lock_acquire, lock_release
+
+#: Address-space layout (word addresses; regions block-disjoint).
+LOCK_BASE = 0x1_0000
+SHARED_BASE = 0x2_0000
+PRIVATE_BASE = 0x10_0000
+PRIVATE_STRIDE = 0x1_0000
+
+#: Fraction of operations executed as 32-bit TSO code (paper Table 8).
+THIRTY_TWO_BIT_FRACTION = {
+    "apache": 0.33,
+    "oltp": 0.29,
+    "jbb": 0.02,
+    "slash": 0.27,
+    "barnes": 0.00,
+}
+
+
+def lock_addr(i: int) -> int:
+    """Address of lock ``i`` (one lock per cache block)."""
+    return LOCK_BASE + i * BLOCK_SIZE
+
+
+def shared_addr(i: int) -> int:
+    """Address of shared word ``i``."""
+    return SHARED_BASE + i * 4
+
+
+def private_addr(node: int, i: int) -> int:
+    """Address of word ``i`` in ``node``'s private region."""
+    return PRIVATE_BASE + node * PRIVATE_STRIDE + i * 4
+
+
+def _enter_32bit(model: ConsistencyModel) -> Iterator:
+    """Enter a 32-bit (SPARC v8, TSO-coded) code section.
+
+    The paper's benchmarks contain 32-bit code written for TSO; a
+    system configured for PSO or RMO must switch to TSO while executing
+    it (paper Section 5, Table 8).  The switch drains the pipeline.
+    """
+    if model in (ConsistencyModel.PSO, ConsistencyModel.RMO):
+        yield SetModel(ConsistencyModel.TSO)
+
+
+def _exit_32bit(model: ConsistencyModel) -> Iterator:
+    """Return to the configured model after a 32-bit section."""
+    if model in (ConsistencyModel.PSO, ConsistencyModel.RMO):
+        yield SetModel(model)
+
+
+def apache(node: int, num_nodes: int, model: ConsistencyModel, rng: SplitRng, ops: int):
+    """Web serving: read-mostly document cache + shared hit counters."""
+    docs = 256  # shared read-mostly words
+    stats_lock = lock_addr(0)
+    served = 0
+    while served < ops:
+        # Parse request: private scratch writes.
+        for i in range(3):
+            yield Store(private_addr(node, i), served + i)
+        # Look up the document: a burst of shared reads.
+        doc = rng.randrange(docs)
+        yield Batch([Load(shared_addr(doc * 4 + k)) for k in range(4)])
+        yield Compute(rng.randint(4, 12))
+        served += 9
+        # Occasionally bump the shared hit counter under a lock.
+        if rng.random() < 0.08:
+            yield from _enter_32bit(model)
+            yield from lock_acquire(stats_lock, ConsistencyModel.TSO)
+            hits = yield Load(shared_addr(1024))
+            yield Store(shared_addr(1024), (hits + 1) & 0xFFFFFFFF)
+            yield from lock_release(stats_lock, ConsistencyModel.TSO)
+            yield from _exit_32bit(model)
+            served += 4
+
+
+def oltp(node: int, num_nodes: int, model: ConsistencyModel, rng: SplitRng, ops: int):
+    """OLTP: row locks, read-modify-write transactions."""
+    rows = 48
+    fields = 6
+    done = 0
+    while done < ops:
+        row = rng.randrange(rows)
+        row_lock = lock_addr(8 + row)
+        thirty_two_bit = rng.random() < THIRTY_TWO_BIT_FRACTION["oltp"]
+        section_model = ConsistencyModel.TSO if thirty_two_bit else model
+        if thirty_two_bit:
+            yield from _enter_32bit(model)
+        yield from lock_acquire(row_lock, section_model)
+        base = 2048 + row * fields
+        balance = yield Load(shared_addr(base))
+        yield Compute(rng.randint(2, 8))
+        for f in range(1, fields):
+            yield Store(shared_addr(base + f), (balance + f) & 0xFFFFFFFF)
+        yield Store(shared_addr(base), (balance + 1) & 0xFFFFFFFF)
+        yield from lock_release(row_lock, section_model)
+        if thirty_two_bit:
+            yield from _exit_32bit(model)
+        # Private log append.
+        for i in range(2):
+            yield Store(private_addr(node, 64 + (done + i) % 256), done)
+        done += fields + 5
+
+
+def jbb(node: int, num_nodes: int, model: ConsistencyModel, rng: SplitRng, ops: int):
+    """SPECjbb-like: per-warehouse object churn, store heavy."""
+    heap_words = 512
+    done = 0
+    cursor = 0
+    while done < ops:
+        # Allocate-and-initialise an "object": a run of private stores.
+        size = rng.randint(4, 10)
+        for i in range(size):
+            yield Store(private_addr(node, (cursor + i) % heap_words), done + i)
+        cursor = (cursor + size) % heap_words
+        # Touch a few fields of older objects.
+        reads = [
+            Load(private_addr(node, rng.randrange(heap_words))) for _ in range(3)
+        ]
+        yield Batch(reads)
+        yield Compute(rng.randint(2, 6))
+        done += size + 3
+        # Rare shared statistics update.
+        if rng.random() < 0.02:
+            old = yield Atomic(shared_addr(4096), done & 0xFFFFFFFF)
+            done += 1
+
+
+def slash(node: int, num_nodes: int, model: ConsistencyModel, rng: SplitRng, ops: int):
+    """Slashcode: few hot locks, short critical sections, handoffs."""
+    hot_locks = 2
+    done = 0
+    while done < ops:
+        lock = lock_addr(64 + rng.randrange(hot_locks))
+        thirty_two_bit = rng.random() < THIRTY_TWO_BIT_FRACTION["slash"]
+        section_model = ConsistencyModel.TSO if thirty_two_bit else model
+        if thirty_two_bit:
+            yield from _enter_32bit(model)
+        yield from lock_acquire(lock, section_model)
+        # Short critical section on data guarded by the hot lock.
+        counter = yield Load(shared_addr(5120))
+        yield Store(shared_addr(5120), (counter + 1) & 0xFFFFFFFF)
+        yield Store(shared_addr(5124), node)
+        yield from lock_release(lock, section_model)
+        if thirty_two_bit:
+            yield from _exit_32bit(model)
+        yield Compute(rng.randint(1, 6))
+        done += 5
+
+
+def barnes(node: int, num_nodes: int, model: ConsistencyModel, rng: SplitRng, ops: int):
+    """Barnes-Hut-like: barrier-separated compute/communicate phases."""
+    bodies_per_node = 16
+    counter = shared_addr(6144)
+    sense = shared_addr(6160)
+    bar_lock = lock_addr(96)
+    local_sense = 1
+    done = 0
+    phase = 0
+    while done < ops:
+        # Read neighbour bodies (shared read sharing).
+        neighbour = (node + 1 + phase % max(1, num_nodes - 1)) % num_nodes
+        reads = [
+            Load(shared_addr(7000 + neighbour * bodies_per_node + i))
+            for i in range(4)
+        ]
+        yield Batch(reads)
+        yield Compute(rng.randint(8, 20))
+        # Update own bodies.
+        for i in range(4):
+            yield Store(shared_addr(7000 + node * bodies_per_node + i), done + i)
+        done += 8
+        phase += 1
+        # Barrier between phases.
+        local_sense = yield from barrier_wait(
+            counter, sense, bar_lock, num_nodes, local_sense, model
+        )
+        done += 4
+
+
+PROGRAMS: Dict[str, Callable] = {
+    "apache": apache,
+    "oltp": oltp,
+    "jbb": jbb,
+    "slash": slash,
+    "barnes": barnes,
+}
+
+WORKLOAD_NAMES = tuple(PROGRAMS)
+
+
+def make_program(
+    name: str,
+    node: int,
+    num_nodes: int,
+    model: ConsistencyModel,
+    seed: int,
+    ops: int,
+):
+    """Instantiate workload ``name`` for one core.
+
+    ``seed`` perturbs compute delays and access patterns — the paper
+    runs each configuration ten times with small pseudo-random
+    perturbations and reports mean and standard deviation.
+    """
+    if name not in PROGRAMS:
+        raise KeyError(f"unknown workload {name!r}; have {sorted(PROGRAMS)}")
+    rng = SplitRng(seed).child(f"{name}.{node}")
+    return PROGRAMS[name](node, num_nodes, model, rng, ops)

@@ -1,0 +1,112 @@
+"""Directory-protocol corner cases: races the blocking home resolves."""
+
+from repro.common.types import CoherenceState
+from repro.config import ProtocolKind
+
+from tests.conftest import (
+    bare_system,
+    run_system,
+    sync_load,
+    sync_store,
+    unexpected_count,
+)
+
+ADDR = 0x2_0000
+
+
+def directory_system(**kw):
+    return bare_system(ProtocolKind.DIRECTORY, **kw)
+
+
+class TestDirectoryState:
+    def test_home_tracks_owner(self):
+        system = directory_system()
+        sync_store(system, 1, ADDR, 5)
+        home = system.memory_controllers[system.home_of(ADDR)]
+        assert home.entry(ADDR).owner == 1
+
+    def test_home_tracks_sharers(self):
+        system = directory_system()
+        sync_load(system, 0, ADDR)
+        sync_load(system, 2, ADDR)
+        home = system.memory_controllers[system.home_of(ADDR)]
+        assert home.entry(ADDR).sharers >= {0, 2}
+
+    def test_writeback_returns_ownership_to_memory(self):
+        system = directory_system()
+        sync_store(system, 0, ADDR, 9)
+        line = system.cache_controllers[0].peek_line(ADDR)
+        system.cache_controllers[0]._evict(line)
+        run_system(system, 10_000)
+        home = system.memory_controllers[system.home_of(ADDR)]
+        assert home.entry(ADDR).owner is None
+        assert system.memories[system.home_of(ADDR)].read_word(ADDR) == 9
+
+
+class TestStaleSharerRaces:
+    def test_silently_evicted_sharer_still_acks_inv(self):
+        """Home's sharer list can be stale after silent S evictions; the
+        INV'd node must ack anyway or the writer hangs."""
+        system = directory_system()
+        sync_load(system, 1, ADDR)
+        # Node 1 silently drops its S copy.
+        system.cache_controllers[1].l1.remove(ADDR)
+        # Node 2's GetM must still complete (stale INV gets acked).
+        sync_store(system, 2, ADDR, 4)
+        assert sync_load(system, 3, ADDR) == 4
+
+    def test_stale_sharer_regetm_receives_data(self):
+        """The bug behind 'GetM finished without data': a sharer that
+        silently evicted must be sent data on its next GetM."""
+        system = directory_system()
+        sync_load(system, 1, ADDR)
+        system.cache_controllers[1].l1.remove(ADDR)
+        sync_store(system, 1, ADDR, 0x42)  # upgrade-without-line
+        assert sync_load(system, 0, ADDR) == 0x42
+        assert unexpected_count(system) == 0
+
+
+class TestForwarding:
+    def test_fwd_gets_served_from_writeback_buffer(self):
+        """An owner whose PutM is in flight serves forwards from the
+        writeback buffer."""
+        system = directory_system()
+        sync_store(system, 0, ADDR, 0x11)
+        line = system.cache_controllers[0].peek_line(ADDR)
+        # Evict (PutM in flight)...
+        system.cache_controllers[0]._evict(line)
+        # ...and race a remote load before running the writeback down.
+        value = sync_load(system, 1, ADDR)
+        assert value == 0x11
+        run_system(system, 10_000)
+        assert unexpected_count(system) == 0
+
+    def test_owner_supplies_data_on_remote_getm(self):
+        system = directory_system()
+        sync_store(system, 0, ADDR, 0x22)
+        assert sync_store(system, 1, ADDR, 0x23) == 0x22
+        assert system.cache_controllers[0].peek_line(ADDR) is None
+
+
+class TestBlockingHome:
+    def test_concurrent_getm_serialise(self):
+        """Two simultaneous writers: home serialises; both complete and
+        the final value is one of theirs."""
+        system = directory_system()
+        done = []
+        system.cache_controllers[0].store(ADDR, 100, lambda old: done.append(0))
+        system.cache_controllers[1].store(ADDR, 200, lambda old: done.append(1))
+        run_system(system, 50_000)
+        assert sorted(done) == [0, 1]
+        final = sync_load(system, 2, ADDR)
+        assert final in (100, 200)
+        assert unexpected_count(system) == 0
+
+    def test_many_concurrent_readers(self):
+        system = directory_system()
+        sync_store(system, 0, ADDR, 0x33)
+        got = []
+        for n in range(1, 4):
+            system.cache_controllers[n].load(ADDR, lambda v, n=n: got.append((n, v)))
+        run_system(system, 50_000)
+        assert sorted(v for _, v in got) == [0x33] * 3

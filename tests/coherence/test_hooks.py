@@ -1,0 +1,57 @@
+"""SystemHooks multicast dispatch."""
+
+from repro.coherence.hooks import SystemHooks
+from repro.common.types import EpochType
+
+
+class TestDispatch:
+    def test_epoch_events_fan_out(self):
+        hooks = SystemHooks()
+        got = []
+        hooks.on_epoch_begin(lambda *a: got.append(("begin", a)))
+        hooks.on_epoch_data(lambda *a: got.append(("data", a)))
+        hooks.on_epoch_end(lambda *a: got.append(("end", a)))
+        hooks.epoch_begin(1, 0x40, EpochType.READ_ONLY, None, 7)
+        hooks.epoch_data(1, 0x40, [0] * 16)
+        hooks.epoch_end(1, 0x40, [0] * 16, 9)
+        assert [tag for tag, _ in got] == ["begin", "data", "end"]
+        assert got[0][1] == (1, 0x40, EpochType.READ_ONLY, None, 7)
+        assert got[2][1][3] == 9
+
+    def test_default_lt_is_none(self):
+        hooks = SystemHooks()
+        got = []
+        hooks.on_epoch_begin(lambda n, a, t, d, lt: got.append(lt))
+        hooks.epoch_begin(0, 0, EpochType.READ_WRITE, None)
+        assert got == [None]
+
+    def test_multiple_subscribers(self):
+        hooks = SystemHooks()
+        calls = []
+        hooks.on_access(lambda n, a, s: calls.append(1))
+        hooks.on_access(lambda n, a, s: calls.append(2))
+        hooks.access(0, 0x100, True)
+        assert calls == [1, 2]
+
+    def test_unsubscribed_events_are_noops(self):
+        hooks = SystemHooks()
+        hooks.block_write(0, 0, [0])
+        hooks.memory_write(0, 0, [0])
+        hooks.snoop_tick(0)
+        hooks.invalidation(0, 0)
+        hooks.home_request(0, 0)
+
+    def test_all_hook_kinds(self):
+        hooks = SystemHooks()
+        seen = set()
+        hooks.on_block_write(lambda *a: seen.add("bw"))
+        hooks.on_memory_write(lambda *a: seen.add("mw"))
+        hooks.on_snoop_tick(lambda *a: seen.add("st"))
+        hooks.on_invalidation(lambda *a: seen.add("inv"))
+        hooks.on_home_request(lambda *a: seen.add("hr"))
+        hooks.block_write(0, 0, [])
+        hooks.memory_write(0, 0, [])
+        hooks.snoop_tick(0)
+        hooks.invalidation(0, 0)
+        hooks.home_request(0, 0)
+        assert seen == {"bw", "mw", "st", "inv", "hr"}

@@ -1,0 +1,70 @@
+"""CRC-16 hashing (paper Section 4.3, "Data Block Hashing")."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.crc import crc16_bytes, crc16_words, hash_block
+from repro.common.types import WORDS_PER_BLOCK
+
+
+class TestCrc16Bytes:
+    def test_known_vector(self):
+        # CRC-16/CCITT-FALSE of "123456789" is the classic check value.
+        assert crc16_bytes(b"123456789") == 0x29B1
+
+    def test_empty_input(self):
+        assert crc16_bytes(b"") == 0xFFFF  # just the init value
+
+    def test_sixteen_bit_range(self):
+        assert 0 <= crc16_bytes(b"\x00" * 64) <= 0xFFFF
+
+    def test_deterministic(self):
+        data = bytes(range(64))
+        assert crc16_bytes(data) == crc16_bytes(data)
+
+
+class TestCrc16Words:
+    def test_matches_byte_encoding(self):
+        words = [0x01020304, 0xA0B0C0D0]
+        raw = b"\x01\x02\x03\x04\xa0\xb0\xc0\xd0"
+        assert crc16_words(words) == crc16_bytes(raw)
+
+    def test_masks_overwide_words(self):
+        assert crc16_words([0x1_0000_0001]) == crc16_words([1])
+
+
+class TestHashBlock:
+    def test_requires_full_block(self):
+        with pytest.raises(ValueError):
+            hash_block([0] * (WORDS_PER_BLOCK - 1))
+
+    def test_zero_block(self):
+        assert hash_block([0] * WORDS_PER_BLOCK) == crc16_words([0] * WORDS_PER_BLOCK)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=WORDS_PER_BLOCK,
+            max_size=WORDS_PER_BLOCK,
+        ),
+        st.integers(min_value=0, max_value=WORDS_PER_BLOCK - 1),
+        st.integers(min_value=1, max_value=0xFFFF),
+    )
+    def test_detects_sub16bit_corruption(self, block, index, flip):
+        """CRC-16 never misses corruptions of fewer than 16 bits in one
+        word (the paper's false-negative analysis)."""
+        corrupted = list(block)
+        corrupted[index] ^= flip
+        assert hash_block(block) != hash_block(corrupted)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=WORDS_PER_BLOCK,
+            max_size=WORDS_PER_BLOCK,
+        )
+    )
+    def test_stable_and_bounded(self, block):
+        value = hash_block(block)
+        assert 0 <= value <= 0xFFFF
+        assert value == hash_block(list(block))

@@ -1,0 +1,114 @@
+"""Discrete-event scheduler."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.events import Scheduler
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        s = Scheduler()
+        out = []
+        s.after(10, out.append, "b")
+        s.after(5, out.append, "a")
+        s.after(20, out.append, "c")
+        s.run()
+        assert out == ["a", "b", "c"]
+        assert s.now == 20
+
+    def test_ties_break_by_insertion_order(self):
+        s = Scheduler()
+        out = []
+        for tag in "abc":
+            s.after(7, out.append, tag)
+        s.run()
+        assert out == ["a", "b", "c"]
+
+    def test_zero_delay_runs_at_current_time(self):
+        s = Scheduler()
+        out = []
+        s.after(0, out.append, 1)
+        s.run()
+        assert s.now == 0 and out == [1]
+
+    def test_negative_delay_rejected(self):
+        s = Scheduler()
+        with pytest.raises(SimulationError):
+            s.after(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        s = Scheduler()
+        s.after(10, lambda: None)
+        s.run()
+        with pytest.raises(SimulationError):
+            s.at(5, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        s = Scheduler()
+        out = []
+
+        def chain(n):
+            out.append(n)
+            if n < 3:
+                s.after(1, chain, n + 1)
+
+        s.after(0, chain, 0)
+        s.run()
+        assert out == [0, 1, 2, 3]
+        assert s.now == 3
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        s = Scheduler()
+        out = []
+        event = s.after(5, out.append, "x")
+        event.cancel()
+        s.run()
+        assert out == []
+
+    def test_cancel_is_idempotent(self):
+        s = Scheduler()
+        event = s.after(5, lambda: None)
+        event.cancel()
+        event.cancel()
+        s.run()
+
+
+class TestBounds:
+    def test_until_stops_before_later_events(self):
+        s = Scheduler()
+        out = []
+        s.after(5, out.append, "a")
+        s.after(50, out.append, "b")
+        s.run(until=10)
+        assert out == ["a"]
+        assert s.now == 10
+        s.run()
+        assert out == ["a", "b"]
+
+    def test_stop_when_predicate(self):
+        s = Scheduler()
+        out = []
+        for i in range(10):
+            s.after(i, out.append, i)
+        s.run(stop_when=lambda: len(out) >= 3)
+        assert len(out) == 3
+
+    def test_max_events_guard(self):
+        s = Scheduler()
+
+        def forever():
+            s.after(1, forever)
+
+        s.after(0, forever)
+        with pytest.raises(SimulationError):
+            s.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        s = Scheduler()
+        for i in range(5):
+            s.after(i, lambda: None)
+        s.run()
+        assert s.events_processed == 5

@@ -1,0 +1,84 @@
+"""Logical time bases (paper Section 4.3, "Logical Time")."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.events import Scheduler
+from repro.common.logical_time import (
+    TIMESTAMP_BITS,
+    TIMESTAMP_MASK,
+    DirectoryLogicalTime,
+    SnoopingLogicalTime,
+    truncate,
+    wraps_before,
+)
+
+
+class TestTruncation:
+    def test_sixteen_bits(self):
+        assert TIMESTAMP_BITS == 16
+        assert truncate(0x1_2345) == 0x2345
+        assert truncate(TIMESTAMP_MASK) == TIMESTAMP_MASK
+
+    def test_wrap_horizon(self):
+        assert wraps_before(100, 10) == 100 + (1 << 16) - 10
+
+
+class TestSnoopingLogicalTime:
+    def test_counts_per_node(self):
+        lt = SnoopingLogicalTime(3)
+        assert lt.now(0) == lt.now(1) == 0
+        lt.tick(0)
+        lt.tick(0)
+        lt.tick(1)
+        assert lt.now(0) == 2
+        assert lt.now(1) == 1
+        assert lt.now(2) == 0
+
+    def test_rejects_empty_system(self):
+        with pytest.raises(ConfigError):
+            SnoopingLogicalTime(0)
+
+
+class TestDirectoryLogicalTime:
+    def test_advances_with_physical_time(self):
+        sched = Scheduler()
+        lt = DirectoryLogicalTime(sched, skews=[0, 3], period=10)
+        assert lt.now(0) == 0
+        sched.after(25, lambda: None)
+        sched.run()
+        assert lt.now(0) == 2  # 25 // 10
+        assert lt.now(1) == 2  # (25+3) // 10
+
+    def test_skew_shifts_reading(self):
+        sched = Scheduler()
+        lt = DirectoryLogicalTime(sched, skews=[0, 9], period=10)
+        sched.after(5, lambda: None)
+        sched.run()
+        assert lt.now(0) == 0
+        assert lt.now(1) == 1  # (5+9)//10
+
+    def test_max_skew_delta(self):
+        sched = Scheduler()
+        lt = DirectoryLogicalTime(sched, skews=[2, 7, 4], period=10)
+        assert lt.max_skew_delta == 5
+
+    def test_causality_with_bounded_skew(self):
+        """If event A at node a causes event B at node b at least
+        ``min_latency`` cycles later, and skews differ by less than
+        ``min_latency``, then lt(A) <= lt(B)."""
+        sched = Scheduler()
+        min_latency = 10
+        lt = DirectoryLogicalTime(sched, skews=[0, 9], period=7)
+        for t_a in range(0, 100, 13):
+            t_b = t_a + min_latency
+            lt_a = (t_a + 0) // 7
+            lt_b = (t_b + 9) // 7
+            assert lt_a <= lt_b
+
+    def test_invalid_parameters(self):
+        sched = Scheduler()
+        with pytest.raises(ConfigError):
+            DirectoryLogicalTime(sched, skews=[0], period=0)
+        with pytest.raises(ConfigError):
+            DirectoryLogicalTime(sched, skews=[-1], period=10)

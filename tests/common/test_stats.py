@@ -1,0 +1,81 @@
+"""Statistics registry."""
+
+from hypothesis import given, strategies as st
+
+from repro.common.stats import Histogram, StatsRegistry, mean_stddev
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        s = StatsRegistry()
+        s.incr("a.b")
+        s.incr("a.b", 4)
+        assert s.counter("a.b") == 5
+        assert s.counter("missing") == 0
+
+    def test_prefix_sum(self):
+        s = StatsRegistry()
+        s.incr("l1.0.misses", 3)
+        s.incr("l1.1.misses", 4)
+        s.incr("l2.0.misses", 100)
+        assert s.sum("l1.") == 7
+
+    def test_max_over(self):
+        s = StatsRegistry()
+        s.incr("net.link.0-1", 10)
+        s.incr("net.link.1-2", 30)
+        key, value = s.max_over("net.link.")
+        assert key == "net.link.1-2" and value == 30
+
+    def test_max_over_empty(self):
+        assert StatsRegistry().max_over("nothing") == ("", 0)
+
+    def test_counters_with_prefix(self):
+        s = StatsRegistry()
+        s.incr("x.a")
+        s.incr("y.b")
+        assert list(s.counters_with_prefix("x.")) == ["x.a"]
+
+
+class TestHistogram:
+    def test_mean_and_bounds(self):
+        h = Histogram()
+        for value in (1, 2, 3):
+            h.record(value)
+        assert h.mean == 2
+        assert h.min == 1 and h.max == 3
+        assert h.count == 3
+
+    def test_stddev_of_constant_is_zero(self):
+        h = Histogram()
+        for _ in range(5):
+            h.record(7)
+        assert h.stddev == 0
+
+    def test_registry_histograms(self):
+        s = StatsRegistry()
+        s.record("lat", 10)
+        s.record("lat", 20)
+        assert s.histogram("lat").mean == 15
+        flattened = s.as_dict()
+        assert flattened["lat.mean"] == 15
+        assert flattened["lat.count"] == 2
+
+
+class TestMeanStddev:
+    def test_empty(self):
+        assert mean_stddev([]) == (0.0, 0.0)
+
+    def test_single(self):
+        assert mean_stddev([5]) == (5.0, 0.0)
+
+    def test_known_values(self):
+        mean, std = mean_stddev([2, 4, 4, 4, 5, 5, 7, 9])
+        assert mean == 5.0
+        assert round(std, 4) == 2.1381  # sample stddev
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    def test_stddev_nonnegative(self, values):
+        mean, std = mean_stddev(values)
+        assert std >= 0
+        assert min(values) <= mean <= max(values)

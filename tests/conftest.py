@@ -1,0 +1,96 @@
+"""Shared test fixtures and helpers."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.config import DVMCConfig, ProtocolKind, SafetyNetConfig, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.system.builder import System, build_system
+
+
+def idle_program():
+    """A program that issues nothing (controller-level tests drive the
+    memory system directly)."""
+    return
+    yield  # pragma: no cover - makes this a generator
+
+
+def bare_system(
+    protocol: ProtocolKind = ProtocolKind.DIRECTORY,
+    num_nodes: int = 4,
+    model: ConsistencyModel = ConsistencyModel.TSO,
+    dvmc: bool = False,
+    safetynet: bool = False,
+    **config_kwargs,
+) -> System:
+    """A wired system with idle cores, for driving controllers directly."""
+    config = SystemConfig(
+        num_nodes=num_nodes,
+        protocol=protocol,
+        model=model,
+        dvmc=DVMCConfig() if dvmc else DVMCConfig.disabled(),
+        safetynet=SafetyNetConfig() if safetynet else SafetyNetConfig.disabled(),
+        **config_kwargs,
+    )
+    return build_system(config, programs=[idle_program() for _ in range(num_nodes)])
+
+
+def run_system(system: System, cycles: int = 50_000) -> None:
+    """Advance a bare system long enough for transactions to settle."""
+    system.scheduler.run(until=system.scheduler.now + cycles)
+
+
+def sync_load(system: System, node: int, addr: int, cycles: int = 50_000) -> int:
+    """Issue a load at ``node`` and run until it completes."""
+    result = {}
+    system.cache_controllers[node].load(addr, lambda v: result.update(v=v))
+    system.scheduler.run(
+        until=system.scheduler.now + cycles, stop_when=lambda: "v" in result
+    )
+    assert "v" in result, f"load of 0x{addr:x} at node {node} never completed"
+    return result["v"]
+
+
+def sync_store(
+    system: System, node: int, addr: int, value: int, cycles: int = 50_000
+) -> int:
+    """Issue a store at ``node`` and run until it performs."""
+    result = {}
+    system.cache_controllers[node].store(
+        addr, value, lambda old: result.update(old=old)
+    )
+    system.scheduler.run(
+        until=system.scheduler.now + cycles, stop_when=lambda: "old" in result
+    )
+    assert "old" in result, f"store to 0x{addr:x} at node {node} never performed"
+    return result["old"]
+
+
+def sync_atomic(
+    system: System, node: int, addr: int, value: int, cycles: int = 50_000
+) -> int:
+    result = {}
+    system.cache_controllers[node].atomic(
+        addr, value, lambda old: result.update(old=old)
+    )
+    system.scheduler.run(
+        until=system.scheduler.now + cycles, stop_when=lambda: "old" in result
+    )
+    assert "old" in result
+    return result["old"]
+
+
+def unexpected_count(system: System) -> int:
+    """Total 'unexpected message' counters (must be 0 fault-free)."""
+    return sum(
+        v
+        for k, v in system.stats.as_dict().items()
+        if "unexpected" in str(k)
+    )
+
+
+@pytest.fixture(params=[ProtocolKind.DIRECTORY, ProtocolKind.SNOOPING])
+def protocol(request):
+    """Parametrise a test over both coherence protocols."""
+    return request.param

@@ -1,0 +1,79 @@
+"""OrderingTable mechanics: mask algebra, predecessors, bool grids."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.types import MembarMask, OpType
+from repro.consistency.ordering_table import OrderingTable
+
+L, S, MB = OpType.LOAD, OpType.STORE, OpType.MEMBAR
+
+
+class TestConstruction:
+    def test_bool_cells_become_masks(self):
+        t = OrderingTable("t", {(L, S): True, (S, L): False})
+        assert t.cell(L, S) == MembarMask.ALL
+        assert t.cell(S, L) == MembarMask.NONE
+
+    def test_missing_cells_default_unordered(self):
+        t = OrderingTable("t", {})
+        assert not t.ordered(L, S)
+
+    def test_rejects_bad_cell_type(self):
+        with pytest.raises(TypeError):
+            OrderingTable("t", {(L, S): "yes"})
+
+
+class TestMaskAlgebra:
+    def test_and_rule(self):
+        """The paper's AND rule: table mask & instruction mask != 0."""
+        t = OrderingTable(
+            "t", {(L, MB): MembarMask.LOADLOAD | MembarMask.LOADSTORE}
+        )
+        assert t.ordered(L, MB, second_mask=MembarMask.LOADLOAD)
+        assert not t.ordered(L, MB, second_mask=MembarMask.STORESTORE)
+        assert t.ordered(L, MB, second_mask=MembarMask.ALL)
+        assert not t.ordered(L, MB, second_mask=MembarMask.NONE)
+
+    @given(
+        st.sampled_from(list(MembarMask)),
+        st.sampled_from(list(MembarMask)),
+    )
+    def test_and_rule_commutes_with_masks(self, cell, instr):
+        t = OrderingTable("t", {(L, MB): cell})
+        assert t.ordered(L, MB, second_mask=instr) == bool(cell & instr)
+
+
+class TestAtomicExpansion:
+    def test_atomic_ordered_if_any_component_is(self):
+        t = OrderingTable("t", {(S, S): True})  # only store-store ordered
+        assert t.ordered(OpType.ATOMIC, S)  # atomic's store half
+        assert t.ordered(S, OpType.ATOMIC)
+        assert not t.ordered(L, OpType.ATOMIC)  # load-anything unordered
+
+    def test_atomic_vs_atomic(self):
+        t = OrderingTable("t", {(L, L): True})
+        assert t.ordered(OpType.ATOMIC, OpType.ATOMIC)
+
+
+class TestIntrospection:
+    def test_predecessors_of(self):
+        t = OrderingTable(
+            "t",
+            {(L, S): True, (S, S): True},
+            op_types=(L, S),
+        )
+        assert set(t.predecessors_of(S)) == {L, S}
+        assert t.predecessors_of(L) == ()
+
+    def test_constrains_any(self):
+        t = OrderingTable("t", {(L, S): True}, op_types=(L, S))
+        assert t.constrains_any(L)
+        assert not t.constrains_any(S)
+
+    def test_bool_grid(self):
+        t = OrderingTable("t", {(L, S): True}, op_types=(L, S))
+        grid = t.as_bool_grid()
+        assert grid[(L, S)] is True
+        assert grid[(S, L)] is False
+        assert len(grid) == 4

@@ -1,0 +1,119 @@
+"""Property-based tests: the AR checker accepts exactly the orders the
+ordering table allows.
+
+Strategy: generate a random program (op types + membar masks), derive a
+random *legal* perform order by repeatedly picking any operation whose
+table-mandated predecessors have all performed, and feed it to the
+checker — it must stay silent.  Then force an illegal inversion — it
+must fire.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import MembarMask, OpType
+from repro.config import SystemConfig
+from repro.consistency.tables import TABLES
+from repro.consistency.models import ConsistencyModel
+from repro.dvmc.framework import ViolationLog
+from repro.dvmc.reordering import AllowableReorderingChecker
+
+_ACCESS = (OpType.LOAD, OpType.STORE)
+
+
+def _ordered(table, first_op, second_op):
+    """Is there a constraint between two concrete ops (type, mask)?"""
+    first_type, first_mask = first_op
+    second_type, second_mask = second_op
+    return table.ordered(
+        first_type,
+        second_type,
+        first_mask=first_mask,
+        second_mask=second_mask,
+    )
+
+
+def _legal_perform_order(table, program, rng_indices):
+    """Greedy topological order consistent with the table."""
+    remaining = list(range(len(program)))
+    performed = []
+    while remaining:
+        ready = [
+            i
+            for i in remaining
+            if not any(
+                j < i and _ordered(table, program[j], program[i])
+                for j in remaining
+            )
+        ]
+        pick = ready[rng_indices.draw(st.integers(0, len(ready) - 1))]
+        performed.append(pick)
+        remaining.remove(pick)
+    return performed
+
+
+def _op_strategy():
+    mask = st.sampled_from(
+        [
+            MembarMask.LOADLOAD,
+            MembarMask.STORESTORE,
+            MembarMask.LOADLOAD | MembarMask.STORELOAD,
+            MembarMask.ALL,
+        ]
+    )
+    access = st.tuples(st.sampled_from(_ACCESS), st.just(MembarMask.ALL))
+    membar = st.tuples(st.just(OpType.MEMBAR), mask)
+    return st.one_of(access, access, access, membar)  # membars ~25%
+
+
+def make_checker(model):
+    sched = Scheduler()
+    log = ViolationLog()
+    checker = AllowableReorderingChecker(
+        0, sched, StatsRegistry(), SystemConfig(), lambda: TABLES[model], log
+    )
+    return checker, log
+
+
+class TestLegalOrdersAccepted:
+    @given(
+        st.sampled_from(list(ConsistencyModel)),
+        st.lists(_op_strategy(), min_size=1, max_size=10),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_never_flags_legal_order(self, model, program, data):
+        table = TABLES[model]
+        order = _legal_perform_order(table, program, data)
+        checker, log = make_checker(model)
+        for seq in order:
+            op_type, mask = program[seq]
+            checker.performed(op_type, seq, mask)
+        assert not log.reports, (model, program, order, log.reports)
+
+
+class TestIllegalInversionsFlagged:
+    @given(
+        st.sampled_from(list(ConsistencyModel)),
+        st.lists(_op_strategy(), min_size=2, max_size=8),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_flags_direct_inversion(self, model, program, data):
+        """Pick any constrained pair (i < j) and perform j before i:
+        the checker must flag it by the time i performs."""
+        table = TABLES[model]
+        pairs = [
+            (i, j)
+            for i in range(len(program))
+            for j in range(i + 1, len(program))
+            if _ordered(table, program[i], program[j])
+        ]
+        if not pairs:
+            return  # nothing ordered in this program (e.g. RMO, no membars)
+        i, j = pairs[data.draw(st.integers(0, len(pairs) - 1))]
+        checker, log = make_checker(model)
+        checker.performed(program[j][0], j, program[j][1])
+        checker.performed(program[i][0], i, program[i][1])
+        assert log.reports, (model, program, i, j)

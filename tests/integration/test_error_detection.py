@@ -1,0 +1,125 @@
+"""End-to-end error detection (paper Section 6.1).
+
+Each fault class is injected into a running benchmark; DVMC must detect
+every fault that becomes architecturally visible, with a valid recovery
+point still available (detection inside the SafetyNet window).
+"""
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.faults import FaultKind, run_trial
+from repro.faults.campaign import run_campaign, summarize
+
+
+def protected(protocol=ProtocolKind.DIRECTORY, model=ConsistencyModel.TSO):
+    return SystemConfig.protected(model=model, protocol=protocol, num_nodes=4)
+
+
+class TestIndividualDetections:
+    """Deterministic single-fault trials with known detectors."""
+
+    def test_wb_value_flip_detected_by_uo(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.WB_VALUE_FLIP, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "UO"
+        assert result.recoverable
+
+    def test_wb_addr_flip_detected_by_uo(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.WB_ADDR_FLIP, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "UO"
+
+    def test_wb_reorder_detected_by_ar_under_tso(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.WB_REORDER, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "AR"
+
+    def test_lsq_wrong_value_detected_by_uo(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.LSQ_WRONG_VALUE, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "UO"
+
+    def test_msg_data_flip_detected_by_cc(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.MSG_DATA_FLIP, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "CC"
+
+    def test_cache_data_flip_detected_by_cc(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.CACHE_DATA_FLIP, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "CC"
+
+    def test_mem_data_flip_detected_by_cc(self):
+        result = run_trial(protected(), "oltp", 150, FaultKind.MEM_DATA_FLIP, 3000, seed=5)
+        assert result.detected
+        assert result.detector == "CC"
+
+    def test_msg_drop_detected(self):
+        result = run_trial(protected(), "slash", 150, FaultKind.MSG_DROP, 3000, seed=5)
+        assert result.detected or result.masked
+
+    def test_rmo_lsq_fault_detected_via_vc(self):
+        """The RMO optimisation records pre-corruption values, so the
+        wrong-value fault is still caught."""
+        result = run_trial(
+            protected(model=ConsistencyModel.RMO),
+            "oltp",
+            150,
+            FaultKind.LSQ_WRONG_VALUE,
+            3000,
+            seed=5,
+        )
+        assert result.detected or result.masked
+
+
+class TestCampaignProperties:
+    @pytest.mark.slow
+    def test_no_undetected_hangs(self):
+        """Any fault that hangs the machine must be detected (the paper's
+        lost-operation guarantee)."""
+        results = run_campaign(
+            protected(), workload="slash", ops=120, trials_per_kind=2, seed=7
+        )
+        for r in results:
+            if r.landed and not r.completed:
+                assert r.detected, f"undetected hang: {r.kind} {r.description}"
+
+    @pytest.mark.slow
+    def test_detections_are_recoverable(self):
+        """Errors activated during the run are detected inside the
+        recovery window (post-run scrub detections may legally exceed
+        it; they exist only because our runs are short)."""
+        window = protected().safetynet.recovery_window
+        results = run_campaign(
+            protected(), workload="oltp", ops=150, trials_per_kind=2, seed=7
+        )
+        detected = [r for r in results if r.detected]
+        assert detected
+        for r in detected:
+            if r.latency is not None and r.latency <= window:
+                assert r.recoverable, (r.kind, r.latency)
+
+    @pytest.mark.slow
+    def test_majority_of_landed_faults_detected(self):
+        results = run_campaign(
+            protected(), workload="slash", ops=150, trials_per_kind=2, seed=9
+        )
+        landed = [r for r in results if r.landed]
+        detected = [r for r in landed if r.detected]
+        assert len(detected) >= len(landed) * 0.6
+
+    def test_summary_table_shape(self):
+        results = run_campaign(
+            protected(),
+            workload="oltp",
+            ops=120,
+            kinds=[FaultKind.WB_VALUE_FLIP, FaultKind.LSQ_WRONG_VALUE],
+            trials_per_kind=1,
+            seed=3,
+        )
+        summary = summarize(results)
+        assert set(summary) <= set(FaultKind)
+        for row in summary.values():
+            assert row["detected"] <= row["landed"] <= row["trials"]

@@ -1,0 +1,130 @@
+"""Litmus tests: the implemented machine exhibits exactly the
+reorderings its consistency model allows, and DVMC never flags a legal
+execution.
+
+Outcomes of racy programs are timing-dependent, so tests assert
+*impossibility* (forbidden outcomes never appear across seeds) and use
+delay patterns that make the interesting outcome appear reliably where
+it is legal.
+"""
+
+import pytest
+
+from repro.common.types import MembarMask
+from repro.config import SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.processor.operations import Compute, Load, Membar, Store
+from repro.system.builder import build_system
+
+X = 0x2_0000
+Y = 0x2_0040  # different block
+
+
+def run_litmus(programs, model, seed=1):
+    config = SystemConfig.protected(model=model).with_nodes(len(programs)).with_seed(seed)
+    system = build_system(config, programs=programs)
+    result = system.run(max_cycles=2_000_000)
+    assert result.completed
+    assert not result.violations, result.violations[:2]
+    return system
+
+
+class TestStoreBuffering:
+    """SB litmus: P0: X=1; r0=Y   P1: Y=1; r1=X.
+    r0==r1==0 is forbidden under SC, allowed under TSO/PSO/RMO."""
+
+    def _run(self, model, seed):
+        out = {}
+
+        def p0():
+            yield Store(X, 1)
+            out["r0"] = yield Load(Y)
+
+        def p1():
+            yield Store(Y, 1)
+            out["r1"] = yield Load(X)
+
+        run_litmus([p0(), p1()], model, seed)
+        return out["r0"], out["r1"]
+
+    def test_sc_forbids_both_zero(self):
+        for seed in range(1, 8):
+            r0, r1 = self._run(ConsistencyModel.SC, seed)
+            assert (r0, r1) != (0, 0), f"SC violated with seed {seed}"
+
+    @pytest.mark.parametrize(
+        "model", [ConsistencyModel.TSO, ConsistencyModel.PSO, ConsistencyModel.RMO]
+    )
+    def test_relaxed_models_allow_both_zero(self, model):
+        """The write buffer makes (0, 0) the common outcome: each load
+        executes while the store sits in the write buffer."""
+        outcomes = {self._run(model, seed) for seed in range(1, 5)}
+        assert (0, 0) in outcomes
+
+    def test_storeload_membar_restores_sc_result(self):
+        out = {}
+
+        def p0():
+            yield Store(X, 1)
+            yield Membar(MembarMask.STORELOAD)
+            out["r0"] = yield Load(Y)
+
+        def p1():
+            yield Store(Y, 1)
+            yield Membar(MembarMask.STORELOAD)
+            out["r1"] = yield Load(X)
+
+        for seed in range(1, 6):
+            run_litmus([p0(), p1()], ConsistencyModel.TSO, seed)
+            assert (out["r0"], out["r1"]) != (0, 0)
+
+
+class TestMessagePassing:
+    """MP litmus: P0: X=1; Y=1   P1: r0=Y; r1=X.
+    r0==1 && r1==0 forbidden under SC/TSO (store order + load order);
+    allowed under PSO/RMO without barriers."""
+
+    def _programs(self, out, spin_delay):
+        def p0():
+            yield Store(X, 1)  # payload
+            yield Store(Y, 1)  # flag
+
+        def p1():
+            yield Compute(spin_delay)
+            out["r0"] = yield Load(Y)
+            out["r1"] = yield Load(X)
+
+        return [p0(), p1()]
+
+    @pytest.mark.parametrize("model", [ConsistencyModel.SC, ConsistencyModel.TSO])
+    def test_strong_models_forbid_stale_payload(self, model):
+        for seed in range(1, 8):
+            for delay in (1, 40, 120, 300):
+                out = {}
+                run_litmus(self._programs(out, delay), model, seed)
+                assert not (
+                    out["r0"] == 1 and out["r1"] == 0
+                ), f"{model} violated MP (seed={seed}, delay={delay})"
+
+
+class TestCoherence:
+    """Same-word writes are totally ordered regardless of model: once a
+    reader observes the newer value, it can never observe the older one
+    again (no value oscillation)."""
+
+    @pytest.mark.parametrize("model", list(ConsistencyModel))
+    def test_no_value_oscillation(self, model):
+        history = []
+
+        def writer():
+            for value in range(1, 6):
+                yield Store(X, value)
+                yield Compute(30)
+
+        def reader():
+            for _ in range(25):
+                history.append((yield Load(X)))
+                yield Compute(7)
+
+        run_litmus([writer(), reader()], model)
+        assert history == sorted(history), history

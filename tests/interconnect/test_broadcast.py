@@ -1,0 +1,78 @@
+"""Ordered broadcast tree (snooping address network)."""
+
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.config import NetworkConfig
+from repro.interconnect.broadcast import BroadcastTreeNetwork
+from repro.interconnect.message import Message
+
+
+def make_net(num_nodes=4):
+    sched = Scheduler()
+    stats = StatsRegistry()
+    net = BroadcastTreeNetwork("a", sched, stats, num_nodes, NetworkConfig())
+    return sched, stats, net
+
+
+class TestBroadcastDelivery:
+    def test_every_node_receives_including_sender(self):
+        sched, _, net = make_net(4)
+        got = {n: [] for n in range(4)}
+        for n in range(4):
+            net.register(n, lambda m, n=n: got[n].append(m.addr))
+        net.send(Message(src=1, dst=-1, kind="req", addr=0x40))
+        sched.run()
+        assert all(got[n] == [0x40] for n in range(4))
+
+    def test_total_order_is_identical_everywhere(self):
+        sched, _, net = make_net(4)
+        got = {n: [] for n in range(4)}
+        for n in range(4):
+            net.register(n, lambda m, n=n: got[n].append(m.meta["snoop_order"]))
+        # Two senders race; the root serialises them.
+        net.send(Message(src=0, dst=-1, kind="req", addr=0x40))
+        net.send(Message(src=3, dst=-1, kind="req", addr=0x80))
+        sched.run()
+        orders = [tuple(got[n]) for n in range(4)]
+        assert len(set(orders)) == 1  # same order at every node
+        assert orders[0] == (0, 1)
+
+    def test_deliveries_are_simultaneous_across_nodes(self):
+        sched, _, net = make_net(4)
+        times = {}
+        for n in range(4):
+            net.register(n, lambda m, n=n: times.setdefault(n, sched.now))
+        net.send(Message(src=0, dst=-1, kind="req", addr=0))
+        sched.run()
+        assert len(set(times.values())) == 1
+
+    def test_root_serialisation_spaces_broadcasts(self):
+        sched, _, net = make_net(2)
+        arrivals = []
+        net.register(0, lambda m: arrivals.append(sched.now))
+        net.register(1, lambda m: None)
+        for _ in range(3):
+            net.send(Message(src=0, dst=-1, kind="req", size_bytes=8))
+        sched.run()
+        gaps = [b - a for a, b in zip(arrivals, arrivals[1:])]
+        ser = NetworkConfig().serialization_cycles(8)
+        assert all(g >= ser for g in gaps)
+
+    def test_bandwidth_counted_up_and_down(self):
+        sched, stats, net = make_net(4)
+        for n in range(4):
+            net.register(n, lambda m: None)
+        net.send(Message(src=2, dst=-1, kind="req", size_bytes=8))
+        sched.run()
+        assert stats.counter("net.a.link.2-root") == 8
+        for n in range(4):
+            assert stats.counter(f"net.a.link.root-{n}") == 8
+
+    def test_order_count_increments(self):
+        sched, _, net = make_net(2)
+        net.register(0, lambda m: None)
+        net.register(1, lambda m: None)
+        assert net.order_count == 0
+        net.send(Message(src=0, dst=-1, kind="req"))
+        sched.run()
+        assert net.order_count == 1

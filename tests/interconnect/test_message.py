@@ -1,0 +1,30 @@
+"""Message objects."""
+
+from repro.interconnect.message import Message
+
+
+class TestMessage:
+    def test_unique_uids(self):
+        a = Message(src=0, dst=1, kind="x")
+        b = Message(src=0, dst=1, kind="x")
+        assert a.uid != b.uid
+
+    def test_duplicate_copies_payload(self):
+        original = Message(src=0, dst=1, kind="x", data=[1, 2], meta={"k": 3})
+        dup = original.copy_for_duplicate()
+        assert dup.uid != original.uid
+        assert dup.data == original.data
+        dup.data[0] = 99
+        assert original.data[0] == 1  # deep enough copy
+        dup.meta["k"] = 4
+        assert original.meta["k"] == 3
+
+    def test_duplicate_of_dataless_message(self):
+        original = Message(src=0, dst=1, kind="x")
+        assert original.copy_for_duplicate().data is None
+
+    def test_defaults(self):
+        m = Message(src=2, dst=3, kind="y")
+        assert m.addr == 0
+        assert m.size_bytes == 8
+        assert m.meta == {}

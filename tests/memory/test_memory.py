@@ -1,0 +1,78 @@
+"""Main memory model and ECC behaviour."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatsRegistry
+from repro.common.types import WORDS_PER_BLOCK
+from repro.memory.memory import MainMemory
+
+
+def make_mem(ecc=True):
+    return MainMemory(StatsRegistry(), ecc_enabled=ecc)
+
+
+class TestReadsAndWrites:
+    def test_uninitialised_reads_zero(self):
+        mem = make_mem()
+        assert mem.read_word(0x1000) == 0
+        assert mem.read_block(0x1000) == [0] * WORDS_PER_BLOCK
+
+    def test_word_round_trip(self):
+        mem = make_mem()
+        mem.write_word(0x1004, 0xDEAD)
+        assert mem.read_word(0x1004) == 0xDEAD
+        assert mem.read_word(0x1000) == 0
+
+    def test_block_round_trip(self):
+        mem = make_mem()
+        data = list(range(WORDS_PER_BLOCK))
+        mem.write_block(0x2000, data)
+        assert mem.read_block(0x2000) == data
+
+    def test_block_reads_are_copies(self):
+        mem = make_mem()
+        mem.write_block(0x2000, [7] * WORDS_PER_BLOCK)
+        copy = mem.read_block(0x2000)
+        copy[0] = 99
+        assert mem.read_word(0x2000) == 7
+
+    def test_values_masked_to_32_bits(self):
+        mem = make_mem()
+        mem.write_word(0, 0x1_2345_6789)
+        assert mem.read_word(0) == 0x2345_6789
+
+    def test_bad_block_size_rejected(self):
+        mem = make_mem()
+        with pytest.raises(SimulationError):
+            mem.write_block(0, [0] * 3)
+
+    def test_touched_blocks(self):
+        mem = make_mem()
+        mem.write_word(0x1000, 1)
+        mem.write_word(0x2004, 2)
+        assert set(mem.touched_blocks()) == {0x1000, 0x2000}
+
+
+class TestEcc:
+    def test_ecc_corrects_single_injection(self):
+        stats = StatsRegistry()
+        mem = MainMemory(stats, ecc_enabled=True)
+        mem.write_word(0x100, 0xAB)
+        landed = mem.corrupt_word(0x100, 0x1, defeat_ecc=False)
+        assert not landed
+        assert mem.read_word(0x100) == 0xAB
+        assert stats.counter("mem.ecc_corrected") == 1
+
+    def test_multibit_defeats_ecc(self):
+        mem = make_mem()
+        mem.write_word(0x100, 0xAB)
+        landed = mem.corrupt_word(0x100, 0xFF00, defeat_ecc=True)
+        assert landed
+        assert mem.read_word(0x100) == 0xAB ^ 0xFF00
+
+    def test_no_ecc_everything_lands(self):
+        mem = make_mem(ecc=False)
+        mem.write_word(0x100, 0)
+        assert mem.corrupt_word(0x100, 0x1)
+        assert mem.read_word(0x100) == 1

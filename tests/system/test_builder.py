@@ -1,0 +1,126 @@
+"""System construction and top-level run loop."""
+
+import pytest
+
+from repro.common.errors import ConfigError, DeadlockError
+from repro.config import (
+    DVMCConfig,
+    ProtocolKind,
+    SafetyNetConfig,
+    SystemConfig,
+)
+from repro.consistency.models import ConsistencyModel
+from repro.processor.operations import Load, Store
+from repro.system.builder import build_system
+
+from tests.conftest import bare_system, idle_program
+
+
+class TestConstruction:
+    def test_directory_wiring(self):
+        system = bare_system(ProtocolKind.DIRECTORY, num_nodes=4)
+        assert len(system.cores) == 4
+        assert len(system.cache_controllers) == 4
+        assert len(system.memory_controllers) == 4
+        assert system.address_network is None
+        assert system.data_network is not None
+
+    def test_snooping_wiring(self):
+        system = bare_system(ProtocolKind.SNOOPING, num_nodes=4)
+        assert system.address_network is not None
+        assert system.cache_controllers[0].logical_time is system.logical_time
+
+    def test_checkers_follow_config(self):
+        system = bare_system(dvmc=True)
+        assert len(system.dvmc.uo_checkers) == 4
+        assert len(system.dvmc.ar_checkers) == 4
+        assert system.dvmc.coherence_checker is not None
+
+    def test_unprotected_has_no_checkers(self):
+        system = bare_system(dvmc=False)
+        assert not system.dvmc.enabled
+
+    def test_partial_checker_configs(self):
+        config = SystemConfig(num_nodes=2, dvmc=DVMCConfig.coherence_only())
+        system = build_system(config, programs=[idle_program(), idle_program()])
+        assert system.dvmc.coherence_checker is not None
+        assert not system.dvmc.uo_checkers
+
+    def test_home_interleaving_covers_all_nodes(self):
+        system = bare_system(num_nodes=4)
+        homes = {system.home_of(block * 64) for block in range(16)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_nodes=0).validate()
+        with pytest.raises(ConfigError):
+            SystemConfig(block_size=48).validate()
+
+
+class TestRunLoop:
+    def test_completes_and_reports(self):
+        def prog():
+            yield Store(0x2_0000, 1)
+
+        config = SystemConfig.unprotected(num_nodes=1)
+        system = build_system(config, programs=[prog()])
+        result = system.run()
+        assert result.completed
+        assert result.cycles > 0
+
+    def test_deadlock_raises_without_allow_incomplete(self):
+        def stuck():
+            while True:
+                yield Load(0x2_0000) == 0xFFFF and None  # spins forever
+
+        def spin_forever():
+            while (yield Load(0x2_0000)) != 0xFFFF:
+                pass
+
+        config = SystemConfig.unprotected(num_nodes=1)
+        system = build_system(config, programs=[spin_forever()])
+        with pytest.raises(DeadlockError):
+            system.run(max_cycles=20_000)
+
+    def test_allow_incomplete(self):
+        def spin_forever():
+            while (yield Load(0x2_0000)) != 0xFFFF:
+                pass
+
+        config = SystemConfig.unprotected(num_nodes=1)
+        system = build_system(config, programs=[spin_forever()])
+        result = system.run(max_cycles=20_000, allow_incomplete=True)
+        assert not result.completed
+
+
+class TestConfigHelpers:
+    def test_with_helpers_chain(self):
+        config = (
+            SystemConfig()
+            .with_model(ConsistencyModel.RMO)
+            .with_protocol(ProtocolKind.SNOOPING)
+            .with_nodes(2)
+            .with_seed(9)
+            .with_link_bandwidth(1.0)
+        )
+        assert config.model is ConsistencyModel.RMO
+        assert config.protocol is ProtocolKind.SNOOPING
+        assert config.num_nodes == 2
+        assert config.seed == 9
+        assert config.network.link_bandwidth_gbps == 1.0
+
+    def test_unprotected_preset(self):
+        config = SystemConfig.unprotected()
+        assert not config.dvmc.any_enabled
+        assert not config.safetynet.enabled
+
+    def test_protected_preset(self):
+        config = SystemConfig.protected()
+        assert config.dvmc.any_enabled
+        assert config.safetynet.enabled
+
+    def test_network_arithmetic(self):
+        net = SystemConfig().network
+        assert net.bytes_per_cycle == 2.5 / 2.0
+        assert net.serialization_cycles(72) == round(72 / 1.25)

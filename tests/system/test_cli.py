@@ -1,0 +1,57 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "oltp"
+        assert args.model == "TSO"
+        assert args.protocol == "directory"
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fault_choices(self):
+        args = build_parser().parse_args(
+            ["inject", "--fault", "lsq-wrong-value", "--at", "100"]
+        )
+        assert args.fault == "lsq-wrong-value"
+        assert args.at == 100
+
+
+class TestCommands:
+    def test_run_clean(self, capsys):
+        rc = main(
+            ["run", "--workload", "jbb", "--nodes", "2", "--ops", "50"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "violations: 0" in out
+
+    def test_run_unprotected(self, capsys):
+        rc = main(
+            ["run", "--unprotected", "--workload", "jbb", "--nodes", "2", "--ops", "40"]
+        )
+        assert rc == 0
+
+    def test_inject_detects(self, capsys):
+        rc = main(
+            [
+                "inject",
+                "--fault",
+                "lsq-wrong-value",
+                "--at",
+                "2000",
+                "--nodes",
+                "2",
+                "--ops",
+                "120",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "DETECTED" in out or "not detected" in out

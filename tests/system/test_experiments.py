@@ -1,0 +1,68 @@
+"""Experiment harness: perturbation runs and metric aggregation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.system.experiments import (
+    Measurement,
+    format_series,
+    measure,
+    normalized_runtimes,
+    run_once,
+)
+
+
+class TestRunOnce:
+    def test_returns_system_and_result(self):
+        system, result = run_once(SystemConfig.unprotected(num_nodes=2), "jbb", 50)
+        assert result.completed
+        assert system.stats.counter("core.0.retired") > 0
+
+
+class TestMeasure:
+    def test_aggregates_across_seeds(self):
+        m = measure(SystemConfig.unprotected(num_nodes=2), "jbb", ops=50, seeds=2)
+        assert m.runtime_mean > 0
+        assert m.runtime_std >= 0
+        assert m.l1_accesses > 0
+        assert m.violations == 0
+
+    def test_replay_ratio_zero_without_dvmc(self):
+        m = measure(SystemConfig.unprotected(num_nodes=2), "jbb", ops=50, seeds=1)
+        assert m.replay_accesses == 0
+        assert m.replay_miss_ratio == 0.0
+
+    def test_replay_counted_with_dvmc(self):
+        m = measure(SystemConfig.protected(num_nodes=2), "oltp", ops=60, seeds=1)
+        # TSO replays miss the VC sometimes and read the L1.
+        assert m.replay_accesses >= 0
+        assert m.runtime_mean > 0
+
+    def test_seeds_produce_variance(self):
+        m = measure(SystemConfig.unprotected(num_nodes=2), "oltp", ops=60, seeds=3)
+        assert m.runtime_std >= 0  # may be 0 on tiny runs, but defined
+
+
+class TestNormalisation:
+    def test_baseline_is_one(self):
+        ms = {
+            "base": Measurement(100, 5, 0, 0, 0, 0, 0, 0),
+            "dvmc": Measurement(110, 5, 0, 0, 0, 0, 0, 0),
+        }
+        normalized = normalized_runtimes(ms, "base")
+        assert normalized["base"][0] == 1.0
+        assert normalized["dvmc"][0] == pytest.approx(1.1)
+
+    def test_zero_baseline_rejected(self):
+        ms = {"base": Measurement(0, 0, 0, 0, 0, 0, 0, 0)}
+        with pytest.raises(ValueError):
+            normalized_runtimes(ms, "base")
+
+
+class TestFormatting:
+    def test_series_table(self):
+        rows = {"oltp": {"Base": (1.0, 0.02), "DVMC": (1.05, 0.03)}}
+        text = format_series("Figure X", rows, ["Base", "DVMC"])
+        assert "Figure X" in text
+        assert "oltp" in text
+        assert "1.050" in text

@@ -1,0 +1,113 @@
+"""Offline trace recording and golden-reference checking."""
+
+from repro.config import SystemConfig
+from repro.processor.operations import Atomic, Batch, Load, Store
+from repro.system.builder import build_system
+from repro.verify import Trace, TraceChecker, TraceEvent, record_program
+from repro.workloads import lock_addr, shared_addr
+from repro.workloads.primitives import lock_acquire, lock_release
+from repro.consistency.models import ConsistencyModel
+
+
+def run_traced(programs, **kw):
+    trace = Trace()
+    wrapped = [
+        record_program(i, program, trace) for i, program in enumerate(programs)
+    ]
+    config = SystemConfig.protected(num_nodes=len(programs), **kw)
+    system = build_system(config, programs=wrapped)
+    result = system.run(max_cycles=5_000_000)
+    assert result.completed
+    return trace, result
+
+
+class TestRecording:
+    def test_records_ops_in_program_order(self):
+        def prog():
+            yield Store(0x2_0000, 1)
+            value = yield Load(0x2_0000)
+            yield Atomic(0x2_0000, 9)
+
+        def idle():
+            yield Load(0x2_0040)
+
+        trace, _ = run_traced([prog(), idle()])
+        core0 = trace.per_core()[0]
+        assert [e.kind for e in core0] == ["store", "load", "atomic"]
+        assert core0[1].value == 1  # the load saw the store
+        assert core0[2].old_value == 1
+
+    def test_batch_ops_recorded_individually(self):
+        def prog():
+            yield Store(0x2_0000, 3)
+            yield Batch([Load(0x2_0000), Load(0x2_0004)])
+
+        def idle():
+            yield Load(0x2_0040)
+
+        trace, _ = run_traced([prog(), idle()])
+        kinds = [e.kind for e in trace.per_core()[0]]
+        assert kinds == ["store", "load", "load"]
+
+
+class TestGoldenChecks:
+    def test_clean_execution_passes(self):
+        lock = lock_addr(0)
+        counter = shared_addr(0)
+
+        def worker():
+            for _ in range(5):
+                yield from lock_acquire(lock, ConsistencyModel.TSO)
+                value = yield Load(counter)
+                yield Store(counter, value + 1)
+                yield from lock_release(lock, ConsistencyModel.TSO)
+
+        trace, result = run_traced([worker(), worker()])
+        assert not result.violations
+        assert TraceChecker(trace).check() == []
+
+    def test_out_of_thin_air_detected(self):
+        trace = Trace()
+        trace.events.append(TraceEvent(0, 0, "store", 0x100, 5))
+        trace.events.append(TraceEvent(1, 0, "load", 0x100, 77))  # never written
+        violations = TraceChecker(trace).check()
+        assert any(v.rule == "out-of-thin-air" for v in violations)
+
+    def test_uniprocessor_ordering_violation_detected(self):
+        trace = Trace()
+        trace.events.append(TraceEvent(0, 0, "store", 0x100, 5))
+        trace.events.append(TraceEvent(0, 1, "store", 0x100, 6))
+        trace.events.append(TraceEvent(0, 2, "load", 0x100, 5))  # stale!
+        violations = TraceChecker(trace).check()
+        assert any(v.rule == "uniprocessor-ordering" for v in violations)
+
+    def test_shared_words_skipped_conservatively(self):
+        trace = Trace()
+        trace.events.append(TraceEvent(0, 0, "store", 0x100, 5))
+        trace.events.append(TraceEvent(1, 0, "store", 0x100, 6))
+        trace.events.append(TraceEvent(0, 1, "load", 0x100, 6))  # remote value: legal
+        assert TraceChecker(trace).check() == []
+
+    def test_initial_value_is_legal(self):
+        trace = Trace()
+        trace.events.append(TraceEvent(0, 0, "load", 0x100, 0))
+        assert TraceChecker(trace).check() == []
+
+    def test_workload_traces_are_clean(self):
+        """Cross-validation: simulated workloads pass the offline oracle."""
+        from repro.workloads import make_program
+
+        trace = Trace()
+        programs = [
+            record_program(
+                n,
+                make_program("oltp", n, 2, ConsistencyModel.TSO, 3, 80),
+                trace,
+            )
+            for n in range(2)
+        ]
+        config = SystemConfig.protected(num_nodes=2)
+        system = build_system(config, programs=programs)
+        result = system.run(max_cycles=5_000_000)
+        assert result.completed and not result.violations
+        assert TraceChecker(trace).check() == []
