@@ -15,10 +15,16 @@ over perturbed seeds, mirroring the paper's ten-run methodology.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
-from repro.system.experiments import Measurement, measure
+from repro.parallel import run_points
+from repro.system.experiments import (
+    Measurement,
+    aggregate_metrics,
+    measure,
+    replica_specs,
+)
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -46,14 +52,27 @@ def measure_grid(
     workloads=WORKLOADS,
     ops: int = OPS,
     seeds: int = SEEDS,
+    jobs: Optional[int] = None,
 ) -> Dict[str, Dict[str, Measurement]]:
-    """workload -> config-label -> Measurement."""
+    """workload -> config-label -> Measurement.
+
+    The whole config × workload × seed grid is one flat batch of
+    independent runs, fanned across cores by
+    :func:`repro.parallel.run_points` (``jobs=None`` honours the
+    ``REPRO_JOBS`` environment variable).  Replicas are re-grouped in
+    submission order, so the grid is identical to the serial one.
+    """
+    points = [(w, label) for w in workloads for label in configs]
+    specs = []
+    for workload, label in points:
+        specs.extend(replica_specs(configs[label], workload, ops, seeds))
+    metrics = run_points(specs, jobs=jobs)
     out: Dict[str, Dict[str, Measurement]] = {}
-    for workload in workloads:
-        out[workload] = {
-            label: measure(config, workload, ops=ops, seeds=seeds)
-            for label, config in configs.items()
-        }
+    for i, (workload, label) in enumerate(points):
+        chunk = metrics[i * seeds : (i + 1) * seeds]
+        out.setdefault(workload, {})[label] = aggregate_metrics(
+            configs[label], chunk
+        )
     return out
 
 

@@ -1,0 +1,116 @@
+"""Performance benchmark: serial vs parallel wall clock and events/sec.
+
+Runs a fixed workload mix — a 4-point (config × workload) grid with
+perturbed seeds per point, the same shape as the paper-figure sweeps —
+once with ``jobs=1`` and once with ``jobs=N``, checks the two metric
+sets are identical (the orchestrator's ordering guarantee), and writes
+a machine-readable ``BENCH_perf.json`` at the repo root so the perf
+trajectory is tracked across PRs::
+
+    {"serial_s": ..., "parallel_s": ..., "jobs": ..., "events_per_sec": ...}
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_perf.py --jobs 2 --ops 20 --seeds 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.config import SystemConfig  # noqa: E402
+from repro.parallel import RunSpec, resolve_jobs, run_points  # noqa: E402
+
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_perf.json"
+)
+
+
+def workload_mix(ops: int, seeds: int) -> List[RunSpec]:
+    """The fixed 4-point grid: {Base, DVMC} × {oltp, jbb}."""
+    points = [
+        (SystemConfig.unprotected(), "oltp"),
+        (SystemConfig.protected(), "oltp"),
+        (SystemConfig.unprotected(), "jbb"),
+        (SystemConfig.protected(), "jbb"),
+    ]
+    return [
+        RunSpec(config.with_seed(seed), workload, ops)
+        for config, workload in points
+        for seed in range(1, seeds + 1)
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=0, help="parallel worker count (0 = auto)"
+    )
+    parser.add_argument("--ops", type=int, default=60, help="ops per core")
+    parser.add_argument("--seeds", type=int, default=2, help="seeds per point")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
+    args = parser.parse_args(argv)
+
+    jobs = resolve_jobs(args.jobs)
+    specs = workload_mix(args.ops, args.seeds)
+    print(
+        f"bench_perf: {len(specs)} runs "
+        f"(4 points x {args.seeds} seeds, ops={args.ops}), jobs={jobs}"
+    )
+
+    t0 = time.perf_counter()
+    serial = run_points(specs, jobs=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_points(specs, jobs=jobs)
+    parallel_s = time.perf_counter() - t0
+
+    identical = serial == parallel
+    if not identical:
+        for i, (a, b) in enumerate(zip(serial, parallel)):
+            if a != b:
+                print(f"MISMATCH at spec #{i}:\n  serial:   {a}\n  parallel: {b}")
+
+    events = sum(m.events_processed for m in serial)
+    events_per_sec = events / serial_s if serial_s else 0.0
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+
+    payload = {
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "jobs": jobs,
+        "events_per_sec": round(events_per_sec, 1),
+        "speedup": round(speedup, 3),
+        "events": events,
+        "runs": len(specs),
+        "ops": args.ops,
+        "seeds": args.seeds,
+        "identical": identical,
+        "cpu_count": os.cpu_count(),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(
+        f"serial   {serial_s:8.2f} s   ({events_per_sec:,.0f} events/sec)\n"
+        f"parallel {parallel_s:8.2f} s   (jobs={jobs}, speedup {speedup:.2f}x)\n"
+        f"metrics identical: {identical}\n"
+        f"[written to {os.path.abspath(args.out)}]"
+    )
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,6 +56,7 @@ def cmd_compare(args) -> int:
             args.workload,
             ops=args.ops,
             seeds=args.seeds,
+            jobs=args.jobs,
         )
         dvmc = measure(
             SystemConfig.protected(
@@ -64,6 +65,7 @@ def cmd_compare(args) -> int:
             args.workload,
             ops=args.ops,
             seeds=args.seeds,
+            jobs=args.jobs,
         )
         overhead = dvmc.runtime_mean / base.runtime_mean - 1
         print(
@@ -99,12 +101,14 @@ def cmd_inject(args) -> int:
 
 def cmd_campaign(args) -> int:
     config = _config(args, protected=True)
+    # Campaigns are the longest sweeps: default to all-but-one core.
     results = run_campaign(
         config,
         workload=args.workload,
         ops=args.ops,
         trials_per_kind=args.trials,
         seed=args.seed,
+        jobs=args.jobs if args.jobs is not None else 0,
     )
     print(format_summary(summarize(results)))
     hangs_missed = [
@@ -124,6 +128,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nodes", type=int, default=8)
     parser.add_argument("--ops", type=int, default=200)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for independent runs (0 = all cores minus "
+        "one; default: REPRO_JOBS env, then 1 — except campaigns, which "
+        "default to 0; single `run` invocations always execute in-process)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -394,7 +394,7 @@ class DirectoryMemoryController:
             if msg.data is None:
                 raise SimulationError("PutM without data")
             self.hooks.memory_write(
-                self.node, block, self.memory.read_block(block)
+                self.node, block, self.memory.read_block(block), msg.data
             )
             self.memory.write_block(block, msg.data)
             ent.owner = None

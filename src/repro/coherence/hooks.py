@@ -69,8 +69,9 @@ class SystemHooks:
         """fn(node, block_addr, old_data) — before a cache block changes."""
         self._block_write.append(fn)
 
-    def on_memory_write(self, fn: Callable[[int, int, list], None]) -> None:
-        """fn(home_node, block_addr, old_data) — before memory changes."""
+    def on_memory_write(self, fn: Callable[[int, int, list, list], None]) -> None:
+        """fn(home_node, block_addr, old_data, new_data) — before a
+        writeback replaces a memory block's contents."""
         self._mem_write.append(fn)
 
     def on_snoop_tick(self, fn: Callable[[int], None]) -> None:
@@ -124,9 +125,9 @@ class SystemHooks:
         for fn in self._block_write:
             fn(node, addr, old_data)
 
-    def memory_write(self, node: int, addr: int, old_data: list) -> None:
+    def memory_write(self, node: int, addr: int, old_data: list, new_data: list) -> None:
         for fn in self._mem_write:
-            fn(node, addr, old_data)
+            fn(node, addr, old_data, new_data)
 
     def snoop_tick(self, node: int) -> None:
         for fn in self._snoop_tick:

@@ -376,7 +376,9 @@ class SnoopingMemoryController:
         block = block_of(msg.addr)
         if self._pending_wb.get(block) == msg.src and msg.data is not None:
             del self._pending_wb[block]
-            self.hooks.memory_write(self.node, block, self.memory.read_block(block))
+            self.hooks.memory_write(
+                self.node, block, self.memory.read_block(block), msg.data
+            )
             self.memory.write_block(block, msg.data)
         else:
             self.stats.incr(f"{self._stat}.stale_wb_data")

@@ -3,7 +3,14 @@
 The Cache Coherence checker hashes 64-byte blocks down to 16 bits for
 the CET, MET and Inform-Epoch messages (paper Section 4.3, "Data Block
 Hashing").  The paper uses CRC-16; we implement CRC-16/CCITT-FALSE
-(polynomial 0x1021, init 0xFFFF), table driven.
+(polynomial 0x1021, init 0xFFFF).
+
+The hot path — :func:`hash_block` runs on every epoch begin/end and
+MET update — packs the block's words into ``bytes`` and hands them to
+:func:`binascii.crc_hqx`, which is exactly CRC-16/CCITT with a
+caller-supplied init and runs its table-driven loop in C.  The pure
+Python table implementation is kept as :func:`_crc16_bytes_py`, the
+reference the tests check the fast path against.
 
 Aliasing (two blocks with equal hashes) yields a false *negative* with
 probability about 1/65536 for blocks differing in >= 16 bits; CRC-16
@@ -12,12 +19,17 @@ detects all corruptions of fewer than 16 bits within a block.
 
 from __future__ import annotations
 
+from binascii import crc_hqx
 from typing import Iterable, List
 
 from .types import WORD_MASK, WORDS_PER_BLOCK
 
 _POLY = 0x1021
 _INIT = 0xFFFF
+
+#: Captured builtin for the fast-path type check (keeps the check
+#: working even when tests shadow ``list`` to count conversions).
+_LIST = list
 
 
 def _build_table() -> List[int]:
@@ -36,12 +48,23 @@ def _build_table() -> List[int]:
 _TABLE = _build_table()
 
 
-def crc16_bytes(data: bytes) -> int:
-    """CRC-16/CCITT-FALSE over a byte string."""
+def _crc16_bytes_py(data: bytes) -> int:
+    """Reference table-driven implementation (used by tests to pin the
+    :func:`binascii.crc_hqx` fast path to CRC-16/CCITT-FALSE)."""
     crc = _INIT
     for byte in data:
         crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
     return crc
+
+
+def crc16_bytes(data: bytes) -> int:
+    """CRC-16/CCITT-FALSE over a byte string."""
+    return crc_hqx(data, _INIT)
+
+
+def pack_words(words: Iterable[int]) -> bytes:
+    """Pack 32-bit words into big-endian bytes (masked to word width)."""
+    return b"".join((word & WORD_MASK).to_bytes(4, "big") for word in words)
 
 
 def crc16_words(words: Iterable[int]) -> int:
@@ -49,21 +72,21 @@ def crc16_words(words: Iterable[int]) -> int:
 
     This is the hash applied to cache blocks: a block is its
     :data:`~repro.common.types.WORDS_PER_BLOCK` words in order.
+    Equivalent to ``crc16_bytes(pack_words(words))``.
     """
-    crc = _INIT
-    for word in words:
-        word &= WORD_MASK
-        for shift in (24, 16, 8, 0):
-            byte = (word >> shift) & 0xFF
-            crc = ((crc << 8) & 0xFFFF) ^ _TABLE[((crc >> 8) ^ byte) & 0xFF]
-    return crc
+    return crc_hqx(pack_words(words), _INIT)
 
 
 def hash_block(block: Iterable[int]) -> int:
-    """Hash a data block (list of words) to 16 bits for epoch checking."""
-    words = list(block)
+    """Hash a data block (list of words) to 16 bits for epoch checking.
+
+    Fast path: a ``list`` is consumed in place (no intermediate copy);
+    the words are packed with :func:`int.to_bytes` and hashed in one
+    table-driven C pass.
+    """
+    words = block if type(block) is _LIST else list(block)
     if len(words) != WORDS_PER_BLOCK:
         raise ValueError(
             f"block must have {WORDS_PER_BLOCK} words, got {len(words)}"
         )
-    return crc16_words(words)
+    return crc_hqx(pack_words(words), _INIT)

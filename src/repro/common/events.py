@@ -36,10 +36,16 @@ class Event:
 
 
 class Scheduler:
-    """Deterministic discrete-event scheduler keyed by cycle count."""
+    """Deterministic discrete-event scheduler keyed by cycle count.
+
+    The heap holds ``(time, seq, event)`` tuples rather than bare
+    events: tuple comparison happens entirely in C, where an
+    ``Event.__lt__`` call per sift step would dominate the scheduler's
+    profile (heap comparisons outnumber events several-fold).
+    """
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[tuple[int, int, Event]] = []
         self._counter = itertools.count()
         self.now = 0
         self._events_processed = 0
@@ -56,7 +62,7 @@ class Scheduler:
                 f"cannot schedule event at {time}, current time is {self.now}"
             )
         event = Event(time, next(self._counter), callback, args)
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (time, event.seq, event))
         return event
 
     def after(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
@@ -71,8 +77,10 @@ class Scheduler:
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            event = pop(queue)[2]
             if event.cancelled:
                 continue
             self.now = event.time
@@ -89,19 +97,33 @@ class Scheduler:
     ) -> None:
         """Run events until the queue drains or a bound is hit.
 
+        This is the simulator's innermost loop (tens of thousands of
+        iterations per run), so the heap primitives are bound locally
+        and cancelled events are drained in a tight inner loop without
+        re-checking the ``until``/``stop_when`` bounds per skip.
+
         Args:
             until: stop once simulated time would exceed this cycle.
             stop_when: predicate polled after every event; stops when true.
             max_events: hard cap on the number of callbacks executed
                 (guards against runaway simulations in tests).
         """
+        queue = self._queue
+        pop = heapq.heappop
         executed = 0
-        while self._queue:
-            if until is not None and self._queue[0].time > until:
+        while queue:
+            event = pop(queue)[2]
+            while event.cancelled:
+                if not queue:
+                    return
+                event = pop(queue)[2]
+            if until is not None and event.time > until:
+                heapq.heappush(queue, (event.time, event.seq, event))
                 self.now = until
                 return
-            if not self.step():
-                return
+            self.now = event.time
+            self._events_processed += 1
+            event.callback(*event.args)
             executed += 1
             if stop_when is not None and stop_when():
                 return

@@ -8,7 +8,6 @@ paper's tables and figures (runtime, replay misses, link utilisation).
 from __future__ import annotations
 
 import math
-from collections import defaultdict
 from typing import Dict, Iterable, List, Tuple
 
 
@@ -35,7 +34,17 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        if not self.count:
+            return 0.0
+        # Clamp: the running sum can drift a few ULPs outside the
+        # observed range (e.g. three records of 0.1 average to
+        # 0.10000000000000002), which breaks mean ∈ [min, max].
+        mean = self.total / self.count
+        if mean < self.min:
+            return self.min
+        if mean > self.max:
+            return self.max
+        return mean
 
     @property
     def stddev(self) -> float:
@@ -54,14 +63,25 @@ class StatsRegistry:
     prefixes.
     """
 
+    __slots__ = ("_counters", "_histograms")
+
     def __init__(self) -> None:
-        self._counters: Dict[str, int] = defaultdict(int)
-        self._histograms: Dict[str, Histogram] = defaultdict(Histogram)
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # Counters -----------------------------------------------------------
     def incr(self, key: str, amount: int = 1) -> None:
-        """Increment counter ``key`` by ``amount``."""
-        self._counters[key] += amount
+        """Increment counter ``key`` by ``amount``.
+
+        Hot path: called once or more per simulated event.  The
+        try/except form is free on the existing-key path under
+        CPython 3.11's zero-cost exceptions, unlike a defaultdict
+        (factory machinery) or an ``in`` pre-check (extra hash).
+        """
+        try:
+            self._counters[key] += amount
+        except KeyError:
+            self._counters[key] = amount
 
     def set_counter(self, key: str, value: int) -> None:
         self._counters[key] = value
@@ -87,12 +107,22 @@ class StatsRegistry:
 
     # Histograms ---------------------------------------------------------
     def record(self, key: str, value: float) -> None:
-        self._histograms[key].record(value)
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        hist.record(value)
 
     def histogram(self, key: str) -> Histogram:
-        return self._histograms[key]
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram()
+        return hist
 
     # Reporting ----------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of every counter (plain data, safe to pickle)."""
+        return dict(self._counters)
+
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
         return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
 
@@ -114,8 +144,15 @@ def mean_stddev(values: Iterable[float]) -> Tuple[float, float]:
     vals: List[float] = list(values)
     if not vals:
         return 0.0, 0.0
-    mean = sum(vals) / len(vals)
+    # fsum + clamp: naive summation can put the mean of identical
+    # values a few ULPs outside [min, max].
+    mean = math.fsum(vals) / len(vals)
+    lo, hi = min(vals), max(vals)
+    if mean < lo:
+        mean = lo
+    elif mean > hi:
+        mean = hi
     if len(vals) < 2:
         return mean, 0.0
-    var = sum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
+    var = math.fsum((v - mean) ** 2 for v in vals) / (len(vals) - 1)
     return mean, math.sqrt(var)

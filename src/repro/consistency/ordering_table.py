@@ -53,6 +53,12 @@ class OrderingTable:
                 raise TypeError(f"cell ({first}, {second}) must be bool or MembarMask")
             table[(first, second)] = cell
         self._table = table
+        #: (first, second, first_mask, second_mask) -> bool.  The table
+        #: is immutable and the argument space is tiny (op types ×
+        #: membar masks), but ``ordered`` runs for every in-flight
+        #: operation pair on the core's issue/perform path, so the
+        #: mask-AND loop is worth memoising.
+        self._ordered_memo: Dict[Tuple, bool] = {}
 
     def cell(self, first: OpType, second: OpType) -> Cell:
         """Raw mask stored for (first, second); NONE if absent."""
@@ -74,12 +80,21 @@ class OrderingTable:
         expanded to their constituent LOAD and STORE types: an ordering
         exists if any constituent pair is ordered.
         """
+        key = (first, second, first_mask, second_mask)
+        cached = self._ordered_memo.get(key)
+        if cached is not None:
+            return cached
+        result = False
         for f in first.access_types() if first is OpType.ATOMIC else (first,):
             for s in second.access_types() if second is OpType.ATOMIC else (second,):
                 mask = self._table.get((f, s), MembarMask.NONE)
                 if mask & first_mask & second_mask:
-                    return True
-        return False
+                    result = True
+                    break
+            if result:
+                break
+        self._ordered_memo[key] = result
+        return result
 
     def constrains_any(self, first: OpType) -> bool:
         """True if type ``first`` is ordered before *some* type."""

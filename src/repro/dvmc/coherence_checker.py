@@ -75,7 +75,14 @@ class CETEntry:
 class METEntry:
     """Home-side per-block epoch summary (48 bits in hardware)."""
 
-    __slots__ = ("last_ro_end", "last_rw_end", "last_rw_end_hash", "open_ro", "open_rw")
+    __slots__ = (
+        "last_ro_end",
+        "last_rw_end",
+        "last_rw_end_hash",
+        "mem_hash",
+        "open_ro",
+        "open_rw",
+    )
 
     def __init__(self, created: int, data_hash: int):
         self.last_ro_end = created
@@ -83,6 +90,12 @@ class METEntry:
         #: None means unknown (after an open RW epoch closed without a
         #: hash — the Inform-Closed-Epoch carries only address + time).
         self.last_rw_end_hash: Optional[int] = data_hash
+        #: Hash of the block's DRAM-resident copy, maintained at the
+        #: co-located home: set at entry creation and at each applied
+        #: writeback.  Memory contents change nowhere else, so DRAM
+        #: must hash to this at all times — writebacks and scrubber
+        #: passes cross-check it to catch in-memory corruption.
+        self.mem_hash: Optional[int] = data_hash
         self.open_ro: Set[int] = set()
         self.open_rw: Optional[int] = None
 
@@ -119,7 +132,24 @@ class CoherenceChecker:
         #: Scrub FIFOs: (block, begin_full) per epoch, per node.
         self._scrub_fifo: List[List[Tuple[int, int]]] = [[] for _ in range(num)]
         self._wrap_horizon = (1 << config.dvmc.timestamp_bits) // 2
+        #: Per-block hash memo: block -> (words-at-hash-time, hash).
+        #: hash_block runs on every epoch begin/end and MET update, and
+        #: most epochs open and close over unchanged data, so a content
+        #: compare (one C-level list ==) replaces most CRC passes.  The
+        #: stored words are a snapshot, never the live cache line, so a
+        #: mutated (or fault-corrupted) block always misses the memo —
+        #: the memo can never mask real corruption.
+        self._hash_memo: Dict[int, Tuple[List[int], int]] = {}
         scheduler.after(SWEEP_PERIOD, self._sweep)
+
+    def _hash_block(self, block: int, data) -> int:
+        """Hash ``data`` with a per-block memo keyed on content."""
+        memo = self._hash_memo.get(block)
+        if memo is not None and memo[0] == data:
+            return memo[1]
+        value = hash_block(data)
+        self._hash_memo[block] = (list(data), value)
+        return value
 
     # ------------------------------------------------------------------
     # Hook subscriptions (wired by the system builder)
@@ -130,6 +160,7 @@ class CoherenceChecker:
         hooks.on_epoch_end(self.epoch_end)
         hooks.on_access(self.check_access)
         hooks.on_home_request(self.home_request)
+        hooks.on_memory_write(self.memory_written)
 
     # ------------------------------------------------------------------
     # CET side
@@ -150,7 +181,7 @@ class CoherenceChecker:
             self._violate(node, "epoch-begin-over-open", f"block 0x{block:x}")
         entry = CETEntry(etype, self.lt.now(node) if lt is None else lt)
         if data is not None:
-            entry.begin_hash = hash_block(data)
+            entry.begin_hash = self._hash_block(block, data)
             entry.data_ready = True
         cet[block] = entry
         self._scrub_fifo[node].append((block, entry.begin))
@@ -165,7 +196,7 @@ class CoherenceChecker:
             self._violate(node, "data-without-epoch", f"block 0x{block:x}")
             return
         if not entry.data_ready:
-            entry.begin_hash = hash_block(data)
+            entry.begin_hash = self._hash_block(block, data)
             entry.data_ready = True
         if entry.ended:
             # Degenerate epoch (block handed over before data arrived).
@@ -191,7 +222,7 @@ class CoherenceChecker:
         entry.ended = True
         entry.end = self.lt.now(node) if lt is None else lt
         if data is not None:
-            entry.end_hash = hash_block(data)
+            entry.end_hash = self._hash_block(block, data)
         elif entry.data_ready:
             entry.end_hash = entry.begin_hash
         if entry.data_ready:
@@ -234,8 +265,12 @@ class CoherenceChecker:
                 f"{'store' if is_store else 'load'} 0x{addr:x}",
             )
             return
-        if is_store and (entry.etype is not EpochType.READ_WRITE or entry.ended):
-            self._violate(node, "store-outside-rw-epoch", f"0x{addr:x}")
+        if is_store:
+            # The store is about to change the block: drop the memoised
+            # hash so the next epoch event re-hashes the new contents.
+            self._hash_memo.pop(block_of(addr), None)
+            if entry.etype is not EpochType.READ_WRITE or entry.ended:
+                self._violate(node, "store-outside-rw-epoch", f"0x{addr:x}")
 
     def cet_occupancy(self, node: int) -> int:
         return len(self._cet[node])
@@ -319,7 +354,52 @@ class CoherenceChecker:
         block = block_of(addr)
         if block not in self._met[home]:
             data = self.memories[home].read_block(block)
-            self._met[home][block] = METEntry(self.lt.now(home), hash_block(data))
+            self._met[home][block] = METEntry(
+                self.lt.now(home), self._hash_block(block, data)
+            )
+
+    def memory_written(
+        self, home: int, addr: int, old_data: list, new_data: list
+    ) -> None:
+        """A writeback is being applied at ``home``.
+
+        Rule 3 extended to DRAM residency: the data being replaced must
+        still hash to what the MET last saw stored there — anything
+        else means the block was corrupted while memory-resident.
+        """
+        block = block_of(addr)
+        entry = self._met[home].get(block)
+        if entry is None:
+            # First touch is the writeback itself; the lazy MET entry
+            # created later will hash post-writeback memory.
+            return
+        old_hash = self._hash_block(block, old_data)
+        if entry.mem_hash is not None and old_hash != entry.mem_hash:
+            self._violate(
+                home,
+                "data-propagation",
+                f"block 0x{block:x}: memory holds hash {old_hash:#06x} "
+                f"at writeback, last stored {entry.mem_hash:#06x}",
+            )
+        entry.mem_hash = self._hash_block(block, new_data)
+
+    def verify_memory(self) -> None:
+        """Scrubber pass: DRAM contents of every MET-tracked block must
+        hash to the value recorded when they were last stored."""
+        for home, met in enumerate(self._met):
+            for block, entry in met.items():
+                if entry.mem_hash is None:
+                    continue
+                got = self._hash_block(
+                    block, self.memories[home].read_block(block)
+                )
+                if got != entry.mem_hash:
+                    self._violate(
+                        home,
+                        "data-propagation",
+                        f"block 0x{block:x}: scrub reads hash "
+                        f"{got:#06x}, last stored {entry.mem_hash:#06x}",
+                    )
 
     def _met_entry(self, home: int, block: int) -> METEntry:
         entry = self._met[home].get(block)
@@ -327,7 +407,7 @@ class CoherenceChecker:
             # Shouldn't happen fault-free (home_request precedes epochs),
             # but injected faults can reorder things; create leniently.
             data = self.memories[home].read_block(block)
-            entry = METEntry(0, hash_block(data))
+            entry = METEntry(0, self._hash_block(block, data))
             self._met[home][block] = entry
         return entry
 

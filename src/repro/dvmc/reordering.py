@@ -129,7 +129,17 @@ class AllowableReorderingChecker:
         self.stats.incr(f"{self._stat}.injected_membars")
         self.check_outstanding()
         self._watchdog()
-        self.scheduler.after(self._interval, self._injected_membar_check)
+        # Re-arm only while something else can still happen: other
+        # queued events, unperformed operations to watch, or a core
+        # that has not finished its workload.  An unconditional
+        # reschedule keeps a bare ``Scheduler.run()`` from ever
+        # draining the queue once the machine is otherwise done.
+        if (
+            self.scheduler.pending()
+            or self._outstanding
+            or (self.core is not None and not self.core.quiescent)
+        ):
+            self.scheduler.after(self._interval, self._injected_membar_check)
 
     def _watchdog(self) -> None:
         """Catch operations lost before commit (e.g. a dropped data

@@ -37,7 +37,14 @@ class VCEntry:
     value from a remote writer).
     """
 
-    __slots__ = ("value", "count", "oldest_commit_cycle", "last_used", "load_seq")
+    __slots__ = (
+        "value",
+        "count",
+        "oldest_commit_cycle",
+        "last_used",
+        "load_seq",
+        "reported",
+    )
 
     def __init__(self, value: int, count: int, cycle: int, load_seq=None):
         self.value = value
@@ -45,6 +52,7 @@ class VCEntry:
         self.oldest_commit_cycle = cycle
         self.last_used = cycle
         self.load_seq = load_seq
+        self.reported = False  # store-lost already reported at least once
 
 
 class UniprocessorOrderingChecker:
@@ -222,7 +230,15 @@ class UniprocessorOrderingChecker:
                     f"{entry.oldest_commit_cycle} never performed",
                 )
                 entry.oldest_commit_cycle = now  # report once per interval
-        self.scheduler.after(self._scan_interval, self._scan_stale)
+                entry.reported = True
+        # Re-arm only while other events are queued or some live store
+        # has yet to be reported lost; otherwise the machine is done
+        # (or dead and fully diagnosed) and an unconditional reschedule
+        # would keep a bare ``Scheduler.run()`` from ever draining.
+        if self.scheduler.pending() or any(
+            e.count > 0 and not e.reported for e in self._vc.values()
+        ):
+            self.scheduler.after(self._scan_interval, self._scan_stale)
 
     def _violate(self, kind: str, detail: str) -> None:
         self.stats.incr(f"{self._stat}.violations")

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.rng import SplitRng
 from repro.config import SystemConfig
+from repro.parallel import run_points
 from repro.system.builder import build_system
 
 from .injector import ALL_FAULT_KINDS, FaultInjector, FaultKind, FaultPlan
@@ -95,6 +96,32 @@ def run_trial(
     )
 
 
+@dataclass(frozen=True)
+class TrialSpec:
+    """Picklable description of one injection trial (pool-worker input)."""
+
+    config: SystemConfig
+    workload: str
+    ops: int
+    kind: FaultKind
+    inject_cycle: int
+    seed: int
+    max_cycles: int
+
+
+def run_trial_spec(spec: TrialSpec) -> TrialResult:
+    """Top-level worker: execute one :class:`TrialSpec` in this process."""
+    return run_trial(
+        spec.config,
+        spec.workload,
+        spec.ops,
+        spec.kind,
+        spec.inject_cycle,
+        seed=spec.seed,
+        max_cycles=spec.max_cycles,
+    )
+
+
 def run_campaign(
     config: SystemConfig,
     workload: str = "oltp",
@@ -102,18 +129,25 @@ def run_campaign(
     kinds: Sequence[FaultKind] = ALL_FAULT_KINDS,
     trials_per_kind: int = 3,
     seed: int = 11,
+    jobs: Optional[int] = None,
 ) -> List[TrialResult]:
-    """The Section 6.1 experiment: random (type, time, location) faults."""
+    """The Section 6.1 experiment: random (type, time, location) faults.
+
+    All (type, time, location) choices are drawn up front from the
+    campaign RNG, then the independent trials fan out across ``jobs``
+    worker processes; results come back in trial order, identical to a
+    serial campaign.
+    """
     rng = SplitRng(seed).child("campaign")
     # Calibrate the injection window against a fault-free run.
     baseline = build_system(config.with_seed(seed), workload=workload, ops=ops)
     base_cycles = baseline.run().cycles
-    results: List[TrialResult] = []
+    specs: List[TrialSpec] = []
     for kind in kinds:
         for trial in range(trials_per_kind):
             inject_cycle = rng.randint(base_cycles // 5, (3 * base_cycles) // 5)
-            results.append(
-                run_trial(
+            specs.append(
+                TrialSpec(
                     config,
                     workload,
                     ops,
@@ -123,7 +157,7 @@ def run_campaign(
                     max_cycles=3 * base_cycles + 60_000,
                 )
             )
-    return results
+    return run_points(specs, jobs=jobs, worker=run_trial_spec)
 
 
 def summarize(results: List[TrialResult]) -> Dict[FaultKind, Dict[str, float]]:

@@ -76,6 +76,12 @@ class FaultInjector:
         self.system = system
         self.rng = SplitRng(seed).child("faults")
         self.records: List[InjectionRecord] = []
+        #: Armed plans that have neither landed nor exhausted their
+        #: retries.  The run can stop (workload done, deadline) while a
+        #: retry is still queued; the system-level finalizer flushes
+        #: such plans as not-landed so ``records`` reflects every plan.
+        self._pending: List[FaultPlan] = []
+        system.finalizers.append(self._flush_pending)
 
     # -- public API ---------------------------------------------------------
     #: State-dependent faults re-arm until a target exists.
@@ -84,16 +90,28 @@ class FaultInjector:
 
     def arm(self, plan: FaultPlan) -> None:
         """Schedule the plan's injection at its cycle."""
+        self._pending.append(plan)
         self.system.scheduler.at(plan.at_cycle, self._fire, plan, 0)
 
     def _fire(self, plan: FaultPlan, attempt: int) -> None:
+        if plan not in self._pending:  # already flushed by a finalizer
+            return
         handler = getattr(self, f"_inject_{plan.kind.name.lower()}")
         self._attempt = attempt
         record = handler(plan)
         if not record.landed and attempt < self.MAX_RETRIES:
             self.system.scheduler.after(self.RETRY_DELAY, self._fire, plan, attempt + 1)
             return
+        self._pending.remove(plan)
         self.records.append(record)
+
+    def _flush_pending(self) -> None:
+        """Record any plan still retrying when the run stopped."""
+        for plan in self._pending:
+            self.records.append(
+                self._record(plan, False, "no target before run ended")
+            )
+        self._pending.clear()
 
     def _record(self, plan: FaultPlan, landed: bool, desc: str, **details) -> InjectionRecord:
         return InjectionRecord(
@@ -219,15 +237,30 @@ class FaultInjector:
         return self._record(plan, False, "no clean line to corrupt")
 
     def _inject_mem_data_flip(self, plan: FaultPlan) -> InjectionRecord:
-        """Multi-bit DRAM flip in a block no cache currently holds."""
-        cached = set()
+        """Multi-bit DRAM flip in a block no cache currently holds.
+
+        Working sets that fit in L1 never evict, so a truly uncached
+        touched block may not exist; fall back to flipping DRAM under a
+        block cached only in Shared state.  No dirty owner will ever
+        write back over the flip, so the corruption stays latent until
+        the clean copies are dropped and the block is re-fetched from
+        memory (a scrubber pass, or the next capacity miss).
+        """
+        states: dict = {}
         for controller in self.system.cache_controllers:
-            cached.update(l.addr for l in controller.l1.lines())
+            for l in controller.l1.lines():
+                states.setdefault(l.addr, set()).add(l.state)
         candidates = []
         for node, memory in enumerate(self.system.memories):
             for block in memory.touched_blocks():
-                if block not in cached:
+                if block not in states:
                     candidates.append((node, block))
+        if not candidates:
+            candidates = [
+                (self.system.home_of(block), block)
+                for block, s in states.items()
+                if s <= {CoherenceState.S}
+            ]
         if not candidates:
             return self._record(plan, False, "no memory-resident block")
         from repro.workloads.suite import PRIVATE_BASE, SHARED_BASE

@@ -320,7 +320,13 @@ class Core:
         rec.bound_value = value
         if not self.model.requires_load_order:
             self._mark_performed(rec)
-        self._release(rec, value)
+            self._release(rec, value)
+        # Load-ordered models: the bound value is speculative until the
+        # load performs; a squash may rebind it.  The program receives
+        # the value at the perform point so it only ever observes
+        # architecturally final values (a real core would replay the
+        # load's dependents on mis-speculation; a generator cannot be
+        # rolled back, so it must not consume speculative values).
         self._kick()
 
     def _execute_atomic(self, rec: OpRec) -> None:
@@ -395,10 +401,35 @@ class Core:
         rec.verified = True
         kind = rec.op_type
         if kind is OpType.LOAD and self.model.requires_load_order:
-            self._resolve_speculation(rec)
-            self._mark_performed(rec)
+            self._perform_load_when_final(rec)
         elif kind in (OpType.MEMBAR, OpType.STBAR):
             self._perform_barrier_when_ready(rec)
+
+    def _perform_load_when_final(self, rec: OpRec) -> None:
+        """Baseline perform point for load-ordered loads: wait out the
+        ordering table (e.g. SC's Store->Load edge), re-read the cache
+        if the speculative bind was squashed by a remote write, then
+        deliver the final value to the program."""
+        if rec.performed:
+            return
+        if not self._can_perform(rec):
+            self.scheduler.after(2, self._perform_load_when_final, rec)
+            return
+        if rec.squashed:
+            rec.squashed = False
+            self.stats.incr(f"{self._stat}.load_squashes")
+            self._stall_until = self.scheduler.now + SQUASH_PENALTY
+
+            def rebound(value: int) -> None:
+                rec.bound_value = value
+                self._perform_load_when_final(rec)
+
+            self.controller.load(rec.addr, rebound)
+            return
+        self._resolve_speculation(rec)
+        self._mark_performed(rec)
+        self._release(rec, rec.bound_value)
+        self._kick()
 
     def _sc_issue_store(self, rec: OpRec) -> None:
         if self._sc_store_outstanding or not self._can_perform(rec):
@@ -503,6 +534,10 @@ class Core:
             if self.model.requires_load_order:
                 self._resolve_speculation(rec)
                 self._mark_performed(rec)
+                # Perform point: deliver the (possibly squash-corrected)
+                # value to the program.  No-op for forwarded loads,
+                # which released their final value at execute.
+                self._release(rec, rec.bound_value)
             self._kick()
 
         self.uo.replay_load(rec.addr, rec.bound_value, done, seq=rec.seq)

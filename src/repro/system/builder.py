@@ -84,6 +84,9 @@ class System:
         self.data_network: Optional[TorusNetwork] = None
         self.address_network: Optional[BroadcastTreeNetwork] = None
         self.logical_time = None
+        #: Callbacks invoked after every :meth:`run` returns, e.g. a
+        #: fault injector flushing a still-pending plan as not-landed.
+        self.finalizers: List[Callable[[], None]] = []
 
     # -- address interleaving ------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -114,6 +117,8 @@ class System:
 
         self.scheduler.run(until=max_cycles, stop_when=done)
         self.dvmc.finalize()
+        for finalize in self.finalizers:
+            finalize()
         result = RunResult(self)
         if not result.completed and not allow_incomplete:
             stuck = [c.node for c in self.cores if not c.quiescent]
@@ -163,8 +168,14 @@ class System:
         our benchmark runs are short, so fault campaigns use an explicit
         scrub to activate latent corruption the way hardware memory
         scrubbers do.  Each touched block opens and closes an epoch,
-        driving the data-propagation check at its home MET.
+        driving the data-propagation check at its home MET.  The
+        scrubber also reads DRAM directly at each home and cross-checks
+        it against the MET's record of what was last stored there,
+        catching corruption in blocks whose clean cached copies would
+        otherwise mask it.
         """
+        if self.dvmc.coherence_checker is not None:
+            self.dvmc.coherence_checker.verify_memory()
         blocks = sorted(
             {
                 block

@@ -10,11 +10,12 @@ metrics each figure plots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.stats import mean_stddev
 from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel
+from repro.parallel import RunMetrics, RunSpec, run_points
 
 from .builder import RunResult, System, build_system
 
@@ -56,40 +57,40 @@ def run_once(
     return system, result
 
 
-def measure(
-    config: SystemConfig,
-    workload: str,
-    ops: int = 300,
-    seeds: int = DEFAULT_SEEDS,
+def replica_specs(
+    config: SystemConfig, workload: str, ops: int, seeds: int
+) -> List[RunSpec]:
+    """The perturbed-seed replicas behind one data point."""
+    return [
+        RunSpec(config.with_seed(seed), workload, ops)
+        for seed in range(1, seeds + 1)
+    ]
+
+
+def aggregate_metrics(
+    config: SystemConfig, metrics: Sequence[RunMetrics]
 ) -> Measurement:
-    """Run ``seeds`` perturbed replicas and aggregate the metrics."""
+    """Fold per-replica :class:`RunMetrics` into one :class:`Measurement`.
+
+    Pure data-plane aggregation — identical whether the metrics came
+    from in-process runs or pool workers.
+    """
     runtimes: List[float] = []
     max_link = 0.0
     replay_misses = replay_accesses = 0
     l1_misses = l1_accesses = 0
     violations = 0
-    for seed in range(1, seeds + 1):
-        system, result = run_once(config.with_seed(seed), workload, ops)
-        runtimes.append(result.cycles)
-        stats = system.stats
-        if result.cycles:
-            link = stats.max_over("net.")[1] / result.cycles
-            max_link = max(max_link, link)
-        replay_misses += sum(
-            stats.counter(f"l1.{n}.replay_misses")
-            for n in range(config.num_nodes)
-        )
-        replay_accesses += sum(
-            stats.counter(f"l1.{n}.replay_accesses")
-            for n in range(config.num_nodes)
-        )
-        l1_misses += sum(
-            stats.counter(f"l1.{n}.misses") for n in range(config.num_nodes)
-        )
-        l1_accesses += sum(
-            stats.counter(f"l1.{n}.accesses") for n in range(config.num_nodes)
-        )
-        violations += len(result.violations)
+    for m in metrics:
+        runtimes.append(m.cycles)
+        if m.cycles:
+            max_link = max(max_link, m.counter_max("net.") / m.cycles)
+        counters = m.counters
+        for n in range(config.num_nodes):
+            replay_misses += counters.get(f"l1.{n}.replay_misses", 0)
+            replay_accesses += counters.get(f"l1.{n}.replay_accesses", 0)
+            l1_misses += counters.get(f"l1.{n}.misses", 0)
+            l1_accesses += counters.get(f"l1.{n}.accesses", 0)
+        violations += m.violations
     mean, std = mean_stddev(runtimes)
     return Measurement(
         runtime_mean=mean,
@@ -101,6 +102,23 @@ def measure(
         l1_accesses=l1_accesses,
         violations=violations,
     )
+
+
+def measure(
+    config: SystemConfig,
+    workload: str,
+    ops: int = 300,
+    seeds: int = DEFAULT_SEEDS,
+    jobs: Optional[int] = None,
+) -> Measurement:
+    """Run ``seeds`` perturbed replicas and aggregate the metrics.
+
+    ``jobs`` fans the replicas across worker processes (see
+    :func:`repro.parallel.run_points`); results are aggregated in seed
+    order, so every field is identical to a serial run.
+    """
+    metrics = run_points(replica_specs(config, workload, ops, seeds), jobs=jobs)
+    return aggregate_metrics(config, metrics)
 
 
 def normalized_runtimes(

@@ -36,7 +36,7 @@ class TestDispatch:
     def test_unsubscribed_events_are_noops(self):
         hooks = SystemHooks()
         hooks.block_write(0, 0, [0])
-        hooks.memory_write(0, 0, [0])
+        hooks.memory_write(0, 0, [0], [1])
         hooks.snoop_tick(0)
         hooks.invalidation(0, 0)
         hooks.home_request(0, 0)
@@ -50,7 +50,7 @@ class TestDispatch:
         hooks.on_invalidation(lambda *a: seen.add("inv"))
         hooks.on_home_request(lambda *a: seen.add("hr"))
         hooks.block_write(0, 0, [])
-        hooks.memory_write(0, 0, [])
+        hooks.memory_write(0, 0, [], [])
         hooks.snoop_tick(0)
         hooks.invalidation(0, 0)
         hooks.home_request(0, 0)

@@ -3,7 +3,14 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.crc import crc16_bytes, crc16_words, hash_block
+import repro.common.crc as crc
+from repro.common.crc import (
+    _crc16_bytes_py,
+    crc16_bytes,
+    crc16_words,
+    hash_block,
+    pack_words,
+)
 from repro.common.types import WORDS_PER_BLOCK
 
 
@@ -68,3 +75,45 @@ class TestHashBlock:
         value = hash_block(block)
         assert 0 <= value <= 0xFFFF
         assert value == hash_block(list(block))
+
+
+class TestFastPathEquivalence:
+    """The binascii/bytes-packing fast path must match the reference
+    table implementation bit for bit."""
+
+    @given(st.binary(max_size=256))
+    def test_crc_hqx_matches_reference_table(self, data):
+        assert crc16_bytes(data) == _crc16_bytes_py(data)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=0xFFFFFFFF),
+            min_size=0,
+            max_size=2 * WORDS_PER_BLOCK,
+        )
+    )
+    def test_words_equal_packed_bytes(self, words):
+        assert crc16_words(words) == crc16_bytes(pack_words(words))
+
+    def test_pack_words_masks_and_orders(self):
+        assert pack_words([0x01020304]) == b"\x01\x02\x03\x04"
+        assert pack_words([0x1_0000_0001]) == b"\x00\x00\x00\x01"
+
+    def test_hash_block_does_not_copy_lists(self, monkeypatch):
+        """hash_block consumes a list in place — no intermediate
+        list() copy on the hot path."""
+        copies = []
+
+        def spying_list(value):
+            copies.append(value)
+            return [v for v in value]
+
+        # Shadow the builtin within the crc module's namespace.
+        monkeypatch.setattr(crc, "list", spying_list, raising=False)
+        block = [i & 0xFFFFFFFF for i in range(WORDS_PER_BLOCK)]
+        expected = crc16_words(block)
+        assert crc.hash_block(block) == expected
+        assert copies == []
+        # Non-list iterables still get materialised exactly once.
+        assert crc.hash_block(iter(block)) == expected
+        assert len(copies) == 1

@@ -52,6 +52,15 @@ class TestHistogram:
             h.record(7)
         assert h.stddev == 0
 
+    def test_mean_clamped_into_observed_range(self):
+        # 0.1 + 0.1 + 0.1 = 0.30000000000000004: without clamping the
+        # mean lands a ULP above max.
+        h = Histogram()
+        for _ in range(3):
+            h.record(0.1)
+        assert h.mean == 0.1
+        assert h.min <= h.mean <= h.max
+
     def test_registry_histograms(self):
         s = StatsRegistry()
         s.record("lat", 10)
@@ -79,3 +88,10 @@ class TestMeanStddev:
         mean, std = mean_stddev(values)
         assert std >= 0
         assert min(values) <= mean <= max(values)
+
+    def test_identical_values_mean_in_range(self):
+        # Regression: naive sum put the mean of identical values a few
+        # ULPs outside [min, max].
+        mean, std = mean_stddev([0.1, 0.1, 0.1])
+        assert mean == 0.1
+        assert std >= 0

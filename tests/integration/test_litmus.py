@@ -31,16 +31,31 @@ def run_litmus(programs, model, seed=1):
 
 class TestStoreBuffering:
     """SB litmus: P0: X=1; r0=Y   P1: Y=1; r1=X.
-    r0==r1==0 is forbidden under SC, allowed under TSO/PSO/RMO."""
+    r0==r1==0 is forbidden under SC, allowed under TSO/PSO/RMO.
+
+    Both blocks are warmed into the shared state first: the racing
+    loads then hit locally while each store waits on an ownership
+    upgrade, which is the window that makes (0, 0) reachable where
+    legal.  (Cold caches make every load a miss that resolves after
+    both home-local stores, so only (1, 1) would ever appear.)"""
+
+    def _warm(self, first, second):
+        # Each core warms its own store target (home-local, fast) first
+        # so the two cores stay in lockstep and reach the race together.
+        yield Load(first)
+        yield Load(second)
+        yield Compute(300)  # let the other core finish warming too
 
     def _run(self, model, seed):
         out = {}
 
         def p0():
+            yield from self._warm(X, Y)
             yield Store(X, 1)
             out["r0"] = yield Load(Y)
 
         def p1():
+            yield from self._warm(Y, X)
             yield Store(Y, 1)
             out["r1"] = yield Load(X)
 
@@ -65,11 +80,13 @@ class TestStoreBuffering:
         out = {}
 
         def p0():
+            yield from self._warm(X, Y)
             yield Store(X, 1)
             yield Membar(MembarMask.STORELOAD)
             out["r0"] = yield Load(Y)
 
         def p1():
+            yield from self._warm(Y, X)
             yield Store(Y, 1)
             yield Membar(MembarMask.STORELOAD)
             out["r1"] = yield Load(X)
