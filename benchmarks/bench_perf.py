@@ -1,18 +1,31 @@
-"""Performance benchmark: serial vs parallel wall clock and events/sec.
+"""Performance benchmark: kernel, serial, parallel and cached timings.
 
 Runs a fixed workload mix — a 4-point (config × workload) grid with
 perturbed seeds per point, the same shape as the paper-figure sweeps —
-once with ``jobs=1`` and once with ``jobs=N``, checks the two metric
-sets are identical (the orchestrator's ordering guarantee), and writes
-a machine-readable ``BENCH_perf.json`` at the repo root so the perf
-trajectory is tracked across PRs::
+through four measurement passes:
 
-    {"serial_s": ..., "parallel_s": ..., "jobs": ..., "events_per_sec": ...}
+* **kernel-only**: a synthetic event storm through the calendar-queue
+  ``Scheduler`` with no simulation payload, isolating raw event-kernel
+  throughput (``kernel_events_per_sec``);
+* **serial** (``jobs=1``): the reference pass — ``events_per_sec`` and
+  the regression baseline come from here;
+* **parallel** (``jobs=N``): same specs through the persistent worker
+  pool; must be bit-identical to serial;
+* **cached**: same specs again against a freshly primed result cache;
+  every point must hit (``cache_hits == runs``) and decode
+  bit-identically.
+
+Everything lands in a machine-readable ``BENCH_perf.json`` at the repo
+root so the perf trajectory is tracked across PRs.  The parallel
+speedup claim is only made when the host actually has more than one
+CPU (on a 1-core box ``speedup`` is null and ``speedup_note`` says
+why).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_perf.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_perf.py
     PYTHONPATH=src python benchmarks/bench_perf.py --jobs 2 --ops 20 --seeds 1
+    REPRO_JOBS=4 PYTHONPATH=src python benchmarks/bench_perf.py
 """
 
 from __future__ import annotations
@@ -20,7 +33,9 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 from typing import List
 
@@ -28,8 +43,14 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+from repro.common.events import Scheduler  # noqa: E402
 from repro.config import SystemConfig  # noqa: E402
-from repro.parallel import RunSpec, resolve_jobs, run_points  # noqa: E402
+from repro.parallel import (  # noqa: E402
+    ResultCache,
+    RunSpec,
+    resolve_jobs,
+    run_points,
+)
 
 DEFAULT_OUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_perf.json"
@@ -51,22 +72,59 @@ def workload_mix(ops: int, seeds: int) -> List[RunSpec]:
     ]
 
 
+def bench_kernel(events: int = 200_000) -> float:
+    """Raw calendar-queue throughput: schedule/execute ``events`` events.
+
+    The callback reschedules itself at small pseudo-random strides (the
+    same-cycle / near-future pattern the simulator produces) plus an
+    occasional far-future hop that exercises the overflow heap, so the
+    number measures the kernel the simulator actually runs on.
+    """
+    sched = Scheduler()
+    state = {"left": events, "x": 12345}
+
+    def tick() -> None:
+        if state["left"] <= 0:
+            return
+        state["left"] -= 1
+        x = (state["x"] * 1103515245 + 12345) & 0x7FFFFFFF
+        state["x"] = x
+        delay = x % 7  # mostly same-cycle / near-future
+        if x % 997 == 0:
+            delay = 5000  # rare overflow-heap excursion
+        sched.after(delay, tick)
+
+    for _ in range(8):  # a few concurrent event chains
+        sched.after(0, tick)
+    t0 = time.perf_counter()
+    sched.run()
+    elapsed = time.perf_counter() - t0
+    return sched.events_processed / elapsed if elapsed else 0.0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--jobs", type=int, default=0, help="parallel worker count (0 = auto)"
+        "--jobs",
+        type=int,
+        default=None,
+        help="parallel worker count (0 = auto; default: REPRO_JOBS, then auto)",
     )
     parser.add_argument("--ops", type=int, default=60, help="ops per core")
     parser.add_argument("--seeds", type=int, default=2, help="seeds per point")
     parser.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
     args = parser.parse_args(argv)
 
-    jobs = resolve_jobs(args.jobs)
+    jobs = resolve_jobs(args.jobs, default=0)
+    cpu_count = os.cpu_count() or 1
     specs = workload_mix(args.ops, args.seeds)
     print(
         f"bench_perf: {len(specs)} runs "
-        f"(4 points x {args.seeds} seeds, ops={args.ops}), jobs={jobs}"
+        f"(4 points x {args.seeds} seeds, ops={args.ops}), "
+        f"jobs={jobs}, cpus={cpu_count}"
     )
+
+    kernel_events_per_sec = bench_kernel()
 
     t0 = time.perf_counter()
     serial = run_points(specs, jobs=1)
@@ -76,40 +134,80 @@ def main(argv=None) -> int:
     parallel = run_points(specs, jobs=jobs)
     parallel_s = time.perf_counter() - t0
 
-    identical = serial == parallel
+    # Cached pass: prime a throwaway cache from the serial results,
+    # then re-run the whole mix against it — every point must hit.
+    cache_dir = tempfile.mkdtemp(prefix="bench_perf_cache_")
+    try:
+        cache = ResultCache(cache_dir)
+        for spec, metrics in zip(specs, serial):
+            cache.put(spec, metrics)
+        t0 = time.perf_counter()
+        cached = run_points(specs, jobs=1, cache=cache)
+        cached_s = time.perf_counter() - t0
+        cache_hits = cache.hits
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    identical = serial == parallel == cached
     if not identical:
-        for i, (a, b) in enumerate(zip(serial, parallel)):
-            if a != b:
-                print(f"MISMATCH at spec #{i}:\n  serial:   {a}\n  parallel: {b}")
+        for i, (a, b, c) in enumerate(zip(serial, parallel, cached)):
+            if not (a == b == c):
+                print(
+                    f"MISMATCH at spec #{i}:\n  serial:   {a}"
+                    f"\n  parallel: {b}\n  cached:   {c}"
+                )
 
     events = sum(m.events_processed for m in serial)
     events_per_sec = events / serial_s if serial_s else 0.0
-    speedup = serial_s / parallel_s if parallel_s else 0.0
+    coalesced = sum(
+        v
+        for m in serial
+        for k, v in m.counters.items()
+        if k.endswith(".coalesced_deliveries")
+    )
+    if cpu_count > 1:
+        speedup = serial_s / parallel_s if parallel_s else 0.0
+        speedup_note = None
+    else:
+        # One CPU: the pool serialises anyway, a "speedup" would be noise.
+        speedup = None
+        speedup_note = "single-CPU host; parallel speedup not claimed"
 
     payload = {
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
+        "cached_s": round(cached_s, 4),
         "jobs": jobs,
         "events_per_sec": round(events_per_sec, 1),
-        "speedup": round(speedup, 3),
+        "kernel_events_per_sec": round(kernel_events_per_sec, 1),
+        "speedup": None if speedup is None else round(speedup, 3),
+        "speedup_note": speedup_note,
         "events": events,
+        "coalesced_deliveries": coalesced,
+        "cache_hits": cache_hits,
         "runs": len(specs),
         "ops": args.ops,
         "seeds": args.seeds,
         "identical": identical,
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpu_count,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 
+    speed_txt = (
+        f"speedup {speedup:.2f}x" if speedup is not None else speedup_note
+    )
     print(
-        f"serial   {serial_s:8.2f} s   ({events_per_sec:,.0f} events/sec)\n"
-        f"parallel {parallel_s:8.2f} s   (jobs={jobs}, speedup {speedup:.2f}x)\n"
+        f"kernel   {kernel_events_per_sec:12,.0f} events/sec (scheduler only)\n"
+        f"serial   {serial_s:8.2f} s   ({events_per_sec:,.0f} events/sec, "
+        f"{coalesced} coalesced deliveries)\n"
+        f"parallel {parallel_s:8.2f} s   (jobs={jobs}, {speed_txt})\n"
+        f"cached   {cached_s:8.2f} s   ({cache_hits}/{len(specs)} hits)\n"
         f"metrics identical: {identical}\n"
         f"[written to {os.path.abspath(args.out)}]"
     )
-    return 0 if identical else 1
+    return 0 if identical and cache_hits == len(specs) else 1
 
 
 if __name__ == "__main__":

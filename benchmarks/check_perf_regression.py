@@ -1,0 +1,78 @@
+"""CI guard: fail when simulator throughput regresses vs the baseline.
+
+Compares a freshly measured ``BENCH_perf.json`` (the *candidate*,
+written by ``bench_perf.py --out ...``) against the committed baseline
+at the repo root.  Fails when the candidate's serial ``events_per_sec``
+drops below ``threshold`` (default 80%) of the baseline's, or when the
+candidate's serial/parallel/cached metrics were not identical.
+
+The threshold is deliberately loose: CI runners vary, and the guard is
+meant to catch order-of-magnitude mistakes (an accidentally quadratic
+loop, a lost fast path), not wall-clock noise.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py --candidate /tmp/perf.json
+    python benchmarks/check_perf_regression.py \
+        --baseline BENCH_perf.json --candidate /tmp/perf.json --threshold 0.8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_perf.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="committed BENCH_perf.json (the reference)",
+    )
+    parser.add_argument(
+        "--candidate", required=True, help="freshly measured BENCH_perf.json"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="minimum candidate/baseline events_per_sec ratio",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+
+    base = baseline["events_per_sec"]
+    cand = candidate["events_per_sec"]
+    floor = base * args.threshold
+    ratio = cand / base if base else float("inf")
+    print(
+        f"perf check: candidate {cand:,.0f} ev/s vs baseline {base:,.0f} ev/s "
+        f"(ratio {ratio:.2f}, floor {args.threshold:.2f})"
+    )
+
+    if not candidate.get("identical", False):
+        print("FAIL: candidate metrics were not identical across passes")
+        return 1
+    if cand < floor:
+        print(
+            f"FAIL: serial throughput regressed below "
+            f"{args.threshold:.0%} of the committed baseline"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -57,6 +57,7 @@ def cmd_compare(args) -> int:
             ops=args.ops,
             seeds=args.seeds,
             jobs=args.jobs,
+            cache=args.cache,
         )
         dvmc = measure(
             SystemConfig.protected(
@@ -66,6 +67,7 @@ def cmd_compare(args) -> int:
             ops=args.ops,
             seeds=args.seeds,
             jobs=args.jobs,
+            cache=args.cache,
         )
         overhead = dvmc.runtime_mean / base.runtime_mean - 1
         print(
@@ -109,6 +111,7 @@ def cmd_campaign(args) -> int:
         trials_per_kind=args.trials,
         seed=args.seed,
         jobs=args.jobs if args.jobs is not None else 0,
+        cache=args.cache,
     )
     print(format_summary(summarize(results)))
     hangs_missed = [
@@ -135,6 +138,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="worker processes for independent runs (0 = all cores minus "
         "one; default: REPRO_JOBS env, then 1 — except campaigns, which "
         "default to 0; single `run` invocations always execute in-process)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="serve repeated sweep points from the on-disk result cache "
+        "under .repro_cache/ (entries are keyed by spec + code version; "
+        "default: REPRO_CACHE env, then off)",
     )
 
 

@@ -4,15 +4,33 @@ All hardware components share a single :class:`Scheduler`.  Components
 schedule callbacks at absolute or relative cycle times; the scheduler
 runs them in time order, breaking ties by insertion order so runs are
 deterministic for a fixed seed.
+
+The queue is a *calendar queue*: a ring of per-cycle buckets covering
+the window ``[now, window_end)`` plus an overflow heap for far-future
+events (periodic heartbeats, checkpoint timers).  Scheduling inside the
+window — the overwhelmingly common case: pipeline stages, cache and
+link latencies are all far smaller than the ring — is an O(1) list
+append, and draining a cycle is a linear walk of its bucket, replacing
+the old heap's O(log n) push/pop and its per-event tuple allocation.
+The window is never wider than the ring, so a bucket only ever holds
+one cycle's events, appended in schedule order; execution therefore
+preserves the exact ``(time, seq)`` order of the heap-based kernel and
+serial results stay bit-identical.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SimulationError
+
+#: Number of per-cycle buckets in the calendar ring (power of two).
+#: Events due within ``RING_SIZE`` cycles go to ring buckets; farther
+#: events wait in the overflow heap and migrate into the ring when the
+#: window advances past them.
+RING_SIZE = 2048
 
 
 class Event:
@@ -38,14 +56,39 @@ class Event:
 class Scheduler:
     """Deterministic discrete-event scheduler keyed by cycle count.
 
-    The heap holds ``(time, seq, event)`` tuples rather than bare
-    events: tuple comparison happens entirely in C, where an
-    ``Event.__lt__`` call per sift step would dominate the scheduler's
-    profile (heap comparisons outnumber events several-fold).
+    See the module docstring for the calendar-queue layout.  Invariants:
+
+    * every ring event's time lies in ``[now, window_end)`` and
+      ``window_end - now <= ring_size``, so bucket ``time & mask`` is
+      unambiguous (two pending times can only collide if they differ by
+      at least a full ring);
+    * every overflow event's time is ``>= window_end``, so migrating
+      the overflow in heap order appends each bucket's events in
+      ``(time, seq)`` order before any direct append can target it.
     """
 
-    def __init__(self) -> None:
-        self._queue: list[tuple[int, int, Event]] = []
+    __slots__ = (
+        "_ring",
+        "_mask",
+        "_ring_size",
+        "_ring_count",
+        "_overflow",
+        "_window_end",
+        "_counter",
+        "now",
+        "_events_processed",
+    )
+
+    def __init__(self, ring_size: int = RING_SIZE) -> None:
+        if ring_size <= 0 or ring_size & (ring_size - 1):
+            raise SimulationError("ring_size must be a power of two")
+        self._ring: List[List[Event]] = [[] for _ in range(ring_size)]
+        self._mask = ring_size - 1
+        self._ring_size = ring_size
+        #: Events (including cancelled ones) currently in ring buckets.
+        self._ring_count = 0
+        self._overflow: List[Tuple[int, int, Event]] = []
+        self._window_end = ring_size
         self._counter = itertools.count()
         self.now = 0
         self._events_processed = 0
@@ -62,72 +105,164 @@ class Scheduler:
                 f"cannot schedule event at {time}, current time is {self.now}"
             )
         event = Event(time, next(self._counter), callback, args)
-        heapq.heappush(self._queue, (time, event.seq, event))
+        if time < self._window_end:
+            self._ring[time & self._mask].append(event)
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, (time, event.seq, event))
         return event
 
     def after(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self.now + delay, callback, *args)
+        time = self.now + delay
+        event = Event(time, next(self._counter), callback, args)
+        if time < self._window_end:
+            self._ring[time & self._mask].append(event)
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, (time, event.seq, event))
+        return event
 
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
-        return len(self._queue)
+        return self._ring_count + len(self._overflow)
+
+    def _locate(
+        self, limit: Optional[int] = None
+    ) -> Optional[Tuple[int, Optional[List[Event]]]]:
+        """Cursor to the next non-empty bucket, or None when drained.
+
+        Shared by :meth:`run` and :meth:`step`, so both paths advance
+        ``now``, skip cancelled events, and count ``events_processed``
+        identically.  Does not consume events.  When the ring is empty
+        the window jumps to the earliest overflow event and every
+        overflow event inside the new window migrates into the ring (in
+        heap order, preserving ``(time, seq)``) — except that with a
+        ``limit`` the jump is *not* committed when the earliest event
+        lies beyond it: ``(time, None)`` is returned instead, leaving
+        the window consistent with ``now`` for the caller's early
+        return.  The bucket scan starts at the window's base, not at
+        ``now``, because right after a jump the window begins in the
+        future and scanning from ``now`` could find a bucket under a
+        time label one ring-period early.
+        """
+        ring = self._ring
+        mask = self._mask
+        overflow = self._overflow
+        while True:
+            if self._ring_count:
+                t = self.now
+                start = self._window_end - self._ring_size
+                if start > t:
+                    t = start
+                bucket = ring[t & mask]
+                while not bucket:
+                    t += 1
+                    bucket = ring[t & mask]
+                return t, bucket
+            if not overflow:
+                # Re-anchor the (empty) window at ``now`` so times in
+                # [now, now + ring) bucket unambiguously again even if
+                # a jump had pushed the window into the far future.
+                self._window_end = self.now + self._ring_size
+                return None
+            first = overflow[0][0]
+            if limit is not None and first > limit:
+                return first, None
+            end = first + self._ring_size
+            self._window_end = end
+            pop = heapq.heappop
+            count = 0
+            while overflow and overflow[0][0] < end:
+                time, _seq, event = pop(overflow)
+                ring[time & mask].append(event)
+                count += 1
+            self._ring_count += count
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
-        queue = self._queue
-        pop = heapq.heappop
-        while queue:
-            event = pop(queue)[2]
-            if event.cancelled:
-                continue
-            self.now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            return True
-        return False
+        while True:
+            located = self._locate()
+            if located is None:
+                return False
+            t, bucket = located
+            assert bucket is not None  # no limit passed
+            i = 0
+            n = len(bucket)
+            while i < n:
+                event = bucket[i]
+                i += 1
+                self._ring_count -= 1
+                if event.cancelled:
+                    continue
+                del bucket[:i]
+                self.now = t
+                self._events_processed += 1
+                event.callback(*event.args)
+                return True
+            del bucket[:n]
 
     def run(
         self,
         until: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
         max_events: Optional[int] = None,
+        stop_interval: int = 1,
     ) -> None:
         """Run events until the queue drains or a bound is hit.
 
         This is the simulator's innermost loop (tens of thousands of
-        iterations per run), so the heap primitives are bound locally
-        and cancelled events are drained in a tight inner loop without
-        re-checking the ``until``/``stop_when`` bounds per skip.
+        iterations per run): buckets are drained with a plain index
+        walk, and cancelled events are skipped without touching ``now``
+        or the counters.
 
         Args:
             until: stop once simulated time would exceed this cycle.
-            stop_when: predicate polled after every event; stops when true.
+            stop_when: predicate polled after events; stops when true.
             max_events: hard cap on the number of callbacks executed
                 (guards against runaway simulations in tests).
+            stop_interval: poll ``stop_when`` only every N executed
+                events (default 1 = every event).  Lets callers hoist a
+                cheap-but-not-free predicate out of the per-event path.
         """
-        queue = self._queue
-        pop = heapq.heappop
+        locate = self._locate
         executed = 0
-        while queue:
-            event = pop(queue)[2]
-            while event.cancelled:
-                if not queue:
-                    return
-                event = pop(queue)[2]
-            if until is not None and event.time > until:
-                heapq.heappush(queue, (event.time, event.seq, event))
+        while True:
+            located = locate(until)
+            if located is None:
+                return
+            t, bucket = located
+            if until is not None and t > until:
                 self.now = until
                 return
-            self.now = event.time
-            self._events_processed += 1
-            event.callback(*event.args)
-            executed += 1
-            if stop_when is not None and stop_when():
-                return
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events} at cycle {self.now}"
-                )
+            # Each event is decounted as it is consumed (not when the
+            # bucket is finally cleared) so a callback that polls
+            # ``pending()`` — e.g. a periodic check deciding whether to
+            # re-arm itself — never sees already-run events, matching
+            # the old heap kernel's pop-then-execute accounting.
+            i = 0
+            while i < len(bucket):
+                event = bucket[i]
+                i += 1
+                self._ring_count -= 1
+                if event.cancelled:
+                    continue
+                self.now = t
+                self._events_processed += 1
+                executed += 1
+                event.callback(*event.args)
+                if (
+                    stop_when is not None
+                    and executed % stop_interval == 0
+                    and stop_when()
+                ):
+                    del bucket[:i]
+                    return
+                if max_events is not None and executed >= max_events:
+                    del bucket[:i]
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} at cycle {self.now}"
+                    )
+            del bucket[:]

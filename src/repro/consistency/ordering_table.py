@@ -16,12 +16,13 @@ makes the AND rule uniform.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Tuple
 
 from repro.common.types import MembarMask, OpType
 
 Cell = MembarMask
 _TableKey = Tuple[OpType, OpType]
+_RoleKey = Tuple[OpType, MembarMask]
 
 
 class OrderingTable:
@@ -59,6 +60,12 @@ class OrderingTable:
         #: operation pair on the core's issue/perform path, so the
         #: mask-AND loop is worth memoising.
         self._ordered_memo: Dict[Tuple, bool] = {}
+        #: Precompiled role matrix (see :meth:`op_role`).  Keys are
+        #: registered lazily; rows are mutable lists that grow in place
+        #: when a new role appears, so row references handed out earlier
+        #: stay valid.
+        self._roles: Dict[_RoleKey, Tuple[List[bool], int]] = {}
+        self._role_keys: List[_RoleKey] = []
 
     def cell(self, first: OpType, second: OpType) -> Cell:
         """Raw mask stored for (first, second); NONE if absent."""
@@ -95,6 +102,43 @@ class OrderingTable:
                 break
         self._ordered_memo[key] = result
         return result
+
+    def op_role(self, op_type: OpType, mask: MembarMask) -> Tuple[List[bool], int]:
+        """Precompiled fast-path view of one operation's ordering rules.
+
+        Returns ``(row, index)`` for an operation of ``op_type`` whose
+        instruction mask is ``mask`` (``ALL`` for everything but
+        Membars).  ``row[other_index]`` is :meth:`ordered` of this
+        operation *before* the other — a plain list lookup, so the
+        core's per-poll ordering gate does no enum hashing or mask
+        arithmetic.  Atomics are already expanded inside the cells.
+        Roles register lazily; registering one extends every existing
+        row in place, keeping previously returned rows valid.
+        """
+        role = self._roles.get((op_type, mask))
+        if role is None:
+            role = self._register_role(op_type, mask)
+        return role
+
+    def _register_role(self, op_type: OpType, mask: MembarMask) -> Tuple[List[bool], int]:
+        key = (op_type, mask)
+        index = len(self._role_keys)
+        self._role_keys.append(key)
+        # New column on every existing row (including rows already held
+        # by in-flight operations).
+        for (other_type, other_mask), (row, _i) in self._roles.items():
+            row.append(
+                self.ordered(
+                    other_type, op_type, first_mask=other_mask, second_mask=mask
+                )
+            )
+        new_row = [
+            self.ordered(op_type, second_type, first_mask=mask, second_mask=second_mask)
+            for second_type, second_mask in self._role_keys
+        ]
+        role = (new_row, index)
+        self._roles[key] = role
+        return role
 
     def constrains_any(self, first: OpType) -> bool:
         """True if type ``first`` is ordered before *some* type."""

@@ -323,11 +323,30 @@ class CoherenceChecker:
         )
 
     def handle_message(self, msg: Message) -> None:
-        """Inform arriving at a home memory controller's MET.
+        """One inform arriving at a home memory controller's MET."""
+        self._drain(self._push_inform(msg))
 
-        All inform kinds ride the same begin-time-sorted priority queue;
-        an Inform-Closed-Epoch sorts by its end time, which keeps it
-        behind its paired Inform-Open-Epoch (end >= begin).
+    def handle_batch(self, batch) -> None:
+        """Informs arriving at a home MET, possibly several per cycle.
+
+        The interconnect delivers all same-(node, cycle) informs as one
+        batch: every inform is pushed onto the begin-time-sorted
+        priority queue first and the queue is drained once, amortising
+        the drain sweep across the batch.  All inform kinds ride the
+        same queue; an Inform-Closed-Epoch sorts by its end time, which
+        keeps it behind its paired Inform-Open-Epoch (end >= begin).
+        """
+        homes = set()
+        for msg in batch:
+            homes.add(self._push_inform(msg))
+        for home in homes:
+            self._drain(home)
+
+    def _push_inform(self, msg: Message) -> int:
+        """Queue one inform on its home's MET priority queue.
+
+        Returns the home node; the caller is responsible for the drain
+        sweep (once per message, or once per batch).
         """
         home = msg.dst
         meta = msg.meta
@@ -341,10 +360,11 @@ class CoherenceChecker:
             (begin, next(self._pq_seq), msg.src, {"kind": msg.kind, "addr": msg.addr, **meta}),
         )
         if len(self._pq[home]) > self.config.dvmc.priority_queue_entries:
+            # Hardware's bounded queue: evict (process) the oldest
+            # entry immediately rather than grow without bound.
             self.stats.incr(f"dvcc.{home}.pq_forced_drains")
             self._drain(home, force_one=True)
-        else:
-            self._drain(home)
+        return home
 
     # ------------------------------------------------------------------
     # MET side

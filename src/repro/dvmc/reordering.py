@@ -56,6 +56,11 @@ class AllowableReorderingChecker:
         self.violations = violations
         self._max: Dict[OpType, int] = {t: -1 for t in OpType}
         self._membar_bit_max: Dict[MembarMask, int] = {b: -1 for b in _MASK_BITS}
+        #: Precompiled per-(table, op type, mask) check plans: the
+        #: table/mask algebra in :meth:`performed` is a pure function
+        #: of its arguments, so it is folded into a flat list of
+        #: counter comparisons the first time each combination is seen.
+        self._plans: Dict[tuple, tuple] = {}
         #: committed-but-not-yet-performed operations, insertion ordered.
         self._outstanding: "OrderedDict[int, tuple]" = OrderedDict()
         self._stat = f"ar.{node}"
@@ -74,32 +79,57 @@ class AllowableReorderingChecker:
         """An operation performed; check it against the ordering table."""
         self._outstanding.pop(seq, None)
         table = self.table()
+        plan = self._plans.get((table, op_type, mask))
+        if plan is None:
+            plan = self._compile_plan(table, op_type, mask)
+        checks, targets, bar_bits = plan
+        # ``bit is None`` entries compare against the per-type max;
+        # membar entries compare against the per-mask-bit max.
+        bit_max = self._membar_bit_max
+        type_max = self._max
+        for target, second, bit in checks:
+            if bit is None:
+                if type_max[second] > seq:
+                    self._violate(target, second, seq)
+            elif bit_max[bit] > seq:
+                self._violate(target, OpType.MEMBAR, seq)
+        # Update the max counters.
+        for target in targets:
+            if seq > type_max[target]:
+                type_max[target] = seq
+        for bit in bar_bits:
+            if seq > bit_max[bit]:
+                bit_max[bit] = seq
+
+    def _compile_plan(
+        self, table: OrderingTable, op_type: OpType, mask: MembarMask
+    ) -> tuple:
+        """Fold the ordering-table lookups for (op_type, mask) into a
+        flat comparison list, preserving the original check order."""
         first_mask = mask if op_type is OpType.MEMBAR else MembarMask.ALL
-        targets = (
+        access_targets = (
             op_type.access_types() if op_type is OpType.ATOMIC else (op_type,)
         )
-        for target in targets:
+        checks = []
+        for target in access_targets:
             for second in table.op_types:
                 if second is OpType.MEMBAR:
                     # Per-bit counters: only membars whose mask shares a
                     # bit with this cell constrain `target`.
                     cell = table.cell(target, OpType.MEMBAR)
                     for bit in _MASK_BITS:
-                        if (cell & bit & first_mask) and self._membar_bit_max[bit] > seq:
-                            self._violate(target, OpType.MEMBAR, seq)
+                        if cell & bit & first_mask:
+                            checks.append((target, OpType.MEMBAR, bit))
                 elif table.ordered(target, second, first_mask=first_mask):
-                    if self._max[second] > seq:
-                        self._violate(target, second, seq)
-        # Update the max counters.
-        for target in targets:
-            if seq > self._max[target]:
-                self._max[target] = seq
-        if op_type is OpType.MEMBAR:
-            for bit in _MASK_BITS:
-                if mask & bit and seq > self._membar_bit_max[bit]:
-                    self._membar_bit_max[bit] = seq
-            if seq > self._max[OpType.MEMBAR]:
-                self._max[OpType.MEMBAR] = seq
+                    checks.append((target, second, None))
+        bar_bits = (
+            [bit for bit in _MASK_BITS if mask & bit]
+            if op_type is OpType.MEMBAR
+            else []
+        )
+        plan = (tuple(checks), tuple(access_targets), tuple(bar_bits))
+        self._plans[(table, op_type, mask)] = plan
+        return plan
 
     # -- lost-operation detection ------------------------------------------------
     def check_outstanding(self) -> None:

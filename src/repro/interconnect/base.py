@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.events import Scheduler
@@ -41,14 +41,37 @@ class Network(ABC):
         self.scheduler = scheduler
         self.stats = stats
         self._handlers: Dict[int, Callable[[Message], None]] = {}
+        self._batch_handlers: Dict[int, Callable[[List[Message]], None]] = {}
+        #: In-flight coalesced deliveries: (dst, arrival cycle) -> the
+        #: message list captured by the already-scheduled callback.
+        self._pending_batches: Dict[Tuple[int, int], List[Message]] = {}
         self._fault_hook: Optional[FaultHook] = None
         self.messages_sent = 0
+        self.deliveries_coalesced = 0
+        self._coalesce_key = f"net.{name}.coalesced_deliveries"
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         """Attach the handler receiving messages addressed to ``node``."""
         if node in self._handlers:
             raise ConfigError(f"node {node} already registered on {self.name}")
         self._handlers[node] = handler
+
+    def register_batch(
+        self, node: int, handler: Callable[[List[Message]], None]
+    ) -> None:
+        """Attach a batch handler for ``node``.
+
+        When present it receives all messages of a *coalesced* delivery
+        (two or more landing on ``node`` in the same cycle) as a single
+        list, letting the receiver amortise per-arrival work.  Lone
+        arrivals keep going to the plain handler — the common case pays
+        no wrapper cost.
+        """
+        if node in self._batch_handlers:
+            raise ConfigError(
+                f"node {node} already has a batch handler on {self.name}"
+            )
+        self._batch_handlers[node] = handler
 
     def set_fault_hook(self, hook: Optional[FaultHook]) -> None:
         """Install (or clear) the fault-injection hook."""
@@ -78,12 +101,48 @@ class Network(ABC):
         return [message]
 
     def _deliver(self, message: Message) -> None:
+        """Deliver one message immediately (synchronous path)."""
         handler = self._handlers.get(message.dst)
         if handler is None:
             raise SimulationError(
                 f"{self.name}: no handler for node {message.dst}"
             )
         handler(message)
+
+    def deliver_at(self, time: int, message: Message) -> None:
+        """Schedule delivery at ``time``, coalescing same-cycle arrivals.
+
+        The first message bound for ``(dst, time)`` schedules one
+        callback; later messages for the same node and cycle ride that
+        callback's list instead of costing an event each.  Within a
+        batch, messages keep their scheduling order — the order the old
+        one-event-per-message scheme would have delivered them in.
+        """
+        key = (message.dst, time)
+        batch = self._pending_batches.get(key)
+        if batch is not None:
+            batch.append(message)
+            self.deliveries_coalesced += 1
+            self.stats.incr(self._coalesce_key)
+            return
+        self._pending_batches[key] = batch = [message]
+        self.scheduler.at(time, self._deliver_batch, key, batch)
+
+    def _deliver_batch(self, key: Tuple[int, int], batch: List[Message]) -> None:
+        del self._pending_batches[key]
+        if len(batch) == 1:
+            self._deliver(batch[0])
+            return
+        node = key[0]
+        batch_handler = self._batch_handlers.get(node)
+        if batch_handler is not None:
+            batch_handler(batch)
+            return
+        handler = self._handlers.get(node)
+        if handler is None:
+            raise SimulationError(f"{self.name}: no handler for node {node}")
+        for message in batch:
+            handler(message)
 
     @abstractmethod
     def send(self, message: Message) -> None:

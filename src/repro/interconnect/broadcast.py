@@ -66,6 +66,11 @@ class BroadcastTreeNetwork(Network):
             self.scheduler.at(arrival, self._broadcast, msg, order_index)
 
     def _broadcast(self, msg: Message, order_index: int) -> None:
+        # One scheduled event fans out to every node synchronously, so
+        # a broadcast is already a maximally batched delivery — there
+        # is nothing for ``deliver_at`` to coalesce (root serialisation
+        # keeps distinct broadcasts on distinct cycles).  Each node's
+        # single message goes straight to its plain handler.
         for node in sorted(self._handlers):
             self.stats.incr(
                 f"net.{self.name}.link.root-{node}", msg.size_bytes

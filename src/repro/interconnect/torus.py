@@ -65,6 +65,11 @@ class TorusNetwork(Network):
         self.rows, self.cols = grid_shape(num_nodes)
         self._num_nodes = num_nodes
         self._links: Dict[Tuple[int, int], _Link] = {}
+        #: Next-hop memo: XY routing is a pure function of (cur, dst)
+        #: and ``_step_toward`` runs once per hop of every message, so
+        #: the wraparound arithmetic is worth caching (the table is at
+        #: most num_nodes**2 entries).
+        self._next_hop: Dict[Tuple[int, int], int] = {}
 
     # Topology helpers ---------------------------------------------------
     def _coords(self, node: int) -> Tuple[int, int]:
@@ -75,6 +80,12 @@ class TorusNetwork(Network):
 
     def _step_toward(self, cur: int, dst: int) -> int:
         """Next hop under XY routing with shortest wraparound."""
+        nxt = self._next_hop.get((cur, dst))
+        if nxt is None:
+            nxt = self._next_hop[(cur, dst)] = self._compute_step(cur, dst)
+        return nxt
+
+    def _compute_step(self, cur: int, dst: int) -> int:
         crow, ccol = self._coords(cur)
         drow, dcol = self._coords(dst)
         if ccol != dcol:
@@ -114,8 +125,8 @@ class TorusNetwork(Network):
             if msg.dst == msg.src:
                 # Local delivery (e.g. home node is the requestor):
                 # bypasses the network after the switch latency.
-                self.scheduler.after(
-                    self.config.switch_latency, self._deliver, msg
+                self.deliver_at(
+                    self.scheduler.now + self.config.switch_latency, msg
                 )
                 continue
             self._hop(msg, msg.src)
@@ -134,7 +145,9 @@ class TorusNetwork(Network):
             + self.config.switch_latency
         )
         if nxt == msg.dst:
-            self.scheduler.after(arrival_delay, self._deliver, msg)
+            # Final hop: coalesce with other same-cycle arrivals at the
+            # destination so each (node, cycle) costs one event.
+            self.deliver_at(self.scheduler.now + arrival_delay, msg)
         else:
             self.scheduler.after(arrival_delay, self._hop, msg, nxt)
 

@@ -4,19 +4,31 @@ The paper's methodology is embarrassingly parallel — every figure
 aggregates N perturbed-seed replicas per (config, workload) point, and
 the Section 6.1 campaign runs hundreds of independent fault-injection
 trials.  :func:`run_points` executes such independent points on a
-:class:`~concurrent.futures.ProcessPoolExecutor`:
+*persistent* pool of warm worker processes:
 
 * A point is described by a picklable, plain-data spec
   (:class:`RunSpec` by default).  The worker builds the ``System`` in
   the child process and returns plain-data :class:`RunMetrics` — a
   live ``System`` never crosses the process boundary.
-* Results are keyed by spec index and re-ordered, so parallel output
-  is bit-identical to the serial path for any deterministic worker.
+* The pool is created once and reused across ``run_points`` calls
+  (workers stay warm; an initializer pre-imports the simulation stack
+  so no spec pays import cost), and specs are *streamed* to it in
+  order, so parallel output is bit-identical to the serial path for
+  any deterministic worker.
 * ``jobs=1`` runs in-process (no pool, no pickling); ``jobs=0`` means
   "auto" (``cpu_count() - 1``, at least 1).  ``jobs=None`` defers to
   the ``REPRO_JOBS`` environment variable, then to ``default_jobs``.
 * A crashed worker process surfaces as :class:`ParallelRunError`
   naming the failed spec, rather than a hang or a bare pool error.
+
+On top of the pool sits a content-addressed **result cache**
+(:class:`ResultCache`): a run's outcome is keyed by a fingerprint of
+its spec *and* of the simulator's source code, so repeated sweep
+points — re-running a benchmark, widening a campaign, regenerating a
+figure — are near-free, while any code or configuration change
+invalidates every stale entry automatically.  Enable it with
+``cache=True`` (or ``--cache`` on the CLI / ``REPRO_CACHE=1`` in the
+environment); entries live under ``.repro_cache/``.
 
 Used by :func:`repro.system.experiments.measure` (seed replicas),
 ``benchmarks/bench_common.measure_grid`` (config × workload grids) and
@@ -25,17 +37,27 @@ Used by :func:`repro.system.experiments.measure` (seed replicas),
 
 from __future__ import annotations
 
+import atexit
+import dataclasses
+import enum
+import hashlib
+import json
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.common.errors import ConfigError
 from repro.config import SystemConfig
 
 #: Environment variable consulted when ``jobs`` is not given.
 JOBS_ENV = "REPRO_JOBS"
+#: Environment variable consulted when ``cache`` is not given: "1" (or
+#: a directory path) enables the result cache, "0"/"" disables it.
+CACHE_ENV = "REPRO_CACHE"
+#: Default on-disk location of the result cache (repo-relative).
+CACHE_DIR = ".repro_cache"
 
 SpecT = TypeVar("SpecT")
 ResultT = TypeVar("ResultT")
@@ -132,10 +154,211 @@ def resolve_jobs(jobs: Optional[int] = None, default: int = 1) -> int:
     return jobs
 
 
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_jobs = 0
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the simulation stack.
+
+    Runs once per worker process at pool creation, so every streamed
+    spec finds the builder (and everything it pulls in) already
+    imported instead of paying the import on its first task.
+    """
+    import repro.system.builder  # noqa: F401
+
+
+def _get_pool(jobs: int) -> ProcessPoolExecutor:
+    """The shared worker pool, (re)created only when ``jobs`` changes."""
+    global _pool, _pool_jobs
+    if _pool is not None and _pool_jobs != jobs:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+    if _pool is None:
+        _pool = ProcessPoolExecutor(max_workers=jobs, initializer=_warm_worker)
+        _pool_jobs = jobs
+    return _pool
+
+
+def discard_pool() -> None:
+    """Tear down the persistent pool (crashed worker, interpreter exit)."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+
+
+atexit.register(discard_pool)
+
+
+def _indexed_call(item: Tuple[int, Callable, object]):
+    """Shippable wrapper: run one spec, return (index, error, result).
+
+    Worker exceptions come back as values instead of poisoning the
+    pool, so one bad spec aborts the batch without costing the warm
+    workers.
+    """
+    index, worker, spec = item
+    try:
+        return index, None, worker(spec)
+    except BaseException as exc:  # noqa: BLE001 - reported to the caller
+        return index, str(exc) or type(exc).__name__, None
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed result cache
+# ---------------------------------------------------------------------------
+
+_code_fp: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every source file in the ``repro`` package (memoised).
+
+    Folded into each spec fingerprint so that *any* code change —
+    model fix, protocol tweak, kernel rewrite — invalidates every
+    cached result without bookkeeping.
+    """
+    global _code_fp
+    if _code_fp is None:
+        digest = hashlib.sha256()
+        root = os.path.dirname(os.path.abspath(__file__))
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+        _code_fp = digest.hexdigest()
+    return _code_fp
+
+
+def _json_default(obj):
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    raise TypeError(f"unfingerprintable value in spec: {obj!r}")
+
+
+def spec_fingerprint(spec) -> str:
+    """Stable content hash of a (dataclass) spec plus the code version."""
+    payload = {
+        "type": type(spec).__name__,
+        "code": code_fingerprint(),
+        "spec": dataclasses.asdict(spec),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=_json_default)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk ``spec fingerprint -> result`` store.
+
+    One JSON file per entry under ``root``; entries self-describe their
+    result type, and only types with a registered codec are stored or
+    served (unknown payloads read as misses).  Writes go through a
+    temp-file rename so concurrent workers never see a torn entry.
+    """
+
+    #: result type name -> (encode to JSON-safe dict, decode back).
+    _codecs: Dict[str, Tuple[Callable, Callable]] = {}
+
+    @classmethod
+    def register(
+        cls, result_type: type, encode: Callable, decode: Callable
+    ) -> None:
+        cls._codecs[result_type.__name__] = (encode, decode)
+
+    def __init__(self, root: str = CACHE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec) -> str:
+        return os.path.join(self.root, spec_fingerprint(spec) + ".json")
+
+    def get(self, spec):
+        """The cached result for ``spec``, or None on any kind of miss."""
+        if not dataclasses.is_dataclass(spec):
+            self.misses += 1
+            return None
+        try:
+            with open(self._path(spec)) as fh:
+                payload = json.load(fh)
+            codec = self._codecs.get(payload["type"])
+            if codec is None:
+                self.misses += 1
+                return None
+            value = codec[1](payload["data"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, spec, result) -> None:
+        """Store ``result`` for ``spec`` (no-op for unregistered types)."""
+        if not dataclasses.is_dataclass(spec):
+            return
+        codec = self._codecs.get(type(result).__name__)
+        if codec is None:
+            return
+        os.makedirs(self.root, exist_ok=True)
+        path = self._path(spec)
+        payload = {"type": type(result).__name__, "data": codec[0](result)}
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+
+
+ResultCache.register(
+    RunMetrics,
+    encode=dataclasses.asdict,
+    decode=lambda data: RunMetrics(**data),
+)
+
+
+def resolve_cache(cache=None) -> Optional[ResultCache]:
+    """Normalise a ``cache`` request to a :class:`ResultCache` or None.
+
+    ``None`` defers to ``REPRO_CACHE`` ("1"/"true" → default directory,
+    a path → that directory, "0"/"" → off); ``True``/``False`` force it
+    on (default directory) or off; a string selects the directory; an
+    existing :class:`ResultCache` passes through.
+    """
+    if isinstance(cache, ResultCache):
+        return cache
+    if cache is None:
+        env = os.environ.get(CACHE_ENV, "").strip()
+        if env.lower() in ("", "0", "false", "no", "off"):
+            return None
+        if env.lower() in ("1", "true", "yes", "on"):
+            return ResultCache()
+        return ResultCache(env)
+    if cache is False:
+        return None
+    if cache is True:
+        return ResultCache()
+    return ResultCache(str(cache))
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+
 def run_points(
     specs: Sequence[SpecT],
     jobs: Optional[int] = None,
     worker: Callable[[SpecT], ResultT] = execute_run_spec,
+    cache=None,
 ) -> List[ResultT]:
     """Run ``worker`` over every spec, preserving spec order.
 
@@ -144,30 +367,56 @@ def run_points(
     parallel and serial results are identical for deterministic
     workers.  Worker exceptions and worker-process deaths both raise
     :class:`ParallelRunError` identifying the offending spec.
+
+    ``cache`` (see :func:`resolve_cache`) consults the result cache
+    first and only executes the missing specs; fresh results are
+    written back, so a repeated sweep costs one file read per point.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
+    store = resolve_cache(cache)
+    if store is None:
+        return _execute(specs, jobs, worker)
+
+    results: List[Optional[ResultT]] = [store.get(spec) for spec in specs]
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        try:
+            fresh = _execute([specs[i] for i in missing], jobs, worker)
+        except ParallelRunError as exc:
+            # Re-key the failure to the caller's spec numbering.
+            index = missing[exc.index]
+            raise ParallelRunError(index, specs[index], exc.reason) from exc
+        for i, value in zip(missing, fresh):
+            store.put(specs[i], value)
+            results[i] = value
+    return results  # type: ignore[return-value]
+
+
+def _execute(
+    specs: List[SpecT], jobs: int, worker: Callable[[SpecT], ResultT]
+) -> List[ResultT]:
     if jobs <= 1 or len(specs) <= 1:
         return [worker(spec) for spec in specs]
 
     results: List[Optional[ResultT]] = [None] * len(specs)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
-        futures = {pool.submit(worker, spec): i for i, spec in enumerate(specs)}
-        # FIRST_EXCEPTION: a dead worker aborts the batch promptly
-        # instead of waiting out every sibling run.
-        done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-        failed = next((f for f in done if f.exception() is not None), None)
-        if failed is not None:
-            for future in pending:
-                future.cancel()
-            index = futures[failed]
-            exc = failed.exception()
-            reason = (
-                "worker process died"
-                if isinstance(exc, BrokenProcessPool)
-                else str(exc)
-            )
-            raise ParallelRunError(index, specs[index], reason) from exc
-        for future, index in futures.items():
-            results[index] = future.result()
+    pool = _get_pool(jobs)
+    items = [(i, worker, spec) for i, spec in enumerate(specs)]
+    done = 0
+    try:
+        # Streamed in order: workers pull specs as they free up, the
+        # parent consumes (index, error, result) records as they
+        # complete, and a failure aborts the batch promptly without
+        # tearing down the warm pool.
+        for index, error, value in pool.map(_indexed_call, items):
+            if error is not None:
+                raise ParallelRunError(index, specs[index], error)
+            results[index] = value
+            done += 1
+    except BrokenProcessPool as exc:
+        discard_pool()
+        index = min(done, len(specs) - 1)
+        raise ParallelRunError(
+            index, specs[index], "worker process died"
+        ) from exc
     return results  # type: ignore[return-value]

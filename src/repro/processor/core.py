@@ -28,7 +28,7 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.common.errors import SimulationError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
-from repro.common.types import MembarMask, OpType, block_of
+from repro.common.types import MembarMask, OpType, block_of, word_of
 from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel
 from repro.consistency.ordering_table import OrderingTable
@@ -58,6 +58,9 @@ class OpRec:
         "performed",
         "squashed",
         "release",
+        "ord_row",
+        "ord_si",
+        "wb_veto",
     )
 
     def __init__(self, seq: int, op) -> None:
@@ -74,6 +77,13 @@ class OpRec:
         self.performed = False
         self.squashed = False
         self.release: Optional[Callable[[Optional[int]], None]] = None
+        #: Precompiled ordering-table role (set at decode): row of
+        #: ordered-before booleans, this op's column index, and the
+        #: write-buffer drain veto (LOAD/MEMBAR/STBAR ordered before
+        #: STORE).  See :meth:`OrderingTable.op_role`.
+        self.ord_row: List[bool] = []
+        self.ord_si = 0
+        self.wb_veto = False
 
 
 class Core:
@@ -101,6 +111,9 @@ class Core:
         self.ar = ar_checker
         self.model = model or config.model
         self.table: OrderingTable = table_for(self.model)
+        self._store_row, self._store_si = self.table.op_role(
+            OpType.STORE, MembarMask.ALL
+        )
 
         self._inflight: Deque[OpRec] = deque()
         self._verify_q: Deque[OpRec] = deque()
@@ -112,6 +125,11 @@ class Core:
         self._pump_scheduled = False
         self._stall_until = 0
         self._stat = f"core.{node}"
+        # Per-event stat keys, precomputed: f-string assembly (and enum
+        # ``.value`` descriptor access) is measurable at this call rate.
+        self._ops_stat = {t: f"core.{node}.ops.{t.value}" for t in OpType}
+        self._stat_retired = f"core.{node}.retired"
+        self._stat_compute = f"core.{node}.compute_cycles"
         self.last_progress_cycle = 0
 
         uses_wb = self.model is not ConsistencyModel.SC
@@ -155,7 +173,7 @@ class Core:
             return
         self.last_progress_cycle = self.scheduler.now
         if isinstance(yielded, Compute):
-            self.stats.incr(f"{self._stat}.compute_cycles", yielded.cycles)
+            self.stats.incr(self._stat_compute, yielded.cycles)
             self.scheduler.after(max(1, yielded.cycles), self._advance, None)
             return
         if isinstance(yielded, SetModel):
@@ -188,6 +206,9 @@ class Core:
             return
         self.model = model
         self.table = table_for(model)
+        self._store_row, self._store_si = self.table.op_role(
+            OpType.STORE, MembarMask.ALL
+        )
         if model is ConsistencyModel.SC:
             self.wb = None
         else:
@@ -216,12 +237,21 @@ class Core:
             self.scheduler.after(2, self._decode_group, ops, is_batch)
             return
         recs = []
+        table = self.table
+        ops_stat = self._ops_stat
         for op in ops:
             rec = OpRec(self._next_seq, op)
             self._next_seq += 1
+            kind = rec.op_type
+            rec.ord_row, rec.ord_si = table.op_role(kind, rec.mask)
+            rec.wb_veto = (
+                kind is OpType.LOAD
+                or kind is OpType.MEMBAR
+                or kind is OpType.STBAR
+            ) and rec.ord_row[self._store_si]
             self._inflight.append(rec)
             recs.append(rec)
-            self.stats.incr(f"{self._stat}.ops.{rec.op_type.value}")
+            self.stats.incr(ops_stat[kind])
 
         results: List[Optional[int]] = [None] * len(recs)
         remaining = {"n": len(recs)}
@@ -263,8 +293,6 @@ class Core:
 
     def _lsq_forward(self, rec: OpRec) -> Optional[int]:
         """Forward from an older in-flight (not yet buffered) store."""
-        from repro.common.types import word_of
-
         word = word_of(rec.addr)
         value = None
         for other in self._inflight:
@@ -602,21 +630,15 @@ class Core:
         return None
 
     def _may_drain(self, entry: WBEntry) -> bool:
-        """Ordering-table veto for write-buffer drains."""
+        """Ordering-table veto for write-buffer drains.
+
+        ``wb_veto`` is the decode-time precompilation of the old
+        per-type ``table.ordered(LOAD/MEMBAR/STBAR, STORE)`` checks.
+        """
+        entry_seq = entry.seq
         for rec in self._inflight:
-            if rec.seq >= entry.seq or rec.performed:
-                continue
-            if rec.op_type is OpType.LOAD:
-                if self.table.ordered(OpType.LOAD, OpType.STORE):
-                    return False
-            elif rec.op_type is OpType.MEMBAR:
-                if self.table.ordered(
-                    OpType.MEMBAR, OpType.STORE, first_mask=rec.mask
-                ):
-                    return False
-            elif rec.op_type is OpType.STBAR:
-                if self.table.ordered(OpType.STBAR, OpType.STORE):
-                    return False
+            if rec.wb_veto and rec.seq < entry_seq and not rec.performed:
+                return False
         return True
 
     # ------------------------------------------------------------------
@@ -639,31 +661,27 @@ class Core:
         return False
 
     def _can_perform(self, rec: OpRec) -> bool:
-        """May ``rec`` perform now without violating the ordering table?"""
-        targets = (
-            rec.op_type.access_types()
-            if rec.op_type is OpType.ATOMIC
-            else (rec.op_type,)
-        )
-        for target in targets:
-            for other in self._inflight:
-                if other.seq >= rec.seq:
-                    break
-                if other.performed:
-                    continue
-                first_mask = (
-                    other.mask if other.op_type is OpType.MEMBAR else MembarMask.ALL
-                )
-                if self.table.ordered(
-                    other.op_type, target, first_mask=first_mask, second_mask=rec.mask
-                ):
-                    return False
-            # Stores already retired to the write buffer:
-            if self.table.ordered(OpType.STORE, target, second_mask=rec.mask):
-                if self.wb is not None and self.wb.has_store_older_than(rec.seq):
-                    return False
-                if self._sc_store_outstanding:
-                    return False
+        """May ``rec`` perform now without violating the ordering table?
+
+        ``other.ord_row[rec.ord_si]`` is exactly the old
+        ``table.ordered(other.op_type, target, first_mask, second_mask)``
+        over every target of ``rec`` (atomics are expanded inside the
+        precompiled cell) — but as a single list lookup, since this is
+        the per-poll inner loop of every blocked operation.
+        """
+        seq = rec.seq
+        si = rec.ord_si
+        for other in self._inflight:
+            if other.seq >= seq:
+                break
+            if not other.performed and other.ord_row[si]:
+                return False
+        # Stores already retired to the write buffer:
+        if self._store_row[si]:
+            if self.wb is not None and self.wb.has_store_older_than(seq):
+                return False
+            if self._sc_store_outstanding:
+                return False
         return True
 
     # ------------------------------------------------------------------
@@ -682,7 +700,7 @@ class Core:
             elif not rec.performed:
                 return
             self._inflight.popleft()
-            self.stats.incr(f"{self._stat}.retired")
+            self.stats.incr(self._stat_retired)
             self.last_progress_cycle = self.scheduler.now
 
     def _kick(self) -> None:

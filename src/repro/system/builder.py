@@ -107,15 +107,14 @@ class System:
         """
         for core in self.cores:
             core.start()
-        check = {"n": 0}
+        cores = self.cores
 
         def done() -> bool:
-            check["n"] += 1
-            if check["n"] % 64:
-                return False
-            return all(core.quiescent for core in self.cores)
+            return all(core.quiescent for core in cores)
 
-        self.scheduler.run(until=max_cycles, stop_when=done)
+        # stop_interval=64 keeps the old every-64th-event polling cadence
+        # but moves the skip counter into the kernel's event loop.
+        self.scheduler.run(until=max_cycles, stop_when=done, stop_interval=64)
         self.dvmc.finalize()
         for finalize in self.finalizers:
             finalize()
@@ -369,7 +368,25 @@ def _wire_routers(system: System) -> None:
                 else:
                     cache_ctrl.handle_data(msg)
 
+        def torus_batch_handler(batch, handler=torus_handler):
+            # Coalesced same-cycle arrivals: coherence traffic is
+            # dispatched per message in arrival order, while DVCC
+            # informs are grouped into one MET push+drain pass.
+            checker = system.dvmc.coherence_checker
+            informs = None
+            for msg in batch:
+                if isinstance(msg.kind, Dvcc):
+                    if checker is not None:
+                        if informs is None:
+                            informs = []
+                        informs.append(msg)
+                    continue
+                handler(msg)
+            if informs is not None:
+                checker.handle_batch(informs)
+
         system.data_network.register(n, torus_handler)
+        system.data_network.register_batch(n, torus_batch_handler)
 
         if not directory:
 

@@ -110,14 +110,20 @@ def measure(
     ops: int = 300,
     seeds: int = DEFAULT_SEEDS,
     jobs: Optional[int] = None,
+    cache=None,
 ) -> Measurement:
     """Run ``seeds`` perturbed replicas and aggregate the metrics.
 
     ``jobs`` fans the replicas across worker processes (see
     :func:`repro.parallel.run_points`); results are aggregated in seed
-    order, so every field is identical to a serial run.
+    order, so every field is identical to a serial run.  ``cache``
+    consults the run-level result cache first (see
+    :func:`repro.parallel.resolve_cache`) — cached replicas aggregate
+    bit-identically to fresh ones.
     """
-    metrics = run_points(replica_specs(config, workload, ops, seeds), jobs=jobs)
+    metrics = run_points(
+        replica_specs(config, workload, ops, seeds), jobs=jobs, cache=cache
+    )
     return aggregate_metrics(config, metrics)
 
 

@@ -1,9 +1,13 @@
 """Discrete-event scheduler."""
 
+import heapq
+import itertools
+import random
+
 import pytest
 
 from repro.common.errors import SimulationError
-from repro.common.events import Scheduler
+from repro.common.events import RING_SIZE, Scheduler
 
 
 class TestScheduling:
@@ -112,3 +116,214 @@ class TestBounds:
             s.after(i, lambda: None)
         s.run()
         assert s.events_processed == 5
+
+    def test_until_inside_a_bucket(self):
+        """`until` between populated cycles of the current ring window."""
+        s = Scheduler()
+        out = []
+        for tag in "ab":
+            s.after(5, out.append, tag)
+        s.after(6, out.append, "c")
+        s.run(until=5)
+        assert out == ["a", "b"]
+        assert s.now == 5
+        s.run(until=5)  # idempotent: nothing left at or before 5
+        assert out == ["a", "b"]
+        s.run()
+        assert out == ["a", "b", "c"]
+        assert s.now == 6
+
+    def test_until_before_overflow_event(self):
+        """`until` must not let a window jump run far-future events."""
+        s = Scheduler()
+        out = []
+        s.after(3 * RING_SIZE, out.append, "far")
+        s.run(until=10)
+        assert out == []
+        assert s.now == 10
+        assert s.pending() == 1
+        s.run()
+        assert out == ["far"]
+        assert s.now == 3 * RING_SIZE
+
+    def test_stop_when_mid_bucket_then_resume(self):
+        s = Scheduler()
+        out = []
+        for tag in "abcd":
+            s.after(5, out.append, tag)
+        s.run(stop_when=lambda: len(out) >= 2)
+        assert out == ["a", "b"]
+        s.run()
+        assert out == ["a", "b", "c", "d"]
+
+
+class TestCalendarQueueEdges:
+    def test_after_zero_runs_same_cycle_in_seq_order(self):
+        """after(0) from inside a callback joins the *current* cycle,
+        behind everything already queued for it."""
+        s = Scheduler()
+        out = []
+
+        def first():
+            out.append("first")
+            s.after(0, out.append, "spawned")
+
+        s.after(5, first)
+        s.after(5, out.append, "second")
+        s.run()
+        assert out == ["first", "second", "spawned"]
+        assert s.now == 5
+
+    def test_pending_excludes_executing_event(self):
+        """Inside a callback the event being executed is already popped
+        (heap-kernel semantics checkers rely on for quiescence polls)."""
+        s = Scheduler()
+        seen = []
+        s.after(4, lambda: seen.append(s.pending()))
+        s.run()
+        assert seen == [0]
+
+    def test_cancel_far_future_overflow_event(self):
+        s = Scheduler()
+        out = []
+        doomed = s.after(5 * RING_SIZE, out.append, "doomed")
+        s.after(4 * RING_SIZE, out.append, "kept")
+        doomed.cancel()
+        s.run()
+        assert out == ["kept"]
+        assert s.now == 4 * RING_SIZE
+        assert s.pending() == 0
+
+    def test_cancel_overflow_event_mid_run(self):
+        """Cancellation after the event migrated into the ring."""
+        s = Scheduler()
+        out = []
+        doomed = s.after(2 * RING_SIZE + 7, out.append, "doomed")
+        s.after(2 * RING_SIZE + 3, doomed.cancel)
+        s.run()
+        assert out == []
+        assert s.pending() == 0
+
+    def test_event_beyond_ring_window_keeps_time_label(self):
+        """An event more than a ring period ahead must run at its own
+        time, not an alias one period early."""
+        s = Scheduler()
+        seen = []
+        s.after(0, lambda: None)
+        s.after(RING_SIZE + 13, lambda: seen.append(s.now))
+        s.run()
+        assert seen == [RING_SIZE + 13]
+
+    def test_step_drains_one_event_at_a_time(self):
+        s = Scheduler()
+        out = []
+        s.after(2, out.append, "a")
+        s.after(2, out.append, "b")
+        s.after(RING_SIZE * 3, out.append, "c")
+        assert s.step() and out == ["a"]
+        assert s.step() and out == ["a", "b"]
+        assert s.step() and out == ["a", "b", "c"]
+        assert not s.step()
+        assert s.pending() == 0
+
+
+class _RefEvent:
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time, seq, callback, args):
+        self.time, self.seq = time, seq
+        self.callback, self.args = callback, args
+        self.cancelled = False
+
+    def __lt__(self, other):
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _HeapScheduler:
+    """Reference kernel: the plain (time, seq) binary heap the calendar
+    queue replaced.  Kept minimal — just enough surface for the
+    equivalence test."""
+
+    def __init__(self):
+        self._heap = []
+        self._seq = itertools.count()
+        self.now = 0
+
+    def at(self, time, callback, *args):
+        event = _RefEvent(time, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def after(self, delay, callback, *args):
+        return self.at(self.now + delay, callback, *args)
+
+    def run(self, until=None):
+        while self._heap:
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                self.now = until
+                return
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+        if until is not None and until > self.now:
+            self.now = until
+
+
+class TestCalendarVsReferenceHeap:
+    """Randomized equivalence: identical scenarios through the calendar
+    queue and a reference heap must produce identical traces."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_traces_match(self, seed):
+        def drive(sched):
+            rng = random.Random(seed)
+            trace = []
+            cancellable = []
+
+            def fire(tag, respawn):
+                trace.append((sched.now, tag))
+                if respawn > 0:
+                    delay = rng.choice((0, 1, 2, 3, 17, RING_SIZE + 5, 4096))
+                    handle = sched.after(delay, fire, f"{tag}.{respawn}",
+                                         respawn - 1)
+                    if rng.random() < 0.2:
+                        cancellable.append(handle)
+                if cancellable and rng.random() < 0.3:
+                    cancellable.pop(rng.randrange(len(cancellable))).cancel()
+
+            for i in range(25):
+                sched.after(rng.randrange(0, 3 * RING_SIZE), fire, str(i),
+                            rng.randrange(0, 4))
+            sched.run()
+            return trace, sched.now
+
+        calendar = drive(Scheduler())
+        reference = drive(_HeapScheduler())
+        assert calendar == reference
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_traces_match_with_until(self, seed):
+        def drive(sched):
+            rng = random.Random(1000 + seed)
+            trace = []
+
+            def fire(tag):
+                trace.append((sched.now, tag))
+                if rng.random() < 0.5:
+                    sched.after(rng.randrange(0, 2 * RING_SIZE), fire,
+                                tag + "'")
+
+            for i in range(20):
+                sched.after(rng.randrange(0, 4 * RING_SIZE), fire, str(i))
+            for until in (10, RING_SIZE, 2 * RING_SIZE + 31, None):
+                sched.run(until=until)
+                trace.append(("now", sched.now))
+            return trace
+
+        assert drive(Scheduler()) == drive(_HeapScheduler())

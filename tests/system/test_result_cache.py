@@ -1,0 +1,149 @@
+"""Run-level result cache: fingerprints, hits/misses, invalidation."""
+
+import dataclasses
+import os
+
+import pytest
+
+import repro.parallel as parallel
+from repro.config import SystemConfig
+from repro.parallel import (
+    ResultCache,
+    RunMetrics,
+    RunSpec,
+    execute_run_spec,
+    resolve_cache,
+    run_points,
+    spec_fingerprint,
+)
+
+
+@pytest.fixture
+def spec():
+    return RunSpec(
+        SystemConfig.protected().with_nodes(4).with_seed(3), "oltp", ops=30
+    )
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"))
+
+
+class TestFingerprint:
+    def test_stable_for_equal_specs(self, spec):
+        clone = RunSpec(
+            SystemConfig.protected().with_nodes(4).with_seed(3), "oltp", ops=30
+        )
+        assert spec_fingerprint(spec) == spec_fingerprint(clone)
+
+    def test_sensitive_to_config_change(self, spec):
+        for changed in (
+            dataclasses.replace(spec, config=spec.config.with_seed(4)),
+            dataclasses.replace(spec, config=spec.config.with_nodes(8)),
+            dataclasses.replace(spec, config=SystemConfig.unprotected()
+                                .with_nodes(4).with_seed(3)),
+            dataclasses.replace(spec, workload="jbb"),
+            dataclasses.replace(spec, ops=31),
+        ):
+            assert spec_fingerprint(changed) != spec_fingerprint(spec)
+
+    def test_sensitive_to_code_version(self, spec, monkeypatch):
+        before = spec_fingerprint(spec)
+        monkeypatch.setattr(parallel, "_code_fp", "deadbeef" * 8)
+        assert spec_fingerprint(spec) != before
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, spec, cache):
+        assert cache.get(spec) is None
+        metrics = execute_run_spec(spec)
+        cache.put(spec, metrics)
+        assert cache.get(spec) == metrics
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_round_trip_is_bit_identical(self, spec, cache):
+        fresh = execute_run_spec(spec)
+        cache.put(spec, fresh)
+        cached = cache.get(spec)
+        assert cached == fresh
+        assert dataclasses.asdict(cached) == dataclasses.asdict(fresh)
+        assert all(
+            type(v) is type(fresh.counters[k])
+            for k, v in cached.counters.items()
+        )
+
+    def test_config_change_is_a_miss(self, spec, cache):
+        cache.put(spec, execute_run_spec(spec))
+        other = dataclasses.replace(spec, config=spec.config.with_seed(9))
+        assert cache.get(other) is None
+
+    def test_code_change_invalidates(self, spec, cache, monkeypatch):
+        cache.put(spec, execute_run_spec(spec))
+        monkeypatch.setattr(parallel, "_code_fp", "0" * 64)
+        assert cache.get(spec) is None
+
+    def test_corrupt_entry_is_a_miss(self, spec, cache):
+        cache.put(spec, execute_run_spec(spec))
+        path = cache._path(spec)
+        with open(path, "w") as fh:
+            fh.write("{not json")
+        assert cache.get(spec) is None
+
+    def test_unregistered_result_type_not_stored(self, spec, cache):
+        cache.put(spec, object())
+        assert not os.path.exists(cache._path(spec))
+
+
+class TestRunPointsWithCache:
+    def test_second_sweep_served_from_cache(self, spec, cache):
+        specs = [spec, dataclasses.replace(spec, ops=40)]
+        first = run_points(specs, jobs=1, cache=cache)
+        assert (cache.hits, cache.misses) == (0, 2)
+        second = run_points(specs, jobs=1, cache=cache)
+        assert (cache.hits, cache.misses) == (2, 2)
+        assert first == second
+
+    def test_cached_equals_uncached(self, spec, cache):
+        cached = run_points([spec], jobs=1, cache=cache)
+        fresh = run_points([spec], jobs=1)
+        rehit = run_points([spec], jobs=1, cache=cache)
+        assert cached == fresh == rehit
+
+    def test_partial_hit_executes_only_misses(self, spec, cache):
+        extra = dataclasses.replace(spec, workload="jbb")
+        run_points([spec], jobs=1, cache=cache)
+        calls = []
+
+        def counting_worker(s):
+            calls.append(s)
+            return execute_run_spec(s)
+
+        result = run_points(
+            [spec, extra], jobs=1, worker=counting_worker, cache=cache
+        )
+        assert calls == [extra]
+        assert result[0] == cache.get(spec)
+
+
+class TestResolveCache:
+    def test_defaults_off(self, monkeypatch):
+        monkeypatch.delenv(parallel.CACHE_ENV, raising=False)
+        assert resolve_cache(None) is None
+        assert resolve_cache(False) is None
+
+    def test_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(parallel.CACHE_ENV, "1")
+        assert resolve_cache(None).root == parallel.CACHE_DIR
+        monkeypatch.setenv(parallel.CACHE_ENV, str(tmp_path))
+        assert resolve_cache(None).root == str(tmp_path)
+        monkeypatch.setenv(parallel.CACHE_ENV, "0")
+        assert resolve_cache(None) is None
+
+    def test_explicit_forms(self, tmp_path, cache):
+        assert resolve_cache(True).root == parallel.CACHE_DIR
+        assert resolve_cache(str(tmp_path)).root == str(tmp_path)
+        assert resolve_cache(cache) is cache
+
+    def test_run_metrics_codec_registered(self):
+        assert RunMetrics.__name__ in ResultCache._codecs
