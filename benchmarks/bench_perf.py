@@ -13,7 +13,16 @@ through four measurement passes:
   pool; must be bit-identical to serial;
 * **cached**: same specs again against a freshly primed result cache;
   every point must hit (``cache_hits == runs``) and decode
-  bit-identically.
+  bit-identically;
+* **eager** (``REPRO_EAGER_CHECK=1``): same specs with the streaming
+  verification plane disabled (per-event checker calls); must be
+  bit-identical to the batch-mode serial pass — ``identical`` covers
+  all four passes.  ``eager_events_per_sec`` quantifies the streaming
+  plane's win (see EXPERIMENTS.md, "Verification overhead").
+
+A ``tracemalloc`` pass over one representative run reports allocation
+deltas (``alloc_blocks``/``alloc_kib``) so slot/regression wins on hot
+record classes are visible in the JSON trajectory.
 
 Everything lands in a machine-readable ``BENCH_perf.json`` at the repo
 root so the perf trajectory is tracked across PRs.  The parallel
@@ -37,6 +46,7 @@ import shutil
 import sys
 import tempfile
 import time
+import tracemalloc
 from typing import List
 
 sys.path.insert(
@@ -48,6 +58,7 @@ from repro.config import SystemConfig  # noqa: E402
 from repro.parallel import (  # noqa: E402
     ResultCache,
     RunSpec,
+    execute_run_spec,
     resolve_jobs,
     run_points,
 )
@@ -78,7 +89,10 @@ def bench_kernel(events: int = 200_000) -> float:
     The callback reschedules itself at small pseudo-random strides (the
     same-cycle / near-future pattern the simulator produces) plus an
     occasional far-future hop that exercises the overflow heap, so the
-    number measures the kernel the simulator actually runs on.
+    number measures the kernel the simulator actually runs on.  The
+    chains reschedule through :meth:`Scheduler.post` — the no-handle
+    fast path every hot component uses — so the ceiling tracks the
+    production scheduling path, not the handle-returning API.
     """
     sched = Scheduler()
     state = {"left": events, "x": 12345}
@@ -92,10 +106,10 @@ def bench_kernel(events: int = 200_000) -> float:
         delay = x % 7  # mostly same-cycle / near-future
         if x % 997 == 0:
             delay = 5000  # rare overflow-heap excursion
-        sched.after(delay, tick)
+        sched.post(delay, tick)
 
     for _ in range(8):  # a few concurrent event chains
-        sched.after(0, tick)
+        sched.post(0, tick)
     t0 = time.perf_counter()
     sched.run()
     elapsed = time.perf_counter() - t0
@@ -148,14 +162,46 @@ def main(argv=None) -> int:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
-    identical = serial == parallel == cached
+    # Eager pass: REPRO_EAGER_CHECK=1 turns the streaming verification
+    # plane off (checkers run per event).  Results must be bit-identical
+    # to batch mode; the throughput delta is the plane's win.
+    saved_eager = os.environ.get("REPRO_EAGER_CHECK")
+    os.environ["REPRO_EAGER_CHECK"] = "1"
+    try:
+        t0 = time.perf_counter()
+        eager = run_points(specs, jobs=1)
+        eager_s = time.perf_counter() - t0
+    finally:
+        if saved_eager is None:
+            del os.environ["REPRO_EAGER_CHECK"]
+        else:
+            os.environ["REPRO_EAGER_CHECK"] = saved_eager
+    eager_events_per_sec = (
+        sum(m.events_processed for m in eager) / eager_s if eager_s else 0.0
+    )
+
+    identical = serial == parallel == cached == eager
     if not identical:
-        for i, (a, b, c) in enumerate(zip(serial, parallel, cached)):
-            if not (a == b == c):
+        for i, (a, b, c, e) in enumerate(zip(serial, parallel, cached, eager)):
+            if not (a == b == c == e):
                 print(
                     f"MISMATCH at spec #{i}:\n  serial:   {a}"
-                    f"\n  parallel: {b}\n  cached:   {c}"
+                    f"\n  parallel: {b}\n  cached:   {c}\n  eager:    {e}"
                 )
+
+    # Allocation pass: tracemalloc snapshot delta over one run (slots on
+    # hot record classes show up here as fewer blocks per event).
+    alloc_spec = specs[0]
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    alloc_metrics = execute_run_spec(alloc_spec)
+    peak_bytes = tracemalloc.get_traced_memory()[1]
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    diff = after.compare_to(before, "filename")
+    alloc_blocks = sum(stat.count_diff for stat in diff)
+    alloc_kib = sum(stat.size_diff for stat in diff) / 1024.0
+    alloc_events = alloc_metrics.events_processed
 
     events = sum(m.events_processed for m in serial)
     events_per_sec = events / serial_s if serial_s else 0.0
@@ -177,14 +223,20 @@ def main(argv=None) -> int:
         "serial_s": round(serial_s, 4),
         "parallel_s": round(parallel_s, 4),
         "cached_s": round(cached_s, 4),
+        "eager_s": round(eager_s, 4),
         "jobs": jobs,
         "events_per_sec": round(events_per_sec, 1),
         "kernel_events_per_sec": round(kernel_events_per_sec, 1),
+        "eager_events_per_sec": round(eager_events_per_sec, 1),
         "speedup": None if speedup is None else round(speedup, 3),
         "speedup_note": speedup_note,
         "events": events,
         "coalesced_deliveries": coalesced,
         "cache_hits": cache_hits,
+        "alloc_blocks": alloc_blocks,
+        "alloc_kib": round(alloc_kib, 1),
+        "alloc_peak_kib": round(peak_bytes / 1024.0, 1),
+        "alloc_events": alloc_events,
         "runs": len(specs),
         "ops": args.ops,
         "seeds": args.seeds,
@@ -204,7 +256,12 @@ def main(argv=None) -> int:
         f"{coalesced} coalesced deliveries)\n"
         f"parallel {parallel_s:8.2f} s   (jobs={jobs}, {speed_txt})\n"
         f"cached   {cached_s:8.2f} s   ({cache_hits}/{len(specs)} hits)\n"
-        f"metrics identical: {identical}\n"
+        f"eager    {eager_s:8.2f} s   ({eager_events_per_sec:,.0f} events/sec, "
+        f"checkers on the hot path)\n"
+        f"alloc    {alloc_blocks:,} blocks retained "
+        f"({alloc_kib:,.0f} KiB, peak {peak_bytes / 1024.0:,.0f} KiB) "
+        f"over {alloc_events:,} events\n"
+        f"metrics identical: {identical} (serial == parallel == cached == eager)\n"
         f"[written to {os.path.abspath(args.out)}]"
     )
     return 0 if identical and cache_hits == len(specs) else 1

@@ -3,8 +3,9 @@
 Compares a freshly measured ``BENCH_perf.json`` (the *candidate*,
 written by ``bench_perf.py --out ...``) against the committed baseline
 at the repo root.  Fails when the candidate's serial ``events_per_sec``
-drops below ``threshold`` (default 80%) of the baseline's, or when the
-candidate's serial/parallel/cached metrics were not identical.
+or raw-kernel ``kernel_events_per_sec`` drops below ``threshold``
+(default 80%) of the baseline's, or when the candidate's
+serial/parallel/cached/eager metrics were not identical.
 
 The threshold is deliberately loose: CI runners vary, and the guard is
 meant to catch order-of-magnitude mistakes (an accidentally quadratic
@@ -52,23 +53,33 @@ def main(argv=None) -> int:
     with open(args.candidate) as fh:
         candidate = json.load(fh)
 
-    base = baseline["events_per_sec"]
-    cand = candidate["events_per_sec"]
-    floor = base * args.threshold
-    ratio = cand / base if base else float("inf")
-    print(
-        f"perf check: candidate {cand:,.0f} ev/s vs baseline {base:,.0f} ev/s "
-        f"(ratio {ratio:.2f}, floor {args.threshold:.2f})"
-    )
-
     if not candidate.get("identical", False):
         print("FAIL: candidate metrics were not identical across passes")
         return 1
-    if cand < floor:
+
+    failed = False
+    for key, label in (
+        ("events_per_sec", "serial"),
+        ("kernel_events_per_sec", "kernel"),
+    ):
+        base = baseline.get(key)
+        cand = candidate.get(key)
+        if base is None or cand is None:
+            # Older baselines predate the kernel field; nothing to gate.
+            print(f"perf check: {label} skipped ({key} missing)")
+            continue
+        ratio = cand / base if base else float("inf")
         print(
-            f"FAIL: serial throughput regressed below "
-            f"{args.threshold:.0%} of the committed baseline"
+            f"perf check: {label} candidate {cand:,.0f} ev/s vs baseline "
+            f"{base:,.0f} ev/s (ratio {ratio:.2f}, floor {args.threshold:.2f})"
         )
+        if cand < base * args.threshold:
+            print(
+                f"FAIL: {label} throughput regressed below "
+                f"{args.threshold:.0%} of the committed baseline"
+            )
+            failed = True
+    if failed:
         return 1
     print("OK")
     return 0

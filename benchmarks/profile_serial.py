@@ -1,0 +1,71 @@
+"""Profile the serial benchmark pass and emit a top-N cumulative report.
+
+Runs the same fixed workload mix as ``bench_perf.py`` under
+``cProfile`` (one warm-up pass first, so import and code-object warmup
+don't dominate) and writes the top functions by *cumulative* time to a
+text file.  CI uploads the report as a build artifact so a perf
+regression caught by ``check_perf_regression.py`` comes with the
+profile that explains it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_serial.py --out /tmp/profile.txt
+    PYTHONPATH=src python benchmarks/profile_serial.py --top 40 --ops 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import os
+import pstats
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from bench_perf import workload_mix  # noqa: E402
+from repro.parallel import run_points  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=60, help="ops per core")
+    parser.add_argument("--seeds", type=int, default=2, help="seeds per point")
+    parser.add_argument(
+        "--top", type=int, default=25, help="functions in the report"
+    )
+    parser.add_argument(
+        "--out", default="-", help="report path ('-' for stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    specs = workload_mix(args.ops, args.seeds)
+    run_points(specs, jobs=1)  # warm-up: exclude one-time import costs
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_points(specs, jobs=1)
+    profiler.disable()
+
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(args.top)
+    report = (
+        f"serial pass: {len(specs)} runs "
+        f"(ops={args.ops}, seeds={args.seeds}), "
+        f"top {args.top} by cumulative time\n\n" + buf.getvalue()
+    )
+    if args.out == "-":
+        sys.stdout.write(report)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"[profile written to {os.path.abspath(args.out)}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,6 +115,9 @@ class BaseCacheController:
         self._active: Dict[int, object] = {}  # block -> transaction record
         self._writebacks: Dict[int, WritebackEntry] = {}
         self._stat = f"l1.{node}"
+        self._stat_accesses = f"l1.{node}.accesses"
+        self._stat_replay_accesses = f"l1.{node}.replay_accesses"
+        self._hit_latency = config.l1.hit_latency
         #: When False (snooping), the protocol subclass fires epoch
         #: hooks itself at serialization points; the shared helpers stay
         #: silent except for clean-eviction epoch ends (no serialization
@@ -155,14 +158,14 @@ class BaseCacheController:
     # ------------------------------------------------------------------
     def _submit(self, req: CoreRequest) -> None:
         if req.kind is OpKind.REPLAY:
-            self.stats.incr(f"{self._stat}.replay_accesses")
+            self.stats.incr(self._stat_replay_accesses)
         else:
-            self.stats.incr(f"{self._stat}.accesses")
-        delay = self.l1.next_access_delay(self.scheduler.now) + self.config.l1.hit_latency
-        block = block_of(req.addr)
+            self.stats.incr(self._stat_accesses)
+        delay = self.l1.next_access_delay(self.scheduler.now) + self._hit_latency
+        block = req.addr & ~63  # block_of, inlined
         queue = self._queues.setdefault(block, deque())
         queue.append(req)
-        self.scheduler.after(delay, self._service_block, block)
+        self.scheduler.post(delay, self._service_block, (block,))
 
     def _service_block(self, block: int) -> None:
         """Complete satisfiable queued requests; start a transaction for
@@ -212,9 +215,10 @@ class BaseCacheController:
         blocking writeback before proceeding with ``then_block``."""
         addr = victim.addr
         self.stats.incr(f"{self._stat}.evictions")
-        if self.manage_epochs or not victim.is_dirty():
+        if (self.manage_epochs or not victim.is_dirty()) and self.hooks.sub_epoch_end:
             self.hooks.epoch_end(self.node, addr, list(victim.data))
-        self.hooks.invalidation(self.node, addr)
+        if self.hooks.sub_invalidation:
+            self.hooks.invalidation(self.node, addr)
         self.l1.remove(addr)
         if victim.is_dirty():
             entry = WritebackEntry(
@@ -235,22 +239,26 @@ class BaseCacheController:
     # ------------------------------------------------------------------
     def _perform(self, req: CoreRequest, line: CacheLine) -> None:
         self.l1.lookup(req.addr)  # touch LRU
-        if req.kind is OpKind.PREFETCH:
+        kind = req.kind
+        hooks = self.hooks
+        if kind is OpKind.PREFETCH:
             req.on_done(0)
             return
-        if req.kind in (OpKind.LOAD, OpKind.REPLAY):
+        if kind is OpKind.LOAD or kind is OpKind.REPLAY:
             value = line.read_word(req.addr)
-            if req.kind is OpKind.LOAD:
-                self.hooks.access(self.node, req.addr, False)
+            if kind is OpKind.LOAD and hooks.sub_access:
+                hooks.access(self.node, req.addr, False)
             req.on_done(value)
             return
         # STORE / ATOMIC: write in place (state M guaranteed).
         old_value = line.read_word(req.addr)
-        self.hooks.block_write(self.node, line.addr, list(line.data))
+        if hooks.sub_block_write:
+            hooks.block_write(self.node, line.addr, list(line.data))
         line.write_word(req.addr, req.value & WORD_MASK)
-        self.hooks.access(self.node, req.addr, True)
-        if req.kind is OpKind.ATOMIC:
-            self.hooks.access(self.node, req.addr, False)
+        if hooks.sub_access:
+            hooks.access(self.node, req.addr, True)
+            if kind is OpKind.ATOMIC:
+                hooks.access(self.node, req.addr, False)
         req.on_done(old_value)
 
     # ------------------------------------------------------------------
@@ -273,7 +281,7 @@ class BaseCacheController:
             # buffer and the install proceeds).
             self._evict(victim)
         line = self.l1.install(block, state, data)
-        if self.manage_epochs:
+        if self.manage_epochs and self.hooks.sub_epoch_begin:
             etype = (
                 EpochType.READ_WRITE
                 if state is CoherenceState.M
@@ -287,10 +295,10 @@ class BaseCacheController:
         line = self.l1.peek(block)
         if line is None:
             raise SimulationError(f"upgrade of absent block 0x{block:x}")
-        if self.manage_epochs:
+        if self.manage_epochs and self.hooks.sub_epoch_end:
             self.hooks.epoch_end(self.node, block, list(line.data))
         line.state = CoherenceState.M
-        if self.manage_epochs:
+        if self.manage_epochs and self.hooks.sub_epoch_begin:
             self.hooks.epoch_begin(
                 self.node, block, EpochType.READ_WRITE, list(line.data)
             )
@@ -302,10 +310,10 @@ class BaseCacheController:
         if line is None:
             return None
         if line.state is CoherenceState.M:
-            if self.manage_epochs:
+            if self.manage_epochs and self.hooks.sub_epoch_end:
                 self.hooks.epoch_end(self.node, block, list(line.data))
             line.state = CoherenceState.O
-            if self.manage_epochs:
+            if self.manage_epochs and self.hooks.sub_epoch_begin:
                 self.hooks.epoch_begin(
                     self.node, block, EpochType.READ_ONLY, list(line.data)
                 )
@@ -317,7 +325,7 @@ class BaseCacheController:
         if line is None:
             return None
         data = list(line.data)
-        if self.manage_epochs:
+        if self.manage_epochs and self.hooks.sub_epoch_end:
             self.hooks.epoch_end(self.node, block, data)
         self.hooks.invalidation(self.node, block)
         self.l1.remove(block)
@@ -345,7 +353,7 @@ class BaseCacheController:
     def _transaction_done(self, block: int) -> None:
         """Subclasses call this once permissions are in place."""
         self._active.pop(block, None)
-        self.scheduler.after(1, self._service_block, block)
+        self.scheduler.post(1, self._service_block, (block,))
 
     # ------------------------------------------------------------------
     def unexpected(self, what: str) -> None:

@@ -121,7 +121,7 @@ class DirectoryCacheController(BaseCacheController):
     # -- inbound ------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
         """Entry point from the node's network dispatcher."""
-        self.scheduler.after(_CTRL_LATENCY, self._handle, msg)
+        self.scheduler.post(_CTRL_LATENCY, self._handle, (msg,))
 
     def _handle(self, msg: Message) -> None:
         kind = msg.kind
@@ -318,7 +318,7 @@ class DirectoryMemoryController:
 
     # -- inbound ------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
-        self.scheduler.after(_CTRL_LATENCY, self._handle, msg)
+        self.scheduler.post(_CTRL_LATENCY, self._handle, (msg,))
 
     def _handle(self, msg: Message) -> None:
         block = block_of(msg.addr)
@@ -347,7 +347,7 @@ class DirectoryMemoryController:
         self.hooks.home_request(self.node, block)
         if ent.owner is None:
             data = self.memory.read_block(block)
-            self.scheduler.after(
+            self.scheduler.post(
                 self.config.memory.latency,
                 lambda: self._send(requestor, Coh.DATA, block, data=data),
             )
@@ -372,7 +372,7 @@ class DirectoryMemoryController:
             invalidatees.discard(ent.owner)
         elif ent.owner is None and data_coming:
             data = self.memory.read_block(block)
-            self.scheduler.after(
+            self.scheduler.post(
                 self.config.memory.latency,
                 lambda: self._send(requestor, Coh.DATA, block, data=data),
             )

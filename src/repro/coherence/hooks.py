@@ -28,18 +28,37 @@ class SystemHooks:
 
     All callbacks are synchronous and must not raise during normal
     operation; checkers report problems through their violation sinks.
+
+    The subscriber lists are public on purpose: dispatch sites on the
+    per-access hot path guard with ``if hooks.sub_block_write:`` (plain
+    attribute truthiness) before building the argument payload, so an
+    unobserved system never pays for the ``list(line.data)`` snapshots
+    the observers would have received.  Treat them as read-only;
+    register through the ``on_*`` methods.
     """
 
+    __slots__ = (
+        "sub_epoch_begin",
+        "sub_epoch_data",
+        "sub_epoch_end",
+        "sub_access",
+        "sub_block_write",
+        "sub_mem_write",
+        "sub_snoop_tick",
+        "sub_invalidation",
+        "sub_home_request",
+    )
+
     def __init__(self) -> None:
-        self._epoch_begin: List[Callable] = []
-        self._epoch_data: List[Callable] = []
-        self._epoch_end: List[Callable] = []
-        self._access: List[Callable] = []
-        self._block_write: List[Callable] = []
-        self._mem_write: List[Callable] = []
-        self._snoop_tick: List[Callable] = []
-        self._invalidation: List[Callable] = []
-        self._home_request: List[Callable] = []
+        self.sub_epoch_begin: List[Callable] = []
+        self.sub_epoch_data: List[Callable] = []
+        self.sub_epoch_end: List[Callable] = []
+        self.sub_access: List[Callable] = []
+        self.sub_block_write: List[Callable] = []
+        self.sub_mem_write: List[Callable] = []
+        self.sub_snoop_tick: List[Callable] = []
+        self.sub_invalidation: List[Callable] = []
+        self.sub_home_request: List[Callable] = []
 
     # Registration -------------------------------------------------------
     def on_epoch_begin(
@@ -50,33 +69,33 @@ class SystemHooks:
         ``lt`` is an explicit logical timestamp for protocols whose
         epochs transition at serialization points (snooping); None means
         "now" per the system's logical-time base."""
-        self._epoch_begin.append(fn)
+        self.sub_epoch_begin.append(fn)
 
     def on_epoch_data(self, fn: Callable[[int, int, list], None]) -> None:
         """fn(node, block_addr, block_data) — data arrived for an epoch
         that began earlier (DataReadyBit transition)."""
-        self._epoch_data.append(fn)
+        self.sub_epoch_data.append(fn)
 
     def on_epoch_end(self, fn: Callable[[int, int, Optional[list]], None]) -> None:
         """fn(node, block_addr, block_data_at_end_or_None, lt_or_None)"""
-        self._epoch_end.append(fn)
+        self.sub_epoch_end.append(fn)
 
     def on_access(self, fn: Callable[[int, int, bool], None]) -> None:
         """fn(node, addr, is_store) — called when an access performs."""
-        self._access.append(fn)
+        self.sub_access.append(fn)
 
     def on_block_write(self, fn: Callable[[int, int, list], None]) -> None:
         """fn(node, block_addr, old_data) — before a cache block changes."""
-        self._block_write.append(fn)
+        self.sub_block_write.append(fn)
 
     def on_memory_write(self, fn: Callable[[int, int, list, list], None]) -> None:
         """fn(home_node, block_addr, old_data, new_data) — before a
         writeback replaces a memory block's contents."""
-        self._mem_write.append(fn)
+        self.sub_mem_write.append(fn)
 
     def on_snoop_tick(self, fn: Callable[[int], None]) -> None:
         """fn(node) — a controller processed one ordered snoop."""
-        self._snoop_tick.append(fn)
+        self.sub_snoop_tick.append(fn)
 
     def on_invalidation(self, fn: Callable[[int, int], None]) -> None:
         """fn(node, block_addr) — node lost read permission for block.
@@ -84,12 +103,12 @@ class SystemHooks:
         Cores use this to detect writes to speculatively loaded
         addresses (load-order mis-speculation squash, paper 4.1).
         """
-        self._invalidation.append(fn)
+        self.sub_invalidation.append(fn)
 
     def on_home_request(self, fn: Callable[[int, int], None]) -> None:
         """fn(home_node, block_addr) — a home controller is processing a
         request for the block (MET entries are created here)."""
-        self._home_request.append(fn)
+        self.sub_home_request.append(fn)
 
     # Dispatch -------------------------------------------------------------
     def epoch_begin(
@@ -100,11 +119,11 @@ class SystemHooks:
         data: Optional[list],
         lt: Optional[int] = None,
     ) -> None:
-        for fn in self._epoch_begin:
+        for fn in self.sub_epoch_begin:
             fn(node, addr, etype, data, lt)
 
     def epoch_data(self, node: int, addr: int, data: list) -> None:
-        for fn in self._epoch_data:
+        for fn in self.sub_epoch_data:
             fn(node, addr, data)
 
     def epoch_end(
@@ -114,29 +133,29 @@ class SystemHooks:
         data: Optional[list],
         lt: Optional[int] = None,
     ) -> None:
-        for fn in self._epoch_end:
+        for fn in self.sub_epoch_end:
             fn(node, addr, data, lt)
 
     def access(self, node: int, addr: int, is_store: bool) -> None:
-        for fn in self._access:
+        for fn in self.sub_access:
             fn(node, addr, is_store)
 
     def block_write(self, node: int, addr: int, old_data: list) -> None:
-        for fn in self._block_write:
+        for fn in self.sub_block_write:
             fn(node, addr, old_data)
 
     def memory_write(self, node: int, addr: int, old_data: list, new_data: list) -> None:
-        for fn in self._mem_write:
+        for fn in self.sub_mem_write:
             fn(node, addr, old_data, new_data)
 
     def snoop_tick(self, node: int) -> None:
-        for fn in self._snoop_tick:
+        for fn in self.sub_snoop_tick:
             fn(node)
 
     def invalidation(self, node: int, addr: int) -> None:
-        for fn in self._invalidation:
+        for fn in self.sub_invalidation:
             fn(node, addr)
 
     def home_request(self, home: int, addr: int) -> None:
-        for fn in self._home_request:
+        for fn in self.sub_home_request:
             fn(home, addr)

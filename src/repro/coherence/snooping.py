@@ -118,7 +118,7 @@ class SnoopingCacheController(BaseCacheController):
 
     # -- snoops (ordered) ---------------------------------------------------
     def handle_snoop(self, msg: Message) -> None:
-        self.scheduler.after(_CTRL_LATENCY, self._snoop, msg)
+        self.scheduler.post(_CTRL_LATENCY, self._snoop, (msg,))
 
     def _snoop(self, msg: Message) -> None:
         block = block_of(msg.addr)
@@ -247,7 +247,7 @@ class SnoopingCacheController(BaseCacheController):
 
     # -- data arrival ---------------------------------------------------------
     def handle_data(self, msg: Message) -> None:
-        self.scheduler.after(_CTRL_LATENCY, self._data, msg)
+        self.scheduler.post(_CTRL_LATENCY, self._data, (msg,))
 
     def _data(self, msg: Message) -> None:
         block = block_of(msg.addr)
@@ -282,7 +282,7 @@ class SnoopingCacheController(BaseCacheController):
                 self._other_getm(requestor, block, at_lt)
             else:
                 self._other_gets(requestor, block, at_lt)
-        self.scheduler.after(1, self._service_block, block)
+        self.scheduler.post(1, self._service_block, (block,))
 
     def _complete_killed(self, txn: _SnoopTransaction, data: List[int]) -> None:
         """Serve the head load from in-flight data; the line is not
@@ -298,7 +298,7 @@ class SnoopingCacheController(BaseCacheController):
                 self.hooks.access(self.node, head.addr, False)
                 head.on_done(value)
         self.stats.incr(f"{self._stat}.killed_fills")
-        self.scheduler.after(1, self._service_block, block)
+        self.scheduler.post(1, self._service_block, (block,))
 
 
 class SnoopingMemoryController:
@@ -328,7 +328,7 @@ class SnoopingMemoryController:
         self._stat = f"snoopmem.{node}"
 
     def handle_snoop(self, msg: Message) -> None:
-        self.scheduler.after(_CTRL_LATENCY, self._snoop, msg)
+        self.scheduler.post(_CTRL_LATENCY, self._snoop, (msg,))
 
     def _snoop(self, msg: Message) -> None:
         block = block_of(msg.addr)
@@ -355,22 +355,22 @@ class SnoopingMemoryController:
 
     def _supply(self, requestor: int, block: int) -> None:
         data = self.memory.read_block(block)
-        self.scheduler.after(
+        self.scheduler.post(
             self.config.memory.latency,
             self.data_net.send,
-            Message(
+            (Message(
                 src=self.node,
                 dst=requestor,
                 kind=Coh.DATA,
                 addr=block,
                 data=data,
                 size_bytes=self.config.network.data_message_bytes,
-            ),
+            ),),
         )
 
     def handle_data(self, msg: Message) -> None:
         """Writeback data arriving on the torus."""
-        self.scheduler.after(_CTRL_LATENCY, self._wb_data, msg)
+        self.scheduler.post(_CTRL_LATENCY, self._wb_data, (msg,))
 
     def _wb_data(self, msg: Message) -> None:
         block = block_of(msg.addr)

@@ -125,6 +125,40 @@ class Scheduler:
             heapq.heappush(self._overflow, (time, event.seq, event))
         return event
 
+    def post(self, delay: int, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now, cheaply.
+
+        The no-handle fast path for hot call sites that never cancel:
+        in-window events are stored as bare ``(callback, args)`` tuples
+        (no :class:`Event` allocation, no sequence number — the bucket's
+        append order alone carries the tie-break, which is exactly the
+        insertion order the counter would have recorded).  Out-of-window
+        posts fall back to a real overflow :class:`Event`, whose heap
+        ordering does need a sequence number.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        if time < self._window_end:
+            self._ring[time & self._mask].append((callback, args))
+            self._ring_count += 1
+        else:
+            event = Event(time, next(self._counter), callback, args)
+            heapq.heappush(self._overflow, (time, event.seq, event))
+
+    def post_at(self, time: int, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Absolute-time twin of :meth:`post` (see :meth:`at`)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, current time is {self.now}"
+            )
+        if time < self._window_end:
+            self._ring[time & self._mask].append((callback, args))
+            self._ring_count += 1
+        else:
+            event = Event(time, next(self._counter), callback, args)
+            heapq.heappush(self._overflow, (time, event.seq, event))
+
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return self._ring_count + len(self._overflow)
@@ -195,6 +229,12 @@ class Scheduler:
                 event = bucket[i]
                 i += 1
                 self._ring_count -= 1
+                if event.__class__ is tuple:
+                    del bucket[:i]
+                    self.now = t
+                    self._events_processed += 1
+                    event[0](*event[1])
+                    return True
                 if event.cancelled:
                     continue
                 del bucket[:i]
@@ -229,6 +269,9 @@ class Scheduler:
         """
         locate = self._locate
         executed = 0
+        # Countdown twin of ``executed % stop_interval == 0`` — one
+        # decrement-and-test per event instead of a modulo.
+        poll_in = stop_interval
         while True:
             located = locate(until)
             if located is None:
@@ -243,23 +286,39 @@ class Scheduler:
             # re-arm itself — never sees already-run events, matching
             # the old heap kernel's pop-then-execute accounting.
             i = 0
-            while i < len(bucket):
+            # ``n`` is re-sampled only when the walk catches up with it:
+            # same-cycle posts append to the bucket being drained, so
+            # the bound grows mid-walk, but re-checking len() at the
+            # catch-up point (instead of per event) is enough to
+            # notice — callbacks are the only appenders and every path
+            # through the loop body funnels back here.
+            n = len(bucket)
+            while True:
+                if i == n:
+                    n = len(bucket)
+                    if i == n:
+                        break
                 event = bucket[i]
                 i += 1
                 self._ring_count -= 1
-                if event.cancelled:
-                    continue
-                self.now = t
-                self._events_processed += 1
-                executed += 1
-                event.callback(*event.args)
-                if (
-                    stop_when is not None
-                    and executed % stop_interval == 0
-                    and stop_when()
-                ):
-                    del bucket[:i]
-                    return
+                if event.__class__ is tuple:
+                    self.now = t
+                    self._events_processed += 1
+                    executed += 1
+                    event[0](*event[1])
+                else:
+                    if event.cancelled:
+                        continue
+                    self.now = t
+                    self._events_processed += 1
+                    executed += 1
+                    event.callback(*event.args)
+                poll_in -= 1
+                if poll_in == 0:
+                    poll_in = stop_interval
+                    if stop_when is not None and stop_when():
+                        del bucket[:i]
+                        return
                 if max_events is not None and executed >= max_events:
                     del bucket[:i]
                     raise SimulationError(

@@ -61,6 +61,14 @@ class OpType(enum.Enum):
     MEMBAR = "membar"
     STBAR = "stbar"
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default ``Enum.__hash__`` (a Python-level call that hashes the
+    # member name) but dispatches in C.  Op types key the hottest dict
+    # lookups in the simulator (ordering-table rows, per-op stats); no
+    # code iterates *sets* of members, so the hash value itself is
+    # never observable.
+    __hash__ = object.__hash__
+
     def is_memory_access(self) -> bool:
         """True for operations that read or write memory."""
         return self in (OpType.LOAD, OpType.STORE, OpType.ATOMIC)
@@ -108,6 +116,8 @@ class CoherenceState(enum.Enum):
     S = "S"  # Shared: read permission
     I = "I"  # Invalid
 
+    __hash__ = object.__hash__  # singleton members; see OpType
+
     def can_read(self) -> bool:
         return self in (CoherenceState.M, CoherenceState.O, CoherenceState.S)
 
@@ -123,6 +133,8 @@ class EpochType(enum.Enum):
 
     READ_ONLY = "RO"
     READ_WRITE = "RW"
+
+    __hash__ = object.__hash__  # singleton members; see OpType
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,10 @@ class ConsistencyModel(enum.Enum):
     PSO = "PSO"  # Partial Store Order
     RMO = "RMO"  # Relaxed Memory Order (Weak Consistency variant)
 
+    # Singleton members: identity hash (C dispatch) replaces the
+    # Python-level Enum.__hash__ on plan/ordering-table lookups.
+    __hash__ = object.__hash__
+
     @property
     def allows_store_load_reordering(self) -> bool:
         """True if a store may perform after a later load (write buffer)."""

@@ -15,6 +15,18 @@ happen in appropriate epochs (checked at the CET), (2) Read-Write
 epochs never overlap other epochs, (3) the data at an epoch's begin
 equals the data at the most recent Read-Write epoch's end.
 
+The MET is **sharded by (home, block bank)**: each home keeps
+:data:`MET_BANKS` independent bank heaps and bank-local block tables,
+selected by the low block-number bits.  Informs for different blocks
+commute (all MET state is per block), and same-block informs always
+land in the same bank, so sharding preserves processing semantics
+while keeping each heap small; the bounded-capacity forced drain pops
+the global minimum across bank heads, which equals the unsharded
+queue's minimum.  Queued informs are flat integer tuples (no per-
+inform dict allocation), and the rule-2 overlap check queries a
+begin-sorted :class:`~repro.dvmc.interval_index.IntervalIndex` per
+block instead of scanning epoch history.
+
 Timestamps are stored 16-bit; long-lived epochs are *scrubbed* before
 wraparound using a per-CET FIFO that triggers Inform-Open-Epoch /
 Inform-Closed-Epoch message pairs, with matching open-epoch tracking
@@ -31,8 +43,9 @@ from repro.common.crc import hash_block
 from repro.common.events import Scheduler
 from repro.common.logical_time import LogicalTimeBase
 from repro.common.stats import StatsRegistry
-from repro.common.types import EpochType, ViolationReport, block_of
+from repro.common.types import BLOCK_SIZE, EpochType, ViolationReport, block_of
 from repro.config import SystemConfig
+from repro.dvmc.interval_index import IntervalIndex
 from repro.interconnect.message import Message
 
 from repro.coherence.messages import Dvcc
@@ -43,6 +56,25 @@ MET_SORT_SLACK = 128
 
 #: Cycles between MET priority-queue drain sweeps and CET scrub sweeps.
 SWEEP_PERIOD = 500
+
+#: MET shards per home node.  Bank = low bits of the block number, so
+#: consecutive blocks interleave across banks.
+MET_BANKS = 4
+
+_BANK_SHIFT = BLOCK_SIZE.bit_length() - 1
+_BANK_MASK = MET_BANKS - 1
+
+#: Per-block interval-index bound: beyond this many recorded epochs the
+#: oldest are folded into the entry's scalar watermark (exactly the
+#: hardware MET's 48-bit summary), so memory stays bounded and the
+#: check degrades to the paper's conservative form, never weaker.
+MET_INDEX_CAPACITY = 128
+
+#: Flat integer encodings for queued informs (tuple records, no dicts).
+_K_EPOCH = 0
+_K_OPEN = 1
+_K_CLOSED = 2
+_ETYPE_FROM_CODE = (EpochType.READ_ONLY, EpochType.READ_WRITE)
 
 
 class CETEntry:
@@ -73,7 +105,15 @@ class CETEntry:
 
 
 class METEntry:
-    """Home-side per-block epoch summary (48 bits in hardware)."""
+    """Home-side per-block epoch summary (48 bits in hardware).
+
+    The scalar watermarks (``floor_ro`` / ``floor_rw``) carry the
+    hardware-faithful conservative state: entry creation time and the
+    ends of epochs whose begin is unknown (Inform-Closed-Epoch) or that
+    were folded out of the bounded interval index.  The two interval
+    indexes hold the recent exact epoch history for the O(log n)
+    overlap query.
+    """
 
     __slots__ = (
         "last_ro_end",
@@ -82,6 +122,10 @@ class METEntry:
         "mem_hash",
         "open_ro",
         "open_rw",
+        "floor_ro",
+        "floor_rw",
+        "ro_index",
+        "rw_index",
     )
 
     def __init__(self, created: int, data_hash: int):
@@ -98,10 +142,14 @@ class METEntry:
         self.mem_hash: Optional[int] = data_hash
         self.open_ro: Set[int] = set()
         self.open_rw: Optional[int] = None
+        self.floor_ro = created
+        self.floor_rw = created
+        self.ro_index = IntervalIndex()
+        self.rw_index = IntervalIndex()
 
 
 class CoherenceChecker:
-    """System-wide DVCC: one CET per cache, one MET per home node."""
+    """System-wide DVCC: one CET per cache, one banked MET per home."""
 
     def __init__(
         self,
@@ -124,10 +172,17 @@ class CoherenceChecker:
         self.violations = violations
         num = config.num_nodes
         self._cet: List[Dict[int, CETEntry]] = [dict() for _ in range(num)]
-        self._met: List[Dict[int, METEntry]] = [dict() for _ in range(num)]
-        self._pq: List[List[Tuple[int, int, int, dict]]] = [
-            [] for _ in range(num)
+        #: Banked MET: ``_met[home][bank]`` maps block -> METEntry.
+        self._met: List[List[Dict[int, METEntry]]] = [
+            [dict() for _ in range(MET_BANKS)] for _ in range(num)
         ]
+        #: Banked inform queues: one begin-sorted heap of flat tuple
+        #: records per (home, bank); ``_pq_len[home]`` tracks the total
+        #: so the bounded-capacity forced drain stays per home.
+        self._pq: List[List[list]] = [
+            [[] for _ in range(MET_BANKS)] for _ in range(num)
+        ]
+        self._pq_len: List[int] = [0] * num
         self._pq_seq = itertools.count()
         #: Scrub FIFOs: (block, begin_full) per epoch, per node.
         self._scrub_fifo: List[List[Tuple[int, int]]] = [[] for _ in range(num)]
@@ -140,7 +195,19 @@ class CoherenceChecker:
         #: mutated (or fault-corrupted) block always misses the memo —
         #: the memo can never mask real corruption.
         self._hash_memo: Dict[int, Tuple[List[int], int]] = {}
-        scheduler.after(SWEEP_PERIOD, self._sweep)
+        # Precomputed per-node stat keys (these fire once per epoch
+        # event / inform; f-string assembly was measurable).
+        self._stat_epochs_begun = [f"dvcc.{n}.epochs_begun" for n in range(num)]
+        self._stat_informs_sent = [f"dvcc.{n}.informs_sent" for n in range(num)]
+        self._stat_informs_processed = [
+            f"dvcc.{n}.informs_processed" for n in range(num)
+        ]
+        self._stat_open_informs = [f"dvcc.{n}.open_informs" for n in range(num)]
+        self._stat_pq_forced = [
+            f"dvcc.{n}.pq_forced_drains" for n in range(num)
+        ]
+        self._stat_violations = [f"dvcc.{n}.violations" for n in range(num)]
+        scheduler.post(SWEEP_PERIOD, self._sweep)
 
     def _hash_block(self, block: int, data) -> int:
         """Hash ``data`` with a per-block memo keyed on content."""
@@ -187,7 +254,7 @@ class CoherenceChecker:
         self._scrub_fifo[node].append((block, entry.begin))
         if len(self._scrub_fifo[node]) > self.config.dvmc.scrub_fifo_entries:
             self._scrub_check(node)
-        self.stats.incr(f"dvcc.{node}.epochs_begun")
+        self.stats.incr(self._stat_epochs_begun[node])
 
     def epoch_data(self, node: int, addr: int, data: list) -> None:
         block = block_of(addr)
@@ -256,7 +323,12 @@ class CoherenceChecker:
             )
 
     def check_access(self, node: int, addr: int, is_store: bool) -> None:
-        """Rule 1: accesses happen within appropriate epochs."""
+        """Rule 1: accesses happen within appropriate epochs.
+
+        This check stays synchronous in every mode: the verdict depends
+        on CET state *at access time*, and a store must drop the hash
+        memo before the block's next epoch event re-hashes it.
+        """
         entry = self._cet[node].get(block_of(addr))
         if entry is None:
             self._violate(
@@ -299,7 +371,7 @@ class CoherenceChecker:
                         "begin_hash": entry.begin_hash,
                     },
                 )
-                self.stats.incr(f"dvcc.{node}.open_informs")
+                self.stats.incr(self._stat_open_informs[node])
             else:
                 keep.append((block, begin))
         self._scrub_fifo[node] = keep
@@ -310,7 +382,7 @@ class CoherenceChecker:
     def _send_inform(
         self, src: int, dst: int, kind: Dvcc, block: int, meta: dict
     ) -> None:
-        self.stats.incr(f"dvcc.{src}.informs_sent")
+        self.stats.incr(self._stat_informs_sent[src])
         self.send(
             Message(
                 src=src,
@@ -327,14 +399,15 @@ class CoherenceChecker:
         self._drain(self._push_inform(msg))
 
     def handle_batch(self, batch) -> None:
-        """Informs arriving at a home MET, possibly several per cycle.
+        """Batch entry point: informs arriving at a home MET together.
 
         The interconnect delivers all same-(node, cycle) informs as one
-        batch: every inform is pushed onto the begin-time-sorted
-        priority queue first and the queue is drained once, amortising
+        batch: every inform is pushed onto its begin-time-sorted bank
+        heap first and each touched home is drained once, amortising
         the drain sweep across the batch.  All inform kinds ride the
-        same queue; an Inform-Closed-Epoch sorts by its end time, which
-        keeps it behind its paired Inform-Open-Epoch (end >= begin).
+        same queues; an Inform-Closed-Epoch sorts by its end time,
+        which keeps it behind its paired Inform-Open-Epoch (end >=
+        begin).
         """
         homes = set()
         for msg in batch:
@@ -343,26 +416,70 @@ class CoherenceChecker:
             self._drain(home)
 
     def _push_inform(self, msg: Message) -> int:
-        """Queue one inform on its home's MET priority queue.
+        """Queue one inform as a flat tuple record on its bank heap.
 
         Returns the home node; the caller is responsible for the drain
-        sweep (once per message, or once per batch).
+        sweep (once per message, or once per batch).  Record layout:
+        ``(sort_key, seq, kind, src, block, etype, begin, end,
+        begin_hash, end_hash)`` with -1 for absent hashes/times.
         """
         home = msg.dst
         meta = msg.meta
-        begin = (
-            meta["end"]
-            if msg.kind is Dvcc.INFORM_CLOSED_EPOCH
-            else meta.get("begin", 0)
-        )
-        heapq.heappush(
-            self._pq[home],
-            (begin, next(self._pq_seq), msg.src, {"kind": msg.kind, "addr": msg.addr, **meta}),
-        )
-        if len(self._pq[home]) > self.config.dvmc.priority_queue_entries:
+        kind = msg.kind
+        block = block_of(msg.addr)
+        etype_code = 1 if meta["etype"] is EpochType.READ_WRITE else 0
+        if kind is Dvcc.INFORM_EPOCH:
+            begin = meta.get("begin", 0)
+            bh = meta.get("begin_hash")
+            eh = meta.get("end_hash")
+            record = (
+                begin,
+                next(self._pq_seq),
+                _K_EPOCH,
+                msg.src,
+                block,
+                etype_code,
+                begin,
+                meta["end"],
+                -1 if bh is None else bh,
+                -1 if eh is None else eh,
+            )
+        elif kind is Dvcc.INFORM_OPEN_EPOCH:
+            begin = meta.get("begin", 0)
+            bh = meta.get("begin_hash")
+            record = (
+                begin,
+                next(self._pq_seq),
+                _K_OPEN,
+                msg.src,
+                block,
+                etype_code,
+                begin,
+                -1,
+                -1 if bh is None else bh,
+                -1,
+            )
+        else:  # INFORM_CLOSED_EPOCH sorts by its end time
+            end = meta["end"]
+            record = (
+                end,
+                next(self._pq_seq),
+                _K_CLOSED,
+                msg.src,
+                block,
+                etype_code,
+                -1,
+                end,
+                -1,
+                -1,
+            )
+        bank = (block >> _BANK_SHIFT) & _BANK_MASK
+        heapq.heappush(self._pq[home][bank], record)
+        self._pq_len[home] += 1
+        if self._pq_len[home] > self.config.dvmc.priority_queue_entries:
             # Hardware's bounded queue: evict (process) the oldest
             # entry immediately rather than grow without bound.
-            self.stats.incr(f"dvcc.{home}.pq_forced_drains")
+            self.stats.incr(self._stat_pq_forced[home])
             self._drain(home, force_one=True)
         return home
 
@@ -372,9 +489,10 @@ class CoherenceChecker:
     def home_request(self, home: int, addr: int) -> None:
         """Create the MET entry at first request (paper 4.3)."""
         block = block_of(addr)
-        if block not in self._met[home]:
+        met = self._met[home][(block >> _BANK_SHIFT) & _BANK_MASK]
+        if block not in met:
             data = self.memories[home].read_block(block)
-            self._met[home][block] = METEntry(
+            met[block] = METEntry(
                 self.lt.now(home), self._hash_block(block, data)
             )
 
@@ -388,7 +506,7 @@ class CoherenceChecker:
         else means the block was corrupted while memory-resident.
         """
         block = block_of(addr)
-        entry = self._met[home].get(block)
+        entry = self._met[home][(block >> _BANK_SHIFT) & _BANK_MASK].get(block)
         if entry is None:
             # First touch is the writeback itself; the lazy MET entry
             # created later will hash post-writeback memory.
@@ -406,68 +524,137 @@ class CoherenceChecker:
     def verify_memory(self) -> None:
         """Scrubber pass: DRAM contents of every MET-tracked block must
         hash to the value recorded when they were last stored."""
-        for home, met in enumerate(self._met):
-            for block, entry in met.items():
-                if entry.mem_hash is None:
-                    continue
-                got = self._hash_block(
-                    block, self.memories[home].read_block(block)
-                )
-                if got != entry.mem_hash:
-                    self._violate(
-                        home,
-                        "data-propagation",
-                        f"block 0x{block:x}: scrub reads hash "
-                        f"{got:#06x}, last stored {entry.mem_hash:#06x}",
+        for home, banks in enumerate(self._met):
+            for met in banks:
+                for block, entry in met.items():
+                    if entry.mem_hash is None:
+                        continue
+                    got = self._hash_block(
+                        block, self.memories[home].read_block(block)
                     )
+                    if got != entry.mem_hash:
+                        self._violate(
+                            home,
+                            "data-propagation",
+                            f"block 0x{block:x}: scrub reads hash "
+                            f"{got:#06x}, last stored {entry.mem_hash:#06x}",
+                        )
 
     def _met_entry(self, home: int, block: int) -> METEntry:
-        entry = self._met[home].get(block)
+        met = self._met[home][(block >> _BANK_SHIFT) & _BANK_MASK]
+        entry = met.get(block)
         if entry is None:
             # Shouldn't happen fault-free (home_request precedes epochs),
             # but injected faults can reorder things; create leniently.
             data = self.memories[home].read_block(block)
             entry = METEntry(0, self._hash_block(block, data))
-            self._met[home][block] = entry
+            met[block] = entry
         return entry
 
     def _drain(self, home: int, force_one: bool = False) -> None:
-        pq = self._pq[home]
+        """Process eligible informs in global begin order across banks.
+
+        Each bank heap's head is its minimum, so the minimum over heads
+        is the home's global minimum — identical pop order to a single
+        unsharded queue, at a 4-way compare per pop instead of a wide
+        heap sift.
+        """
+        banks = self._pq[home]
         now = self.lt.now(home)
-        while pq:
-            begin = pq[0][0]
-            if not force_one and now - begin < MET_SORT_SLACK:
+        process = self._process_inform
+        while True:
+            best = None
+            best_bank = 0
+            for i in range(MET_BANKS):
+                pq = banks[i]
+                if pq:
+                    head = pq[0]
+                    if best is None or head < best:
+                        best = head
+                        best_bank = i
+            if best is None:
                 return
-            _, _, src, inform = heapq.heappop(pq)
-            self._process_inform(home, src, inform)
+            if not force_one and now - best[0] < MET_SORT_SLACK:
+                return
+            heapq.heappop(banks[best_bank])
+            self._pq_len[home] -= 1
+            process(home, best)
             force_one = False
 
     def flush(self) -> None:
         """Process every queued inform (end of simulation)."""
         for home in range(self.config.num_nodes):
-            pq = self._pq[home]
-            while pq:
-                _, _, src, inform = heapq.heappop(pq)
-                self._process_inform(home, src, inform)
+            banks = self._pq[home]
+            while self._pq_len[home]:
+                best = None
+                best_bank = 0
+                for i in range(MET_BANKS):
+                    pq = banks[i]
+                    if pq and (best is None or pq[0] < best):
+                        best = pq[0]
+                        best_bank = i
+                heapq.heappop(banks[best_bank])
+                self._pq_len[home] -= 1
+                self._process_inform(home, best)
 
-    def _process_inform(self, home: int, src: int, inform: dict) -> None:
-        self.stats.incr(f"dvcc.{home}.informs_processed")
-        block = block_of(inform["addr"])
-        if inform["kind"] is Dvcc.INFORM_CLOSED_EPOCH:
-            self._met_close_open(home, block, src, inform)
+    def _process_inform(self, home: int, record: tuple) -> None:
+        self.stats.incr(self._stat_informs_processed[home])
+        (
+            _key,
+            _seq,
+            kind,
+            src,
+            block,
+            etype_code,
+            begin,
+            end,
+            begin_hash,
+            end_hash,
+        ) = record
+        if kind == _K_CLOSED:
+            self._met_close_open(home, block, src, etype_code, end)
             return
         entry = self._met_entry(home, block)
-        etype: EpochType = inform["etype"]
-        begin = inform["begin"]
-        begin_hash = inform.get("begin_hash")
-        is_open = inform["kind"] is Dvcc.INFORM_OPEN_EPOCH
+        is_rw = etype_code == 1
 
-        # Rule 2: Read-Write epochs do not overlap other epochs.
-        if etype is EpochType.READ_WRITE:
-            limit = max(entry.last_ro_end, entry.last_rw_end)
+        # Rule 2: Read-Write epochs do not overlap other epochs.  The
+        # interval index answers the exact-overlap query in O(log n);
+        # the scalar floors cover entry creation, unknown-begin closed
+        # epochs, and history folded out of the bounded index.  An open
+        # inform has no end yet, so it conflicts with any later end
+        # (query against [begin, inf)); a degenerate epoch (end ==
+        # begin) queries as a point so it still conflicts with an epoch
+        # spanning it.
+        if kind == _K_EPOCH:
+            query_end = end if end > begin else begin + 1
         else:
-            limit = entry.last_rw_end
+            query_end = None
+        if is_rw:
+            limit = (
+                entry.floor_rw
+                if entry.floor_rw >= entry.floor_ro
+                else entry.floor_ro
+            )
+            for index in (entry.rw_index, entry.ro_index):
+                m = (
+                    index.max_overlap_end(begin, query_end)
+                    if query_end is not None
+                    else index.max_end()
+                )
+                if m is not None and m > limit:
+                    limit = m
+        else:
+            limit = entry.floor_rw
+            index = entry.rw_index
+            m = (
+                index.max_overlap_end(begin, query_end)
+                if query_end is not None
+                else index.max_end()
+            )
+            if m is not None and m > limit:
+                limit = m
         if begin < limit:
+            etype = _ETYPE_FROM_CODE[etype_code]
             self._violate(
                 home,
                 "epoch-overlap",
@@ -481,9 +668,8 @@ class CoherenceChecker:
                 f"block 0x{block:x}: epoch begins while node "
                 f"{entry.open_rw} holds an open RW epoch",
             )
-        if etype is EpochType.READ_WRITE and any(
-            n != src for n in entry.open_ro
-        ):
+        open_ro = entry.open_ro
+        if is_rw and open_ro and (len(open_ro) > 1 or src not in open_ro):
             self._violate(
                 home,
                 "epoch-overlap-open",
@@ -492,7 +678,7 @@ class CoherenceChecker:
 
         # Rule 3: data propagates intact from the last RW epoch.
         if (
-            begin_hash is not None
+            begin_hash != -1
             and entry.last_rw_end_hash is not None
             and begin_hash != entry.last_rw_end_hash
         ):
@@ -504,51 +690,69 @@ class CoherenceChecker:
                 f"{entry.last_rw_end_hash:#06x}",
             )
 
-        if is_open:
-            if etype is EpochType.READ_WRITE:
+        if kind == _K_OPEN:
+            if is_rw:
                 entry.open_rw = src
             else:
                 entry.open_ro.add(src)
             return
 
-        end = inform["end"]
-        end_hash = inform.get("end_hash")
-        if etype is EpochType.READ_WRITE:
+        if is_rw:
             if end > entry.last_rw_end:
                 entry.last_rw_end = end
-                entry.last_rw_end_hash = end_hash
+                entry.last_rw_end_hash = None if end_hash == -1 else end_hash
+            index = entry.rw_index
+            index.add(begin, end)
+            if len(index) > MET_INDEX_CAPACITY:
+                folded = index.drop_oldest(MET_INDEX_CAPACITY // 2)
+                if folded is not None and folded > entry.floor_rw:
+                    entry.floor_rw = folded
         else:
-            if inform.get("end_hash") is not None and begin_hash is not None:
-                if inform["end_hash"] != begin_hash:
-                    self._violate(
-                        home,
-                        "ro-epoch-data-changed",
-                        f"block 0x{block:x} changed during a read-only epoch",
-                    )
-            entry.last_ro_end = max(entry.last_ro_end, end)
+            if end_hash != -1 and begin_hash != -1 and end_hash != begin_hash:
+                self._violate(
+                    home,
+                    "ro-epoch-data-changed",
+                    f"block 0x{block:x} changed during a read-only epoch",
+                )
+            if end > entry.last_ro_end:
+                entry.last_ro_end = end
+            index = entry.ro_index
+            index.add(begin, end)
+            if len(index) > MET_INDEX_CAPACITY:
+                folded = index.drop_oldest(MET_INDEX_CAPACITY // 2)
+                if folded is not None and folded > entry.floor_ro:
+                    entry.floor_ro = folded
 
-    def _met_close_open(self, home: int, block: int, src: int, meta: dict) -> None:
-        """Inform-Closed-Epoch: only address and end time (paper 4.3)."""
+    def _met_close_open(
+        self, home: int, block: int, src: int, etype_code: int, end: int
+    ) -> None:
+        """Inform-Closed-Epoch: only address and end time (paper 4.3).
+
+        With no begin time the epoch cannot enter the interval index;
+        its end raises the scalar floor instead (the conservative
+        hardware check), exactly as the paper's 48-bit MET would.
+        """
         entry = self._met_entry(home, block)
-        end = meta["end"]
-        if meta["etype"] is EpochType.READ_WRITE:
+        if etype_code == 1:
             if entry.open_rw == src:
                 entry.open_rw = None
             entry.last_rw_end = max(entry.last_rw_end, end)
             entry.last_rw_end_hash = None  # unknown until the next epoch
+            entry.floor_rw = max(entry.floor_rw, end)
         else:
             entry.open_ro.discard(src)
             entry.last_ro_end = max(entry.last_ro_end, end)
+            entry.floor_ro = max(entry.floor_ro, end)
 
     # ------------------------------------------------------------------
     def _sweep(self) -> None:
         for node in range(self.config.num_nodes):
             self._scrub_check(node)
             self._drain(node)
-        self.scheduler.after(SWEEP_PERIOD, self._sweep)
+        self.scheduler.post(SWEEP_PERIOD, self._sweep)
 
     def _violate(self, node: int, kind: str, detail: str) -> None:
-        self.stats.incr(f"dvcc.{node}.violations")
+        self.stats.incr(self._stat_violations[node])
         self.violations(
             ViolationReport("CC", self.scheduler.now, node, kind, detail)
         )

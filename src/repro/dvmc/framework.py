@@ -64,8 +64,23 @@ class DVMC:
 
     def finalize(self) -> None:
         """Flush buffered checker state (end of simulation): drain the
-        MET priority queues and run a final lost-operation scan."""
+        streaming AR logs and MET priority queues, run a final
+        lost-operation scan, and put the report list into canonical
+        order.
+
+        The canonical sort makes the final report list independent of
+        *when* each checker ran its deferred work: every report is
+        timestamped with the cycle at which the violation was observed
+        (not when a batch drain got around to checking it), so sorting
+        on (cycle, checker, node, kind, detail) yields bit-identical
+        output between eager (``REPRO_EAGER_CHECK=1``) and batch modes.
+        The sort is stable and idempotent; ``first`` keeps meaning "the
+        earliest detection" for the recovery-window comparison.
+        """
         if self.coherence_checker is not None:
             self.coherence_checker.flush()
         for ar in self.ar_checkers:
             ar.check_outstanding()
+        self.violations.reports.sort(
+            key=lambda r: (r.cycle, r.checker, r.node, r.kind, r.detail)
+        )

@@ -1,0 +1,108 @@
+"""Sorted interval index for the MET's epoch-overlap rule (Plakal rule 2).
+
+The Memory Epoch Table processes Inform-Epochs in epoch-begin order and
+must flag any Read-Write epoch that overlaps another epoch of the same
+block.  This module provides the begin-sorted index backing that check:
+intervals are kept in begin order alongside a prefix-maximum of their
+end times, so an overlap query is one ``bisect`` plus one compare —
+O(log n) per inform — instead of a scan over the block's epoch history.
+
+For a begin-sorted inform stream the index is *provably equivalent* to
+the brute-force pairwise overlap scan (the property test in
+``tests/dvmc/test_interval_index.py`` checks this on randomised epoch
+sets): every stored interval has ``begin_i <= begin``, so ``[begin,
+end)`` overlaps some stored interval iff ``begin < max(end_i)`` over
+intervals with ``begin_i < end`` — exactly what the prefix maximum
+answers.  For out-of-order stragglers (informs force-drained past the
+MET's sorting slack) the index is strictly more precise than the old
+per-block scalar watermark: it only flags *actual* overlaps.
+
+The index is bounded: :meth:`drop_oldest` folds the oldest intervals
+into a single scalar watermark (their maximum end), which is exactly
+the 48-bit hardware summary the paper's MET keeps — so a pruned index
+degrades gracefully to the hardware-faithful conservative check rather
+than losing violations.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Optional
+
+
+class IntervalIndex:
+    """Begin-sorted intervals ``[begin, end)`` with O(log n) overlap query."""
+
+    __slots__ = ("_begins", "_ends", "_maxend")
+
+    def __init__(self) -> None:
+        self._begins: List[int] = []
+        self._ends: List[int] = []
+        #: ``_maxend[i]`` = max of ``_ends[:i+1]`` (nondecreasing).
+        self._maxend: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._begins)
+
+    def add(self, begin: int, end: int) -> None:
+        """Insert ``[begin, end)``; O(1) amortised for sorted streams."""
+        begins = self._begins
+        maxend = self._maxend
+        if not begins or begin >= begins[-1]:
+            begins.append(begin)
+            self._ends.append(end)
+            maxend.append(end if not maxend or end > maxend[-1] else maxend[-1])
+            return
+        # Straggler insert (rare: only force-drained out-of-order
+        # informs land here); rebuild the prefix max from the slot.
+        i = bisect_left(begins, begin)
+        begins.insert(i, begin)
+        self._ends.insert(i, end)
+        maxend.insert(i, 0)
+        running = maxend[i - 1] if i > 0 else None
+        ends = self._ends
+        for j in range(i, len(begins)):
+            e = ends[j]
+            if running is None or e > running:
+                running = e
+            maxend[j] = running
+
+    def max_overlap_end(self, begin: int, end: int) -> Optional[int]:
+        """Largest end among intervals overlapping ``[begin, end)``.
+
+        Returns None when nothing overlaps.  Overlap is half-open:
+        an interval ending exactly at ``begin`` does not conflict.
+        """
+        i = bisect_left(self._begins, end)  # candidates have begin_i < end
+        if i == 0:
+            return None
+        m = self._maxend[i - 1]
+        return m if m > begin else None
+
+    def max_end(self) -> Optional[int]:
+        """Largest stored end (for open epochs: overlap vs ``[begin, inf)``)."""
+        return self._maxend[-1] if self._maxend else None
+
+    def drop_oldest(self, keep: int) -> Optional[int]:
+        """Bound the index: fold all but the newest ``keep`` intervals
+        into their max end (the caller merges it into its scalar
+        watermark) and return it; None when nothing was dropped."""
+        drop = len(self._begins) - keep
+        if drop <= 0:
+            return None
+        folded = self._maxend[drop - 1]
+        del self._begins[:drop]
+        del self._ends[:drop]
+        del self._maxend[:drop]
+        running = None
+        ends = self._ends
+        maxend = self._maxend
+        for j, e in enumerate(ends):
+            if running is None or e > running:
+                running = e
+            maxend[j] = running
+        return folded
+
+    def intervals(self) -> List[tuple]:
+        """All stored ``(begin, end)`` pairs (test introspection)."""
+        return list(zip(self._begins, self._ends))

@@ -15,13 +15,14 @@ one per 100k cycles, negligible cost, no effect on correctness).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.common.types import MembarMask, OpType, ViolationReport
 from repro.config import SystemConfig
 from repro.consistency.ordering_table import OrderingTable
+from repro.dvmc.streaming import OpLog
 
 _MASK_BITS = (
     MembarMask.LOADLOAD,
@@ -29,6 +30,13 @@ _MASK_BITS = (
     MembarMask.STORELOAD,
     MembarMask.STORESTORE,
 )
+
+#: Integer encodings for the streaming log (see :mod:`repro.dvmc.streaming`).
+_OP_CODE = {op: i for i, op in enumerate(OpType)}
+_OP_FROM_CODE = tuple(OpType)
+_MASK_FROM_BITS = tuple(MembarMask(v) for v in range(16))
+_REC_COMMITTED = 0
+_REC_PERFORMED = 1
 
 
 class AllowableReorderingChecker:
@@ -64,21 +72,121 @@ class AllowableReorderingChecker:
         #: committed-but-not-yet-performed operations, insertion ordered.
         self._outstanding: "OrderedDict[int, tuple]" = OrderedDict()
         self._stat = f"ar.{node}"
+        self._stat_violations = f"ar.{node}.violations"
+        self._stat_injected = f"ar.{node}.injected_membars"
         self._interval = config.dvmc.membar_injection_interval
         #: Set by the system builder; used by the progress watchdog.
         self.core = None
-        scheduler.after(self._interval, self._injected_membar_check)
+        #: Streaming-plane state (see :mod:`repro.dvmc.streaming`).
+        #: With no log attached the checker is eager (per-event checks,
+        #: the mode unit tests and ``REPRO_EAGER_CHECK=1`` use); with a
+        #: log, ``committed``/``performed`` append ints-only records
+        #: and :meth:`drain_log` replays a whole segment in one call.
+        self._log: Optional[OpLog] = None
+        #: Ordering-table registry: tables are long-lived singletons
+        #: (``table_for`` memoises them), so a small id <-> table map
+        #: lets a log record pin the table active at *record* time even
+        #: if PSTATE.MM switches the core's table before the drain.
+        self._tables: list = []
+        self._table_ids: Dict[int, int] = {}
+        scheduler.post(self._interval, self._injected_membar_check)
+
+    # -- streaming plane ------------------------------------------------------
+    def attach_log(self, log: Optional[OpLog] = None) -> OpLog:
+        """Switch to batch mode: record operations, check at drains."""
+        self.drain_log()
+        self._log = log if log is not None else OpLog()
+        return self._log
+
+    def _table_id(self) -> int:
+        table = self.table()
+        tid = self._table_ids.get(id(table))
+        if tid is None:
+            tid = len(self._tables)
+            self._tables.append(table)  # keeps the id() pin alive
+            self._table_ids[id(table)] = tid
+        return tid
+
+    def drain_log(self) -> None:
+        """Batch entry point: replay every buffered record in one call.
+
+        The drain performs exactly the checks the eager path would have
+        made, against the table and cycle captured when each record was
+        appended, so violations and stats are bit-identical between the
+        two modes.
+        """
+        log = self._log
+        if log is None or log.length == 0:
+            return
+        buf = log.buf
+        end = log.length
+        log.length = 0
+        outstanding = self._outstanding
+        ops = _OP_FROM_CODE
+        masks = _MASK_FROM_BITS
+        tables = self._tables
+        performed_at = self._performed_at
+        i = 0
+        while i < end:
+            if buf[i] == _REC_COMMITTED:
+                outstanding[buf[i + 2]] = (ops[buf[i + 1]], buf[i + 3])
+            else:
+                performed_at(
+                    ops[buf[i + 1]],
+                    buf[i + 2],
+                    masks[buf[i + 3]],
+                    tables[buf[i + 4]],
+                    buf[i + 5],
+                )
+            i += 6
 
     # -- event feed -----------------------------------------------------------
     def committed(self, op_type: OpType, seq: int, cycle: int) -> None:
         """An operation committed; it must eventually perform."""
         if op_type.is_memory_access():
+            log = self._log
+            if log is not None:
+                n = log.length
+                if n == log.capacity:
+                    self.drain_log()
+                    n = 0
+                buf = log.buf
+                buf[n] = _REC_COMMITTED
+                buf[n + 1] = _OP_CODE[op_type]
+                buf[n + 2] = seq
+                buf[n + 3] = cycle
+                log.length = n + 6
+                return
             self._outstanding[seq] = (op_type, cycle)
 
     def performed(self, op_type: OpType, seq: int, mask: MembarMask) -> None:
         """An operation performed; check it against the ordering table."""
+        log = self._log
+        if log is not None:
+            n = log.length
+            if n == log.capacity:
+                self.drain_log()
+                n = 0
+            buf = log.buf
+            buf[n] = _REC_PERFORMED
+            buf[n + 1] = _OP_CODE[op_type]
+            buf[n + 2] = seq
+            buf[n + 3] = mask
+            buf[n + 4] = self._table_id()
+            buf[n + 5] = self.scheduler.now
+            log.length = n + 6
+            return
+        self._performed_at(op_type, seq, mask, self.table(), self.scheduler.now)
+
+    def _performed_at(
+        self,
+        op_type: OpType,
+        seq: int,
+        mask: MembarMask,
+        table: OrderingTable,
+        cycle: int,
+    ) -> None:
         self._outstanding.pop(seq, None)
-        table = self.table()
         plan = self._plans.get((table, op_type, mask))
         if plan is None:
             plan = self._compile_plan(table, op_type, mask)
@@ -90,9 +198,9 @@ class AllowableReorderingChecker:
         for target, second, bit in checks:
             if bit is None:
                 if type_max[second] > seq:
-                    self._violate(target, second, seq)
+                    self._violate(target, second, seq, cycle)
             elif bit_max[bit] > seq:
-                self._violate(target, OpType.MEMBAR, seq)
+                self._violate(target, OpType.MEMBAR, seq, cycle)
         # Update the max counters.
         for target in targets:
             if seq > type_max[target]:
@@ -135,6 +243,7 @@ class AllowableReorderingChecker:
     def check_outstanding(self) -> None:
         """Membar-point check: committed operations older than the
         injection interval should long since have performed."""
+        self.drain_log()
         now = self.scheduler.now
         stale = [
             (seq, op_type, cycle)
@@ -143,7 +252,7 @@ class AllowableReorderingChecker:
         ]
         for seq, op_type, cycle in stale:
             self._outstanding.pop(seq, None)
-            self.stats.incr(f"{self._stat}.violations")
+            self.stats.incr(self._stat_violations)
             self.violations(
                 ViolationReport(
                     "AR",
@@ -156,7 +265,7 @@ class AllowableReorderingChecker:
             )
 
     def _injected_membar_check(self) -> None:
-        self.stats.incr(f"{self._stat}.injected_membars")
+        self.stats.incr(self._stat_injected)
         self.check_outstanding()
         self._watchdog()
         # Re-arm only while something else can still happen: other
@@ -169,7 +278,7 @@ class AllowableReorderingChecker:
             or self._outstanding
             or (self.core is not None and not self.core.quiescent)
         ):
-            self.scheduler.after(self._interval, self._injected_membar_check)
+            self.scheduler.post(self._interval, self._injected_membar_check)
 
     def _watchdog(self) -> None:
         """Catch operations lost before commit (e.g. a dropped data
@@ -181,7 +290,7 @@ class AllowableReorderingChecker:
             return
         stalled = self.scheduler.now - core.last_progress_cycle
         if stalled > 3 * self._interval:
-            self.stats.incr(f"{self._stat}.violations")
+            self.stats.incr(self._stat_violations)
             self.violations(
                 ViolationReport(
                     "AR",
@@ -193,12 +302,14 @@ class AllowableReorderingChecker:
             )
 
     # -- internals -----------------------------------------------------------
-    def _violate(self, first: OpType, second: OpType, seq: int) -> None:
-        self.stats.incr(f"{self._stat}.violations")
+    def _violate(
+        self, first: OpType, second: OpType, seq: int, cycle: int
+    ) -> None:
+        self.stats.incr(self._stat_violations)
         self.violations(
             ViolationReport(
                 "AR",
-                self.scheduler.now,
+                cycle,
                 self.node,
                 "illegal-reordering",
                 f"{first.value} seq {seq} performed after a younger "
@@ -208,4 +319,5 @@ class AllowableReorderingChecker:
 
     @property
     def outstanding_count(self) -> int:
+        self.drain_log()
         return len(self._outstanding)

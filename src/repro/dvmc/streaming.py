@@ -1,0 +1,83 @@
+"""Streaming verification plane: batch DVMC checking off the hot loop.
+
+The simulator's hot loop used to pay the full checker cost on every
+committed/performed operation.  This module provides the log substrate
+that moves the *pure observer* part of that work off the per-event
+path:
+
+* Cores append ints-only records into a preallocated ``array``-backed
+  :class:`OpLog` (no per-operation object allocation, no dict churn).
+* The owning checker drains a whole log segment in one call at its
+  natural observation points (membar-injection heartbeats, log-full,
+  ``DVMC.finalize``), with attribute lookups hoisted out of the loop.
+
+Only verification that feeds *nothing* back into the simulation may be
+deferred this way.  The Allowable Reordering checker qualifies: it is a
+pure function from the (op type, seq, mask, cycle) stream to violation
+reports and max-counter updates.  The Uniprocessor Ordering checker
+does **not** qualify — VC backpressure stalls the verify stage and
+replays read the live L1 — so it stays synchronous and instead gains a
+batch entry point (:meth:`~repro.dvmc.uniprocessor.
+UniprocessorOrderingChecker.commit_stores`) that drains a run of the
+verify queue in one call.  The Coherence checker's inform stream is
+already deferred architecturally (the MET's begin-sorted priority
+queue); its batch path lives in
+:meth:`~repro.dvmc.coherence_checker.CoherenceChecker.handle_batch`.
+
+Because every record carries the cycle at which the event was
+*observed*, a drained checker reports the same violations with the
+same timestamps as an eager one; ``REPRO_EAGER_CHECK=1`` disables log
+attachment entirely and the two modes are bit-identical (violations
+and stats), which the performance benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Optional
+
+#: Ints per record.  All logs use one fixed record width so a drain
+#: loop is a single stride walk over the backing array.
+RECORD_WIDTH = 6
+
+#: Default log capacity in records.  A segment this size amortises the
+#: per-drain overhead thousands of ways while staying small enough
+#: (~192 KiB) to be cache-friendly.
+LOG_RECORDS = 4096
+
+
+class OpLog:
+    """Preallocated ring of fixed-width integer records.
+
+    The log is deliberately dumb: the owning checker writes fields
+    directly into :attr:`buf` at offset :attr:`length` and bumps
+    ``length`` by :data:`RECORD_WIDTH` (inlined at the call site — one
+    method call per record would defeat the purpose).  When an append
+    finds the log full, the owner drains it in place and restarts at
+    offset zero, so ``buf`` never reallocates and record tuples are
+    never materialised.
+    """
+
+    __slots__ = ("buf", "length", "capacity", "on_full")
+
+    def __init__(
+        self,
+        records: int = LOG_RECORDS,
+        on_full: Optional[Callable[[], None]] = None,
+    ):
+        self.capacity = records * RECORD_WIDTH
+        #: Signed 64-bit storage: every logged field (op codes, sequence
+        #: numbers, membar masks, table ids, cycles) is a machine int.
+        self.buf = array("q", bytes(8 * self.capacity))
+        self.length = 0
+        self.on_full = on_full
+
+    def __len__(self) -> int:
+        return self.length // RECORD_WIDTH
+
+    @property
+    def full(self) -> bool:
+        return self.length >= self.capacity
+
+    def clear(self) -> None:
+        self.length = 0

@@ -79,8 +79,14 @@ class UniprocessorOrderingChecker:
         self._vc: Dict[int, VCEntry] = {}
         self._capacity = config.dvmc.verification_cache_entries
         self._stat = f"uo.{node}"
+        # Precomputed per-event stat keys (the replay/commit paths run
+        # once per memory operation).
+        self._stat_store_allocs = f"uo.{node}.vc_store_allocs"
+        self._stat_vc_hits = f"uo.{node}.replay_vc_hits"
+        self._stat_stale = f"uo.{node}.replay_stale_entries"
+        self._stat_cache_reads = f"uo.{node}.replay_cache_reads"
         self._scan_interval = config.dvmc.membar_injection_interval
-        scheduler.after(self._scan_interval, self._scan_stale)
+        scheduler.post(self._scan_interval, self._scan_stale)
 
     # -- store path --------------------------------------------------------
     def commit_store(self, seq: int, addr: int, value: int) -> bool:
@@ -103,8 +109,41 @@ class UniprocessorOrderingChecker:
         entry.count += 1
         entry.last_used = now
         entry.load_seq = None
-        self.stats.incr(f"{self._stat}.vc_store_allocs")
+        self.stats.incr(self._stat_store_allocs)
         return True
+
+    def commit_stores(self, records) -> int:
+        """Batch entry point: replay a run of committed stores at once.
+
+        ``records`` is a sequence of ``(seq, addr, value)`` tuples in
+        program order (a store run from the core's verify queue).  The
+        whole segment is drained in one call with the VC dict and the
+        clock hoisted out of the loop; semantics are exactly ``N``
+        consecutive :meth:`commit_store` calls.  Returns the number of
+        stores accepted before VC backpressure stopped the run.
+        """
+        vc = self._vc
+        now = self.scheduler.now
+        capacity = self._capacity
+        done = 0
+        for _seq, addr, value in records:
+            word = addr & ~0x3  # word_of, inlined
+            entry = vc.get(word)
+            if entry is None:
+                if len(vc) >= capacity and not self._evict_clean():
+                    break
+                entry = VCEntry(value, 0, now)
+                vc[word] = entry
+            if entry.count == 0:
+                entry.oldest_commit_cycle = now
+            entry.value = value
+            entry.count += 1
+            entry.last_used = now
+            entry.load_seq = None
+            done += 1
+        if done:
+            self.stats.incr(self._stat_store_allocs, done)
+        return done
 
     def store_performed(self, seq: int, addr: int, value_written: int) -> None:
         """A store reached the cache; free its VC entry and check it."""
@@ -180,13 +219,13 @@ class UniprocessorOrderingChecker:
                 # words may legally differ (a remote store intervened
                 # between the two loads under RMO); the compare would be
                 # vacuous, so skip it.
-                self.stats.incr(f"{self._stat}.replay_stale_entries")
+                self.stats.incr(self._stat_stale)
                 done(False, original_value if original_value is not None else 0)
                 return
-            self.stats.incr(f"{self._stat}.replay_vc_hits")
+            self.stats.incr(self._stat_vc_hits)
             done(entry.value != original_value, entry.value)
             return
-        self.stats.incr(f"{self._stat}.replay_cache_reads")
+        self.stats.incr(self._stat_cache_reads)
         self.controller.replay_load(
             addr, lambda value: done(value != original_value, value)
         )
@@ -238,7 +277,7 @@ class UniprocessorOrderingChecker:
         if self.scheduler.pending() or any(
             e.count > 0 and not e.reported for e in self._vc.values()
         ):
-            self.scheduler.after(self._scan_interval, self._scan_stale)
+            self.scheduler.post(self._scan_interval, self._scan_stale)
 
     def _violate(self, kind: str, detail: str) -> None:
         self.stats.incr(f"{self._stat}.violations")

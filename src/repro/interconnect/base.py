@@ -126,7 +126,7 @@ class Network(ABC):
             self.stats.incr(self._coalesce_key)
             return
         self._pending_batches[key] = batch = [message]
-        self.scheduler.at(time, self._deliver_batch, key, batch)
+        self.scheduler.post_at(time, self._deliver_batch, (key, batch))
 
     def _deliver_batch(self, key: Tuple[int, int], batch: List[Message]) -> None:
         del self._pending_batches[key]

@@ -63,7 +63,7 @@ class BroadcastTreeNetwork(Network):
             order_index = self.order_count
             self.order_count += 1
             arrival = start + ser + self.config.link_latency
-            self.scheduler.at(arrival, self._broadcast, msg, order_index)
+            self.scheduler.post_at(arrival, self._broadcast, (msg, order_index))
 
     def _broadcast(self, msg: Message, order_index: int) -> None:
         # One scheduled event fans out to every node synchronously, so

@@ -16,7 +16,7 @@ from typing import Any, Dict, List, Optional
 _uid_counter = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A unicast message between two nodes.
 

@@ -68,8 +68,14 @@ class TorusNetwork(Network):
         #: Next-hop memo: XY routing is a pure function of (cur, dst)
         #: and ``_step_toward`` runs once per hop of every message, so
         #: the wraparound arithmetic is worth caching (the table is at
-        #: most num_nodes**2 entries).
-        self._next_hop: Dict[Tuple[int, int], int] = {}
+        #: most num_nodes**2 entries).  Keyed by ``cur * n + dst`` so
+        #: the per-hop lookup needs no tuple allocation.
+        self._next_hop: Dict[int, int] = {}
+        #: Links and serialization cycles by the same int-key trick;
+        #: message sizes take only a handful of distinct values.
+        self._links_fast: Dict[int, _Link] = {}
+        self._ser_memo: Dict[int, int] = {}
+        self._hop_fixed = config.link_latency + config.switch_latency
 
     # Topology helpers ---------------------------------------------------
     def _coords(self, node: int) -> Tuple[int, int]:
@@ -80,9 +86,10 @@ class TorusNetwork(Network):
 
     def _step_toward(self, cur: int, dst: int) -> int:
         """Next hop under XY routing with shortest wraparound."""
-        nxt = self._next_hop.get((cur, dst))
+        key = cur * self._num_nodes + dst
+        nxt = self._next_hop.get(key)
         if nxt is None:
-            nxt = self._next_hop[(cur, dst)] = self._compute_step(cur, dst)
+            nxt = self._next_hop[key] = self._compute_step(cur, dst)
         return nxt
 
     def _compute_step(self, cur: int, dst: int) -> int:
@@ -132,24 +139,34 @@ class TorusNetwork(Network):
             self._hop(msg, msg.src)
 
     def _hop(self, msg: Message, at_node: int) -> None:
-        nxt = self._step_toward(at_node, msg.dst)
-        link = self._link(at_node, nxt)
-        ser = self.config.serialization_cycles(msg.size_bytes)
-        start = max(self.scheduler.now, link.free_at)
+        n = self._num_nodes
+        dst = msg.dst
+        key = at_node * n + dst
+        nxt = self._next_hop.get(key)
+        if nxt is None:
+            nxt = self._next_hop[key] = self._compute_step(at_node, dst)
+        link_key = at_node * n + nxt
+        link = self._links_fast.get(link_key)
+        if link is None:
+            link = self._link(at_node, nxt)
+            self._links_fast[link_key] = link
+        size = msg.size_bytes
+        ser = self._ser_memo.get(size)
+        if ser is None:
+            ser = self._ser_memo[size] = self.config.serialization_cycles(size)
+        now = self.scheduler.now
+        start = link.free_at
+        if start < now:
+            start = now
         link.free_at = start + ser
-        self.stats.incr(link.key, msg.size_bytes)
-        arrival_delay = (
-            (start - self.scheduler.now)
-            + ser
-            + self.config.link_latency
-            + self.config.switch_latency
-        )
-        if nxt == msg.dst:
+        self.stats.incr(link.key, size)
+        arrival_delay = (start - now) + ser + self._hop_fixed
+        if nxt == dst:
             # Final hop: coalesce with other same-cycle arrivals at the
             # destination so each (node, cycle) costs one event.
-            self.deliver_at(self.scheduler.now + arrival_delay, msg)
+            self.deliver_at(now + arrival_delay, msg)
         else:
-            self.scheduler.after(arrival_delay, self._hop, msg, nxt)
+            self.scheduler.post(arrival_delay, self._hop, (msg, nxt))
 
     # Introspection ------------------------------------------------------
     def link_utilization(self, elapsed_cycles: int) -> Dict[str, float]:

@@ -62,9 +62,23 @@ class CacheArray:
         self.config = config
         self.block_size = block_size
         self.num_sets = config.num_sets(block_size)
-        self._sets: List[Dict[int, CacheLine]] = [
-            {} for _ in range(self.num_sets)
-        ]
+        # Sets are allocated lazily (None until first install): short
+        # runs touch a small fraction of the index space, and array
+        # construction is on the per-run path of every experiment
+        # sweep.
+        self._sets: List[Optional[Dict[int, CacheLine]]] = (
+            [None] * self.num_sets
+        )
+        # Fast set-index arithmetic: block size is always a power of two
+        # here; when the set count is too, (addr >> shift) & mask beats
+        # the divide/modulo pair on the per-access path.
+        self._block_mask = ~(block_size - 1)
+        self._shift = block_size.bit_length() - 1
+        self._set_mask = (
+            self.num_sets - 1
+            if self.num_sets & (self.num_sets - 1) == 0
+            else None
+        )
         self._stats = stats
         self._use_clock = 0
         # Port model: (cycle, accesses already granted in that cycle).
@@ -72,12 +86,16 @@ class CacheArray:
         self._port_used = 0
 
     def _set_index(self, addr: int) -> int:
+        if self._set_mask is not None:
+            return (addr >> self._shift) & self._set_mask
         return (block_of(addr) // self.block_size) % self.num_sets
 
     # Lookup / insert ------------------------------------------------------
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Line holding ``addr`` in any valid state, updating LRU."""
-        line = self._sets[self._set_index(addr)].get(block_of(addr))
+        base = addr & self._block_mask
+        cache_set = self._sets[self._set_index(base)]
+        line = cache_set.get(base) if cache_set is not None else None
         if line is not None and line.state is not CoherenceState.I:
             self._use_clock += 1
             line.last_used = self._use_clock
@@ -86,7 +104,9 @@ class CacheArray:
 
     def peek(self, addr: int) -> Optional[CacheLine]:
         """Like :meth:`lookup` but without touching LRU state."""
-        line = self._sets[self._set_index(addr)].get(block_of(addr))
+        base = addr & self._block_mask
+        cache_set = self._sets[self._set_index(base)]
+        line = cache_set.get(base) if cache_set is not None else None
         if line is not None and line.state is not CoherenceState.I:
             return line
         return None
@@ -101,6 +121,8 @@ class CacheArray:
         """
         index = self._set_index(addr)
         cache_set = self._sets[index]
+        if cache_set is None:
+            return None  # untouched set: a free way by definition
         base = block_of(addr)
         if base in cache_set:
             return None
@@ -125,6 +147,8 @@ class CacheArray:
             raise SimulationError("bad block size on install")
         index = self._set_index(addr)
         cache_set = self._sets[index]
+        if cache_set is None:
+            cache_set = self._sets[index] = {}
         base = block_of(addr)
         # Drop stale invalid entries beyond associativity.
         invalid = [a for a, l in cache_set.items() if l.state is CoherenceState.I]
@@ -143,15 +167,21 @@ class CacheArray:
 
     def remove(self, addr: int) -> Optional[CacheLine]:
         """Remove and return the line for ``addr``, if present."""
-        return self._sets[self._set_index(addr)].pop(block_of(addr), None)
+        cache_set = self._sets[self._set_index(addr)]
+        if cache_set is None:
+            return None
+        return cache_set.pop(block_of(addr), None)
 
     def lines(self) -> List[CacheLine]:
         """All valid lines (for checkpointing and fault targeting)."""
         out = []
         for cache_set in self._sets:
-            out.extend(
-                l for l in cache_set.values() if l.state is not CoherenceState.I
-            )
+            if cache_set:
+                out.extend(
+                    l
+                    for l in cache_set.values()
+                    if l.state is not CoherenceState.I
+                )
         return out
 
     # Port model -----------------------------------------------------------

@@ -58,6 +58,10 @@ JOBS_ENV = "REPRO_JOBS"
 CACHE_ENV = "REPRO_CACHE"
 #: Default on-disk location of the result cache (repo-relative).
 CACHE_DIR = ".repro_cache"
+#: Environment variable bounding the cache directory size (megabytes).
+#: Unset/0 means unbounded; above the budget the least-recently-used
+#: entries are evicted (reads refresh recency via mtime).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
 
 SpecT = TypeVar("SpecT")
 ResultT = TypeVar("ResultT")
@@ -275,10 +279,19 @@ class ResultCache:
     ) -> None:
         cls._codecs[result_type.__name__] = (encode, decode)
 
-    def __init__(self, root: str = CACHE_DIR):
+    def __init__(self, root: str = CACHE_DIR, max_bytes: Optional[int] = None):
         self.root = root
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        if max_bytes is None:
+            env = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+            try:
+                max_bytes = int(float(env) * 1024 * 1024) if env else 0
+            except ValueError:
+                max_bytes = 0
+        #: Byte budget for the directory; 0 disables eviction.
+        self.max_bytes = max_bytes
 
     def _path(self, spec) -> str:
         return os.path.join(self.root, spec_fingerprint(spec) + ".json")
@@ -300,6 +313,10 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(self._path(spec))  # refresh LRU recency
+        except OSError:
+            pass
         return value
 
     def put(self, spec, result) -> None:
@@ -316,6 +333,47 @@ class ResultCache:
         with open(tmp, "w") as fh:
             json.dump(payload, fh)
         os.replace(tmp, path)
+        self._evict_over_budget(keep=path)
+
+    def _evict_over_budget(self, keep: Optional[str] = None) -> None:
+        """Delete least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` (the entry just written) is never evicted, so a budget
+        smaller than one entry still leaves the latest result usable.
+        Concurrent workers may race on the same victims; a loser's
+        missing file is simply skipped.
+        """
+        if not self.max_bytes:
+            return
+        try:
+            entries = []
+            total = 0
+            with os.scandir(self.root) as it:
+                for ent in it:
+                    if not ent.name.endswith(".json"):
+                        continue
+                    try:
+                        st = ent.stat()
+                    except OSError:
+                        continue
+                    entries.append((st.st_mtime, ent.path, st.st_size))
+                    total += st.st_size
+        except OSError:
+            return
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _mtime, path, size in entries:
+            if total <= self.max_bytes:
+                break
+            if path == keep:  # both built via os.path.join(root, name)
+                continue
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            self.evictions += 1
 
 
 ResultCache.register(

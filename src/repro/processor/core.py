@@ -131,6 +131,10 @@ class Core:
         self._stat_retired = f"core.{node}.retired"
         self._stat_compute = f"core.{node}.compute_cycles"
         self.last_progress_cycle = 0
+        # Hoisted config scalars for the decode/poll hot paths.
+        self._rob_size = config.processor.rob_size
+        self._fetch_width = max(1, config.processor.fetch_width)
+        self._decode_delay_single = 1 + 1 // self._fetch_width
 
         uses_wb = self.model is not ConsistencyModel.SC
         self.wb: Optional[WriteBuffer] = (
@@ -161,7 +165,7 @@ class Core:
         if self._started:
             return
         self._started = True
-        self.scheduler.after(0, self._advance, None)
+        self.scheduler.post(0, self._advance, (None,))
 
     def _advance(self, result) -> None:
         """Feed the previous result to the program; decode what it yields."""
@@ -174,14 +178,14 @@ class Core:
         self.last_progress_cycle = self.scheduler.now
         if isinstance(yielded, Compute):
             self.stats.incr(self._stat_compute, yielded.cycles)
-            self.scheduler.after(max(1, yielded.cycles), self._advance, None)
+            self.scheduler.post(max(1, yielded.cycles), self._advance, (None,))
             return
         if isinstance(yielded, SetModel):
             self._switch_model(yielded.model)
             return
         ops = yielded.ops if isinstance(yielded, Batch) else [yielded]
         if not ops:
-            self.scheduler.after(1, self._advance, None)
+            self.scheduler.post(1, self._advance, (None,))
             return
         self._decode_group(ops, is_batch=isinstance(yielded, Batch))
 
@@ -202,7 +206,7 @@ class Core:
         )
         if not drained:
             self._kick()
-            self.scheduler.after(4, self._switch_model, model)
+            self.scheduler.post(4, self._switch_model, (model,))
             return
         self.model = model
         self.table = table_for(model)
@@ -229,12 +233,12 @@ class Core:
             self.uo.rmo_mode = not model.requires_load_order
             self.uo.flush_clean_entries()
         self.stats.incr(f"{self._stat}.model_switches")
-        self.scheduler.after(2, self._advance, None)
+        self.scheduler.post(2, self._advance, (None,))
 
     def _decode_group(self, ops: List, is_batch: bool) -> None:
-        if len(self._inflight) + len(ops) > self.config.processor.rob_size:
+        if len(self._inflight) + len(ops) > self._rob_size:
             # ROB full: retry when retirement frees entries.
-            self.scheduler.after(2, self._decode_group, ops, is_batch)
+            self.scheduler.post(2, self._decode_group, (ops, is_batch))
             return
         recs = []
         table = self.table
@@ -253,21 +257,34 @@ class Core:
             recs.append(rec)
             self.stats.incr(ops_stat[kind])
 
+        if not is_batch and len(recs) == 1:
+            # Singleton group (the overwhelmingly common shape): the
+            # release path is a shared bound method — no results list,
+            # no countdown cell, no per-rec closure.
+            rec = recs[0]
+            rec.release = self._release_single
+            self.scheduler.post(self._decode_delay_single, self._execute, (rec,))
+            return
+
         results: List[Optional[int]] = [None] * len(recs)
-        remaining = {"n": len(recs)}
+        remaining = [len(recs)]
 
         def release_one(index: int, value: Optional[int]) -> None:
             results[index] = value
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
+            remaining[0] -= 1
+            if remaining[0] == 0:
                 out = results if is_batch else results[0]
-                self.scheduler.after(1, self._advance, out)
+                self.scheduler.post(1, self._advance, (out,))
 
         for index, rec in enumerate(recs):
             rec.release = lambda v, i=index: release_one(i, v)
-        decode_delay = 1 + len(ops) // max(1, self.config.processor.fetch_width)
+        decode_delay = 1 + len(ops) // self._fetch_width
         for rec in recs:
-            self.scheduler.after(decode_delay, self._execute, rec)
+            self.scheduler.post(decode_delay, self._execute, (rec,))
+
+    def _release_single(self, value: Optional[int]) -> None:
+        """Release path for singleton decode groups."""
+        self.scheduler.post(1, self._advance, (value,))
 
     # ------------------------------------------------------------------
     # Execute stage
@@ -333,7 +350,7 @@ class Core:
             if self._can_perform(rec):
                 self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
             else:
-                self.scheduler.after(2, self._execute_load, rec)
+                self.scheduler.post(2, self._execute_load, (rec,))
 
     def _load_bound(self, rec: OpRec, value: int) -> None:
         if self.uo is not None:
@@ -359,9 +376,16 @@ class Core:
 
     def _execute_atomic(self, rec: OpRec) -> None:
         # Atomics satisfy both load and store ordering constraints and
-        # access the cache directly (never buffered).
-        if not self._can_perform(rec) or (self.wb is not None and not self.wb.empty):
-            self.scheduler.after(2, self._execute_atomic, rec)
+        # access the cache directly (never buffered).  Both gates are
+        # pure predicates; the cheap write-buffer check goes first so a
+        # backed-up buffer short-circuits the ordering-table scan.
+        # (Inlined ``wb.empty`` — this is the per-poll retry gate and a
+        # property call per poll is measurable.)
+        wb = self.wb
+        if (
+            wb is not None and (wb._entries or wb._outstanding)
+        ) or not self._can_perform(rec):
+            self.scheduler.post(2, self._execute_atomic, (rec,))
             return
         self.controller.atomic(
             rec.addr, rec.value, lambda old: self._atomic_done(rec, old)
@@ -441,7 +465,7 @@ class Core:
         if rec.performed:
             return
         if not self._can_perform(rec):
-            self.scheduler.after(2, self._perform_load_when_final, rec)
+            self.scheduler.post(2, self._perform_load_when_final, (rec,))
             return
         if rec.squashed:
             rec.squashed = False
@@ -461,7 +485,7 @@ class Core:
 
     def _sc_issue_store(self, rec: OpRec) -> None:
         if self._sc_store_outstanding or not self._can_perform(rec):
-            self.scheduler.after(2, self._sc_issue_store, rec)
+            self.scheduler.post(2, self._sc_issue_store, (rec,))
             return
         self._sc_store_outstanding = True
 
@@ -490,10 +514,49 @@ class Core:
         return extra
 
     def _pump_verify(self) -> None:
-        while self._verify_q:
-            rec = self._verify_q[0]
+        q = self._verify_q
+        while q:
+            rec = q[0]
+            if (
+                rec.op_type is OpType.STORE
+                and len(q) > 1
+                and q[1].op_type is OpType.STORE
+            ):
+                if not self._verify_store_run():
+                    return
+                continue
             if not self._verify_one(rec):
                 return
+
+    def _verify_store_run(self) -> bool:
+        """Drain the head run of stores through the UO checker's batch
+        entry point (one call per run instead of one per store).  The
+        per-store semantics — VC allocation order, backpressure stall,
+        write-buffer release, pump kick — are unchanged; ``_kick`` is
+        idempotent per pending pump, so one kick after the run schedules
+        the same event a kick per store would have."""
+        q = self._verify_q
+        run = []
+        for r in q:
+            if r.op_type is not OpType.STORE:
+                break
+            run.append((r.seq, r.addr, r.value))
+        done = self.uo.commit_stores(run)
+        wb = self.wb
+        for _ in range(done):
+            r = q.popleft()
+            r.verified = True
+            if wb is None:
+                self._sc_issue_store(r)
+            else:
+                wb.mark_verified(r.seq)
+        if done:
+            self._kick()
+        if done < len(run):
+            self.stats.incr(f"{self._stat}.vc_full_stalls")
+            self._schedule_verify_retry(4)
+            return False
+        return True
 
     def _verify_one(self, rec: OpRec) -> bool:
         kind = rec.op_type
@@ -520,10 +583,10 @@ class Core:
             self._verify_slot_delay() + self.config.dvmc.verification_stage_latency
         )
         if kind is OpType.LOAD:
-            self.scheduler.after(delay, self._replay_load, rec)
+            self.scheduler.post(delay, self._replay_load, (rec,))
         else:
             # MEMBAR / STBAR / ATOMIC: no replay action.
-            self.scheduler.after(delay, self._verify_trivial, rec)
+            self.scheduler.post(delay, self._verify_trivial, (rec,))
         return True
 
     def _schedule_verify_retry(self, delay: int) -> None:
@@ -535,7 +598,7 @@ class Core:
             self._verify_retry_scheduled = False
             self._pump_verify()
 
-        self.scheduler.after(delay, fire)
+        self.scheduler.post(delay, fire)
 
     def _verify_trivial(self, rec: OpRec) -> None:
         rec.verified = True
@@ -579,7 +642,7 @@ class Core:
         if self._can_perform(rec):
             self._mark_performed(rec)
         else:
-            self.scheduler.after(2, self._perform_barrier_when_ready, rec)
+            self.scheduler.post(2, self._perform_barrier_when_ready, (rec,))
 
     def _mark_performed(self, rec: OpRec) -> None:
         if rec.performed:
@@ -707,8 +770,10 @@ class Core:
         if self._pump_scheduled:
             return
         self._pump_scheduled = True
-        delay = max(1, self._stall_until - self.scheduler.now)
-        self.scheduler.after(delay, self._pump)
+        delay = self._stall_until - self.scheduler.now
+        if delay < 1:
+            delay = 1
+        self.scheduler.post(delay, self._pump)
 
     def _pump(self) -> None:
         self._pump_scheduled = False

@@ -78,6 +78,12 @@ class WriteBuffer:
         self._outstanding = 0
         self._generation = 0
         self._stat = f"wb.{node}"
+        # Precomputed per-event stat keys (f-string assembly is
+        # measurable at insert/forward/issue call rates).
+        self._stat_inserts = f"wb.{node}.inserts"
+        self._stat_forwards = f"wb.{node}.forwards"
+        self._stat_issues = f"wb.{node}.issues"
+        self._stat_performs = f"wb.{node}.performs"
 
     # -- occupancy ---------------------------------------------------------
     def __len__(self) -> int:
@@ -97,14 +103,19 @@ class WriteBuffer:
 
     def has_store_older_than(self, seq: int) -> bool:
         """Any unperformed store with sequence number below ``seq``?"""
-        return any(e.seq < seq for e in self._entries)
+        # Plain loop, not any(genexpr): this is the per-poll gate of
+        # every blocked operation and the generator frame dominates.
+        for e in self._entries:
+            if e.seq < seq:
+                return True
+        return False
 
     # -- core-facing -----------------------------------------------------------
     def insert(self, seq: int, addr: int, value: int) -> WBEntry:
         """Append a committed store.  Caller must check :attr:`full`."""
         entry = WBEntry(seq, addr, value, self._generation)
         self._entries.append(entry)
-        self.stats.incr(f"{self._stat}.inserts")
+        self.stats.incr(self._stat_inserts)
         return entry
 
     def fence(self) -> None:
@@ -120,13 +131,15 @@ class WriteBuffer:
 
     def forward(self, addr: int) -> Optional[int]:
         """Youngest buffered value for the word at ``addr``, if any."""
+        if not self._entries:
+            return None
         word = word_of(addr)
         value = None
         for entry in self._entries:  # oldest -> youngest
             if word_of(entry.addr) == word:
                 value = entry.value
         if value is not None:
-            self.stats.incr(f"{self._stat}.forwards")
+            self.stats.incr(self._stat_forwards)
         return value
 
     # -- draining -----------------------------------------------------------
@@ -168,6 +181,8 @@ class WriteBuffer:
         load has not performed).
         """
         while self._outstanding < self.max_outstanding:
+            if not self._entries:
+                return
             candidates = [e for e in self._eligible() if may_issue(e)]
             if not candidates:
                 return
@@ -186,13 +201,13 @@ class WriteBuffer:
                 entry = max(candidates, key=lambda e: (block_weight(e), -e.seq))
             entry.issued = True
             self._outstanding += 1
-            self.stats.incr(f"{self._stat}.issues")
+            self.stats.incr(self._stat_issues)
             self._issue(entry, lambda old, e=entry: self._performed(e, old))
 
     def _performed(self, entry: WBEntry, old_value: int) -> None:
         self._outstanding -= 1
         self._entries.remove(entry)
-        self.stats.incr(f"{self._stat}.performs")
+        self.stats.incr(self._stat_performs)
         self._on_perform(entry, old_value)
 
     # -- fault injection ----------------------------------------------------

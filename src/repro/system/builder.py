@@ -12,6 +12,7 @@ main entry point of the library::
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigError, DeadlockError
@@ -213,6 +214,7 @@ def build_system(
     stats = system.stats
     hooks = system.hooks
     num = config.num_nodes
+    eager_check = os.environ.get("REPRO_EAGER_CHECK") == "1"
 
     # Memories -----------------------------------------------------------
     system.memories = [
@@ -330,6 +332,14 @@ def build_system(
             )
             core.ar = ar
             ar.core = core
+            if not eager_check:
+                # Streaming verification plane (default): the core
+                # appends ints-only records to the checker's log; the
+                # checker drains whole segments at membar heartbeats,
+                # log-full, and finalize.  REPRO_EAGER_CHECK=1 keeps
+                # per-event checking; both modes report bit-identical
+                # violations and stats (the perf benchmark asserts it).
+                ar.attach_log()
             system.dvmc.ar_checkers.append(ar)
         system.cores.append(core)
 
@@ -350,12 +360,13 @@ def _wire_routers(system: System) -> None:
 
         def torus_handler(msg: Message, n=n, cache_ctrl=cache_ctrl, mem_ctrl=mem_ctrl):
             kind = msg.kind
-            if isinstance(kind, Dvcc):
+            cls = kind.__class__
+            if cls is Dvcc:
                 checker = system.dvmc.coherence_checker
                 if checker is not None:
                     checker.handle_message(msg)
                 return
-            if isinstance(kind, Sn):
+            if cls is Sn:
                 return  # checkpoint coordination sink
             if directory:
                 if kind in (Coh.GETS, Coh.GETM, Coh.PUTM, Coh.UNBLOCK):
@@ -375,7 +386,7 @@ def _wire_routers(system: System) -> None:
             checker = system.dvmc.coherence_checker
             informs = None
             for msg in batch:
-                if isinstance(msg.kind, Dvcc):
+                if msg.kind.__class__ is Dvcc:
                     if checker is not None:
                         if informs is None:
                             informs = []
@@ -391,7 +402,8 @@ def _wire_routers(system: System) -> None:
         if not directory:
 
             def addr_handler(msg: Message, n=n, cache_ctrl=cache_ctrl, mem_ctrl=mem_ctrl):
-                system.hooks.snoop_tick(n)
+                if system.hooks.sub_snoop_tick:
+                    system.hooks.snoop_tick(n)
                 cache_ctrl.handle_snoop(msg)
                 mem_ctrl.handle_snoop(msg)
 

@@ -28,7 +28,7 @@ from repro.common.types import word_of
 from repro.processor.operations import Atomic, Batch, Load, Store
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEvent:
     """One recorded memory operation."""
 

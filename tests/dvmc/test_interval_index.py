@@ -1,0 +1,140 @@
+"""IntervalIndex: equivalence with the brute-force overlap scan.
+
+The MET's rule-2 check used to scan a block's epoch history linearly;
+the interval index answers the same overlap query with a bisect.  These
+properties pin the equivalence on randomised epoch sets — including
+out-of-order stragglers and the bounded-index (``drop_oldest``)
+degradation, which must only ever get *more* conservative.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dvmc.interval_index import IntervalIndex
+
+
+def brute_force_max_overlap(intervals, begin, end):
+    """Largest end among intervals overlapping [begin, end), else None."""
+    best = None
+    for b, e in intervals:
+        if b < end and e > begin:  # half-open overlap
+            if best is None or e > best:
+                best = e
+    return best
+
+
+def brute_force_max_end(intervals):
+    return max((e for _b, e in intervals), default=None)
+
+
+# Epochs as (begin, duration) pairs keep end >= begin by construction.
+epoch_sets = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 60)),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestEquivalence:
+    @given(epoch_sets, st.integers(0, 550), st.integers(1, 80))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force_on_sorted_streams(
+        self, pairs, q_begin, q_len
+    ):
+        """Begin-sorted insertion (the MET's common case)."""
+        intervals = sorted((b, b + d) for b, d in pairs)
+        index = IntervalIndex()
+        for b, e in intervals:
+            index.add(b, e)
+        q_end = q_begin + q_len
+        assert index.max_overlap_end(q_begin, q_end) == brute_force_max_overlap(
+            intervals, q_begin, q_end
+        )
+        assert index.max_end() == brute_force_max_end(intervals)
+
+    @given(epoch_sets, st.integers(0, 550), st.integers(1, 80), st.integers())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_brute_force_with_stragglers(
+        self, pairs, q_begin, q_len, seed
+    ):
+        """Arbitrary insertion order (force-drained out-of-order informs)."""
+        intervals = [(b, b + d) for b, d in pairs]
+        random.Random(seed).shuffle(intervals)
+        index = IntervalIndex()
+        for b, e in intervals:
+            index.add(b, e)
+        q_end = q_begin + q_len
+        assert index.max_overlap_end(q_begin, q_end) == brute_force_max_overlap(
+            intervals, q_begin, q_end
+        )
+        assert index.max_end() == brute_force_max_end(intervals)
+        # Begin-sorted (ties keep arbitrary end order — the prefix max
+        # makes end order among equal begins irrelevant) and lossless.
+        stored = index.intervals()
+        assert [b for b, _ in stored] == sorted(b for b, _ in intervals)
+        assert sorted(stored) == sorted(intervals)
+
+    @given(epoch_sets, st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_drop_oldest_is_conservative(self, pairs, keep):
+        """Folding history into a scalar floor never weakens the check:
+        every overlap the pruned index misses is covered by the floor."""
+        intervals = sorted((b, b + d) for b, d in pairs)
+        index = IntervalIndex()
+        for b, e in intervals:
+            index.add(b, e)
+        folded = index.drop_oldest(keep)
+        if len(intervals) <= keep:
+            assert folded is None
+            return
+        dropped = intervals[: len(intervals) - keep]
+        kept = intervals[len(intervals) - keep:]
+        assert folded == brute_force_max_end(dropped)
+        assert index.intervals() == kept
+        # The checker folds ``folded`` into its scalar floor, which
+        # enters every subsequent limit unconditionally.  So for any
+        # query, max(floor, pruned answer) must dominate the full
+        # index's answer: pruning can only get more conservative.
+        for q_begin, q_end in [(0, 1), (100, 140), (250, 260), (0, 10**6)]:
+            full = brute_force_max_overlap(intervals, q_begin, q_end)
+            if full is not None:
+                pruned = index.max_overlap_end(q_begin, q_end)
+                assert max(folded, pruned or 0) >= full
+
+
+class TestEdgeCases:
+    def test_empty_index(self):
+        index = IntervalIndex()
+        assert index.max_overlap_end(0, 100) is None
+        assert index.max_end() is None
+        assert index.drop_oldest(4) is None
+
+    def test_touching_intervals_do_not_overlap(self):
+        index = IntervalIndex()
+        index.add(10, 20)
+        assert index.max_overlap_end(20, 30) is None  # half-open: no conflict
+        assert index.max_overlap_end(19, 30) == 20
+
+    def test_degenerate_interval_query(self):
+        """A zero-length epoch queried as a point [b, b+1) conflicts with
+        an epoch spanning it — matching the old scalar watermark."""
+        index = IntervalIndex()
+        index.add(5, 9)
+        assert index.max_overlap_end(5, 6) == 9
+        assert index.max_overlap_end(9, 10) is None
+
+    def test_sorted_fast_path_equals_straggler_path(self):
+        sorted_index = IntervalIndex()
+        straggler_index = IntervalIndex()
+        intervals = [(1, 4), (3, 3), (5, 12), (7, 8), (9, 20)]
+        for b, e in intervals:
+            sorted_index.add(b, e)
+        for b, e in [intervals[i] for i in (2, 0, 4, 1, 3)]:
+            straggler_index.add(b, e)
+        assert sorted_index.intervals() == straggler_index.intervals()
+        for q in range(0, 25):
+            assert sorted_index.max_overlap_end(q, q + 3) == (
+                straggler_index.max_overlap_end(q, q + 3)
+            )

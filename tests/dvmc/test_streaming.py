@@ -1,0 +1,128 @@
+"""Streaming verification plane: OpLog substrate and eager/batch identity."""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.common.types import MembarMask, OpType
+from repro.config import SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.consistency.tables import table_for
+from repro.dvmc.framework import ViolationLog
+from repro.dvmc.reordering import AllowableReorderingChecker
+from repro.dvmc.streaming import LOG_RECORDS, RECORD_WIDTH, OpLog
+from repro.parallel import RunSpec, execute_run_spec
+
+
+class TestOpLog:
+    def test_starts_empty_with_preallocated_buffer(self):
+        log = OpLog()
+        assert len(log) == 0
+        assert not log.full
+        assert len(log.buf) == LOG_RECORDS * RECORD_WIDTH
+
+    def test_custom_capacity_and_clear(self):
+        log = OpLog(records=2)
+        log.length = RECORD_WIDTH  # one record appended by an owner
+        assert len(log) == 1
+        assert not log.full
+        log.length = 2 * RECORD_WIDTH
+        assert log.full
+        log.clear()
+        assert len(log) == 0 and not log.full
+
+
+class TestARCheckerLogModes:
+    """The AR checker must report identically with and without a log."""
+
+    def _checker(self, attach):
+        sched = Scheduler()
+        violations = ViolationLog()
+        table = table_for(ConsistencyModel.TSO)
+        checker = AllowableReorderingChecker(
+            node=0,
+            scheduler=sched,
+            stats=StatsRegistry(),
+            config=SystemConfig.protected(),
+            table=lambda: table,
+            violations=violations,
+        )
+        if attach:
+            checker.attach_log(OpLog(records=4))  # tiny: forces mid-run drains
+        return sched, checker, violations
+
+    def _drive(self, sched, checker):
+        """Stores performed out of program order under TSO (a violation)."""
+        for cycle, (op, seq) in enumerate(
+            [
+                (OpType.STORE, 1),
+                (OpType.LOAD, 2),
+                (OpType.STORE, 3),
+                (OpType.LOAD, 4),
+                (OpType.STORE, 5),
+            ]
+        ):
+            sched.now = cycle
+            checker.committed(op, seq, cycle)
+        # Perform youngest-first: under TSO store->store order this
+        # must flag reordering violations in both modes.
+        for op, seq in [
+            (OpType.STORE, 5),
+            (OpType.LOAD, 4),
+            (OpType.STORE, 3),
+            (OpType.LOAD, 2),
+            (OpType.STORE, 1),
+        ]:
+            sched.now += 1
+            checker.performed(op, seq, MembarMask.NONE)
+        checker.check_outstanding()
+
+    def test_log_and_eager_agree(self):
+        sched_e, eager, violations_e = self._checker(attach=False)
+        self._drive(sched_e, eager)
+        sched_b, batch, violations_b = self._checker(attach=True)
+        self._drive(sched_b, batch)
+        key = lambda r: (r.cycle, r.checker, r.node, r.kind, r.detail)
+        assert sorted(map(key, violations_e.reports)) == sorted(
+            map(key, violations_b.reports)
+        )
+
+    def test_outstanding_count_drains_log(self):
+        _sched, checker, _violations = self._checker(attach=True)
+        checker.committed(OpType.STORE, seq=1, cycle=0)
+        assert checker.outstanding_count == 1
+
+
+def _run_metrics(monkeypatch, eager: bool, workload: str):
+    if eager:
+        monkeypatch.setenv("REPRO_EAGER_CHECK", "1")
+    else:
+        monkeypatch.delenv("REPRO_EAGER_CHECK", raising=False)
+    spec = RunSpec(
+        SystemConfig.protected().with_seed(11), workload, ops=40
+    )
+    return execute_run_spec(spec)
+
+
+class TestEagerBatchIdentity:
+    """REPRO_EAGER_CHECK=1 and the default streaming plane must agree
+    bit-for-bit: cycles, violation count, events, and every counter."""
+
+    @pytest.mark.parametrize("workload", ["oltp", "barnes"])
+    def test_full_run_identical(self, monkeypatch, workload):
+        batch = _run_metrics(monkeypatch, eager=False, workload=workload)
+        eager = _run_metrics(monkeypatch, eager=True, workload=workload)
+        assert dataclasses.asdict(batch) == dataclasses.asdict(eager)
+
+    def test_eager_env_disables_log(self, monkeypatch):
+        from repro.system.builder import build_system
+
+        monkeypatch.setenv("REPRO_EAGER_CHECK", "1")
+        system = build_system(SystemConfig.protected().with_seed(1))
+        assert all(ar._log is None for ar in system.dvmc.ar_checkers)
+        monkeypatch.delenv("REPRO_EAGER_CHECK", raising=False)
+        system = build_system(SystemConfig.protected().with_seed(1))
+        assert all(ar._log is not None for ar in system.dvmc.ar_checkers)

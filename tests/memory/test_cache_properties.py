@@ -48,6 +48,8 @@ class TestInvariants:
             else:
                 cache.remove(addr)
             for cache_set in cache._sets:
+                if cache_set is None:  # lazily allocated: never touched
+                    continue
                 live = [
                     l
                     for l in cache_set.values()

@@ -126,6 +126,86 @@ class TestRunPointsWithCache:
         assert result[0] == cache.get(spec)
 
 
+class TestEviction:
+    """LRU byte-budget eviction (REPRO_CACHE_MAX_MB)."""
+
+    @staticmethod
+    def _metrics(tag: int) -> RunMetrics:
+        # Padded counters give every entry a predictable few-hundred-byte
+        # footprint without running the simulator.
+        return RunMetrics(
+            cycles=tag,
+            completed=True,
+            violations=0,
+            events_processed=tag,
+            counters={f"pad.{i}": tag for i in range(40)},
+        )
+
+    @staticmethod
+    def _specs(n):
+        return [
+            RunSpec(SystemConfig.protected().with_seed(s), "oltp", ops=10 + s)
+            for s in range(n)
+        ]
+
+    def _age(self, cache, spec, seconds_ago):
+        path = cache._path(spec)
+        past = os.stat(path).st_mtime - seconds_ago
+        os.utime(path, (past, past))
+
+    def test_oldest_evicted_fresh_survive(self, tmp_path):
+        specs = self._specs(4)
+        cache = ResultCache(str(tmp_path / "cache"), max_bytes=10**9)
+        for i, s in enumerate(specs[:3]):
+            cache.put(s, self._metrics(i))
+        # Age the first two entries (oldest first), then shrink the
+        # budget to roughly two entries and trigger eviction.
+        self._age(cache, specs[0], 300)
+        self._age(cache, specs[1], 200)
+        entry_size = os.path.getsize(cache._path(specs[0]))
+        cache.max_bytes = entry_size * 2 + entry_size // 2
+        cache.put(specs[3], self._metrics(3))
+        assert cache.get(specs[0]) is None  # oldest: evicted
+        assert cache.get(specs[3]) is not None  # fresh: survives
+        assert cache.evictions >= 1
+
+    def test_reads_refresh_recency(self, tmp_path):
+        specs = self._specs(3)
+        cache = ResultCache(str(tmp_path / "cache"), max_bytes=10**9)
+        cache.put(specs[0], self._metrics(0))
+        cache.put(specs[1], self._metrics(1))
+        self._age(cache, specs[0], 300)
+        self._age(cache, specs[1], 200)
+        # A hit on the oldest entry bumps its mtime ahead of specs[1].
+        assert cache.get(specs[0]) is not None
+        entry_size = os.path.getsize(cache._path(specs[0]))
+        cache.max_bytes = entry_size * 2 + entry_size // 2
+        cache.put(specs[2], self._metrics(2))
+        assert cache.get(specs[0]) is not None  # recently read: kept
+        assert cache.get(specs[1]) is None  # LRU victim
+
+    def test_just_written_entry_never_evicted(self, tmp_path):
+        spec = self._specs(1)[0]
+        cache = ResultCache(str(tmp_path / "cache"), max_bytes=1)
+        cache.put(spec, self._metrics(0))
+        assert cache.get(spec) is not None
+
+    def test_zero_budget_means_unbounded(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(parallel.CACHE_MAX_MB_ENV, raising=False)
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.max_bytes == 0
+        for i, s in enumerate(self._specs(3)):
+            cache.put(s, self._metrics(i))
+        assert cache.evictions == 0
+
+    def test_env_budget_parsed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(parallel.CACHE_MAX_MB_ENV, "2.5")
+        cache = ResultCache(str(tmp_path / "cache"))
+        assert cache.max_bytes == int(2.5 * 1024 * 1024)
+        monkeypatch.setenv(parallel.CACHE_MAX_MB_ENV, "junk")
+        assert ResultCache(str(tmp_path / "cache")).max_bytes == 0
+
+
 class TestResolveCache:
     def test_defaults_off(self, monkeypatch):
         monkeypatch.delenv(parallel.CACHE_ENV, raising=False)

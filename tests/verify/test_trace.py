@@ -50,6 +50,75 @@ class TestRecording:
         assert kinds == ["store", "load", "load"]
 
 
+class TestRoundTripInvariants:
+    """record_program -> Trace: structural invariants of the round trip."""
+
+    def _workload_trace(self, workload="oltp", cores=2, ops=30):
+        from repro.workloads import make_program
+
+        trace = Trace()
+        programs = [
+            record_program(
+                n,
+                make_program(workload, n, cores, ConsistencyModel.TSO, 5, ops),
+                trace,
+            )
+            for n in range(cores)
+        ]
+        config = SystemConfig.protected(num_nodes=cores)
+        system = build_system(config, programs=programs)
+        result = system.run(max_cycles=5_000_000)
+        assert result.completed
+        return trace
+
+    def test_per_core_partitions_events(self):
+        trace = self._workload_trace()
+        streams = trace.per_core()
+        # Partition: every event lands in exactly one stream, none lost.
+        assert sum(len(s) for s in streams.values()) == len(trace.events)
+        for core, stream in streams.items():
+            assert all(e.core == core for e in stream)
+
+    def test_per_core_indexes_are_strictly_increasing(self):
+        """Program-order ranks: unique and increasing per core (gaps are
+        fine — non-memory ops consume a rank without a trace event)."""
+        trace = self._workload_trace()
+        for stream in trace.per_core().values():
+            indexes = [e.index for e in stream]
+            assert all(a < b for a, b in zip(indexes, indexes[1:]))
+
+    def test_event_kinds_and_values_well_formed(self):
+        trace = self._workload_trace()
+        for event in trace.events:
+            assert event.kind in ("load", "store", "atomic")
+            assert event.addr >= 0 and event.value is not None
+            # old_value is the atomic's swapped-out value, only ever
+            # set for atomics.
+            if event.kind != "atomic":
+                assert event.old_value is None
+
+    def test_words_touched_matches_event_addresses(self):
+        from repro.common.types import word_of
+
+        trace = self._workload_trace()
+        assert trace.words_touched() == {
+            word_of(e.addr) for e in trace.events
+        }
+        assert trace.words_touched()  # a real workload touches memory
+
+    def test_per_core_is_stable_across_calls(self):
+        trace = self._workload_trace()
+        first = {
+            core: [(e.index, e.kind, e.addr, e.value) for e in stream]
+            for core, stream in trace.per_core().items()
+        }
+        second = {
+            core: [(e.index, e.kind, e.addr, e.value) for e in stream]
+            for core, stream in trace.per_core().items()
+        }
+        assert first == second
+
+
 class TestGoldenChecks:
     def test_clean_execution_passes(self):
         lock = lock_addr(0)
