@@ -15,14 +15,13 @@ over perturbed seeds, mirroring the paper's ten-run methodology.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.config import SystemConfig
 from repro.parallel import run_points
 from repro.system.experiments import (
     Measurement,
     aggregate_metrics,
-    measure,
     replica_specs,
 )
 

@@ -16,9 +16,14 @@ through four measurement passes:
   bit-identically;
 * **eager** (``REPRO_EAGER_CHECK=1``): same specs with the streaming
   verification plane disabled (per-event checker calls); must be
-  bit-identical to the batch-mode serial pass — ``identical`` covers
-  all four passes.  ``eager_events_per_sec`` quantifies the streaming
-  plane's win (see EXPERIMENTS.md, "Verification overhead").
+  bit-identical to the batch-mode serial pass.
+  ``eager_events_per_sec`` quantifies the streaming plane's win (see
+  EXPERIMENTS.md, "Verification overhead");
+* **observed** (``REPRO_OBS=1``): same specs with the observability
+  plane on; the deterministic payload must stay bit-identical
+  (``identical`` covers all five passes) and the wall-clock delta is
+  recorded as ``obs_overhead_pct`` (gated in
+  ``check_perf_regression.py``).
 
 A ``tracemalloc`` pass over one representative run reports allocation
 deltas (``alloc_blocks``/``alloc_kib``) so slot/regression wins on hot
@@ -116,6 +121,28 @@ def bench_kernel(events: int = 200_000) -> float:
     return sched.events_processed / elapsed if elapsed else 0.0
 
 
+def write_obs_artifacts(out_dir: str, spec: RunSpec, metrics) -> None:
+    """Export one observed run's snapshot + provenance manifest."""
+    from repro.obs.export import to_prometheus
+    from repro.obs.manifest import run_manifest, write_manifest
+
+    os.makedirs(out_dir, exist_ok=True)
+    manifest = run_manifest(
+        spec.config,
+        workload=spec.workload,
+        ops=spec.ops,
+        seed=spec.config.seed,
+    )
+    write_manifest(os.path.join(out_dir, "manifest.json"), manifest)
+    snapshot = metrics.obs or {}
+    with open(os.path.join(out_dir, "metrics.prom"), "w") as fh:
+        fh.write(to_prometheus(snapshot))
+    with open(os.path.join(out_dir, "snapshot.json"), "w") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"obs artifacts written to {os.path.abspath(out_dir)}/")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -127,6 +154,13 @@ def main(argv=None) -> int:
     parser.add_argument("--ops", type=int, default=60, help="ops per core")
     parser.add_argument("--seeds", type=int, default=2, help="seeds per point")
     parser.add_argument("--out", default=DEFAULT_OUT, help="JSON output path")
+    parser.add_argument(
+        "--obs-artifacts",
+        default=None,
+        metavar="DIR",
+        help="write the observed pass's manifest.json / metrics.prom / "
+        "snapshot.json under DIR (CI uploads them as artifacts)",
+    )
     args = parser.parse_args(argv)
 
     jobs = resolve_jobs(args.jobs, default=0)
@@ -180,14 +214,36 @@ def main(argv=None) -> int:
         sum(m.events_processed for m in eager) / eager_s if eager_s else 0.0
     )
 
-    identical = serial == parallel == cached == eager
+    # Observed pass: REPRO_OBS=1 turns the observability plane on.  The
+    # deterministic payload must stay bit-identical (RunMetrics equality
+    # ignores the obs field); the wall-clock delta vs the serial pass is
+    # the plane's overhead, gated in check_perf_regression.py.
+    saved_obs = os.environ.get("REPRO_OBS")
+    os.environ["REPRO_OBS"] = "1"
+    try:
+        t0 = time.perf_counter()
+        observed = run_points(specs, jobs=1)
+        obs_s = time.perf_counter() - t0
+    finally:
+        if saved_obs is None:
+            del os.environ["REPRO_OBS"]
+        else:
+            os.environ["REPRO_OBS"] = saved_obs
+    obs_overhead_pct = (obs_s / serial_s - 1.0) * 100.0 if serial_s else 0.0
+
+    identical = serial == parallel == cached == eager == observed
     if not identical:
-        for i, (a, b, c, e) in enumerate(zip(serial, parallel, cached, eager)):
-            if not (a == b == c == e):
+        rows = zip(serial, parallel, cached, eager, observed)
+        for i, (a, b, c, e, o) in enumerate(rows):
+            if not (a == b == c == e == o):
                 print(
                     f"MISMATCH at spec #{i}:\n  serial:   {a}"
                     f"\n  parallel: {b}\n  cached:   {c}\n  eager:    {e}"
+                    f"\n  observed: {o}"
                 )
+
+    if args.obs_artifacts:
+        write_obs_artifacts(args.obs_artifacts, specs[0], observed[0])
 
     # Allocation pass: tracemalloc snapshot delta over one run (slots on
     # hot record classes show up here as fewer blocks per event).
@@ -224,6 +280,8 @@ def main(argv=None) -> int:
         "parallel_s": round(parallel_s, 4),
         "cached_s": round(cached_s, 4),
         "eager_s": round(eager_s, 4),
+        "obs_s": round(obs_s, 4),
+        "obs_overhead_pct": round(obs_overhead_pct, 2),
         "jobs": jobs,
         "events_per_sec": round(events_per_sec, 1),
         "kernel_events_per_sec": round(kernel_events_per_sec, 1),
@@ -258,10 +316,13 @@ def main(argv=None) -> int:
         f"cached   {cached_s:8.2f} s   ({cache_hits}/{len(specs)} hits)\n"
         f"eager    {eager_s:8.2f} s   ({eager_events_per_sec:,.0f} events/sec, "
         f"checkers on the hot path)\n"
+        f"observed {obs_s:8.2f} s   (REPRO_OBS=1, "
+        f"{obs_overhead_pct:+.1f}% vs serial)\n"
         f"alloc    {alloc_blocks:,} blocks retained "
         f"({alloc_kib:,.0f} KiB, peak {peak_bytes / 1024.0:,.0f} KiB) "
         f"over {alloc_events:,} events\n"
-        f"metrics identical: {identical} (serial == parallel == cached == eager)\n"
+        f"metrics identical: {identical} "
+        f"(serial == parallel == cached == eager == observed)\n"
         f"[written to {os.path.abspath(args.out)}]"
     )
     return 0 if identical and cache_hits == len(specs) else 1

@@ -4,8 +4,10 @@ Compares a freshly measured ``BENCH_perf.json`` (the *candidate*,
 written by ``bench_perf.py --out ...``) against the committed baseline
 at the repo root.  Fails when the candidate's serial ``events_per_sec``
 or raw-kernel ``kernel_events_per_sec`` drops below ``threshold``
-(default 80%) of the baseline's, or when the candidate's
-serial/parallel/cached/eager metrics were not identical.
+(default 80%) of the baseline's, when the candidate's
+serial/parallel/cached/eager/observed metrics were not identical, or
+when the observability plane's ``obs_overhead_pct`` exceeds its
+ceiling (default 3%).
 
 The threshold is deliberately loose: CI runners vary, and the guard is
 meant to catch order-of-magnitude mistakes (an accidentally quadratic
@@ -46,6 +48,13 @@ def main(argv=None) -> int:
         default=0.8,
         help="minimum candidate/baseline events_per_sec ratio",
     )
+    parser.add_argument(
+        "--obs-threshold",
+        type=float,
+        default=3.0,
+        help="maximum obs_overhead_pct (REPRO_OBS=1 wall-clock cost, "
+        "percent over the unobserved serial pass)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -77,6 +86,21 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: {label} throughput regressed below "
                 f"{args.threshold:.0%} of the committed baseline"
+            )
+            failed = True
+
+    overhead = candidate.get("obs_overhead_pct")
+    if overhead is None:
+        print("perf check: obs overhead skipped (obs_overhead_pct missing)")
+    else:
+        print(
+            f"perf check: obs overhead {overhead:+.1f}% "
+            f"(ceiling {args.obs_threshold:.1f}%)"
+        )
+        if overhead > args.obs_threshold:
+            print(
+                "FAIL: REPRO_OBS=1 wall-clock overhead exceeds "
+                f"{args.obs_threshold:.1f}% of the unobserved serial pass"
             )
             failed = True
     if failed:

@@ -11,6 +11,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro.config import ProtocolKind, SystemConfig
@@ -43,7 +45,34 @@ def cmd_run(args) -> int:
     if args.stats:
         for key, value in sorted(system.stats.as_dict().items()):
             print(f"  {key} = {value}")
+    if system.obs.enabled:
+        _export_obs(args, config, system)
     return 0 if result.completed and not result.violations else 1
+
+
+def _export_obs(args, config: SystemConfig, system) -> None:
+    """Print the phase breakdown; write exporter files to --obs-dir."""
+    from repro.obs.export import (
+        format_phase_table,
+        snapshot_system,
+        write_prometheus,
+    )
+    from repro.obs.manifest import run_manifest, write_manifest
+
+    snapshot = snapshot_system(system)
+    print(format_phase_table(snapshot))
+    out_dir = getattr(args, "obs_dir", None)
+    if not out_dir:
+        return
+    os.makedirs(out_dir, exist_ok=True)
+    manifest = run_manifest(
+        config, workload=args.workload, ops=args.ops, seed=args.seed
+    )
+    write_manifest(os.path.join(out_dir, "manifest.json"), manifest)
+    write_prometheus(os.path.join(out_dir, "metrics.prom"), snapshot)
+    with open(os.path.join(out_dir, "snapshot.json"), "w") as fh:
+        json.dump(snapshot, fh, indent=1, sort_keys=True)
+    print(f"obs artifacts written to {out_dir}/")
 
 
 def cmd_compare(args) -> int:
@@ -147,6 +176,19 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "under .repro_cache/ (entries are keyed by spec + code version; "
         "default: REPRO_CACHE env, then off)",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="enable the observability plane (sets REPRO_OBS=1 before any "
+        "system is built; results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help="with --obs on a `run`, write manifest.json, metrics.prom and "
+        "snapshot.json under DIR",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -187,6 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "obs", False):
+        # Before any build_system call, and inherited by pool workers.
+        os.environ["REPRO_OBS"] = "1"
     return args.fn(args)
 
 

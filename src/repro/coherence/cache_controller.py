@@ -22,12 +22,7 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.common.errors import SimulationError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
-from repro.common.types import (
-    WORD_MASK,
-    CoherenceState,
-    EpochType,
-    block_of,
-)
+from repro.common.types import WORD_MASK, CoherenceState, EpochType
 from repro.config import SystemConfig
 from repro.memory.cache import CacheArray, CacheLine
 

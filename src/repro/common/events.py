@@ -77,6 +77,12 @@ class Scheduler:
         "_counter",
         "now",
         "_events_processed",
+        "_obs_on",
+        "_obs_buckets",
+        "_obs_bucket_events",
+        "_obs_bucket_max",
+        "_obs_migrations",
+        "_obs_window_jumps",
     )
 
     def __init__(self, ring_size: int = RING_SIZE) -> None:
@@ -92,11 +98,50 @@ class Scheduler:
         self._counter = itertools.count()
         self.now = 0
         self._events_processed = 0
+        # Observability (repro.obs): disabled by default.  The kernel
+        # keeps raw ints itself — an attribute add per *bucket* (not
+        # per event) when attached, a single false branch otherwise —
+        # and exposes them through :meth:`obs_snapshot`.
+        self._obs_on = False
+        self._obs_buckets = 0
+        self._obs_bucket_events = 0
+        self._obs_bucket_max = 0
+        self._obs_migrations = 0
+        self._obs_window_jumps = 0
 
     @property
     def events_processed(self) -> int:
         """Total callbacks executed so far (for progress/statistics)."""
         return self._events_processed
+
+    def attach_obs(self) -> None:
+        """Start collecting kernel-internal observability counters."""
+        self._obs_on = True
+
+    def obs_snapshot(self) -> dict:
+        """Observable interface: queue state + (if attached) drain stats."""
+        snap = {
+            "events_processed": self._events_processed,
+            "pending": self.pending(),
+            "now": self.now,
+            "ring_size": self._ring_size,
+            "overflow_pending": len(self._overflow),
+        }
+        if self._obs_on:
+            buckets = self._obs_buckets
+            snap.update(
+                {
+                    "buckets_drained": buckets,
+                    "bucket_events": self._obs_bucket_events,
+                    "bucket_occupancy_mean": (
+                        self._obs_bucket_events / buckets if buckets else 0.0
+                    ),
+                    "bucket_occupancy_max": self._obs_bucket_max,
+                    "overflow_migrations": self._obs_migrations,
+                    "window_jumps": self._obs_window_jumps,
+                }
+            )
+        return snap
 
     def at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute cycle ``time``."""
@@ -214,6 +259,9 @@ class Scheduler:
                 ring[time & mask].append(event)
                 count += 1
             self._ring_count += count
+            if self._obs_on:
+                self._obs_window_jumps += 1
+                self._obs_migrations += count
 
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
@@ -293,6 +341,11 @@ class Scheduler:
             # notice — callbacks are the only appenders and every path
             # through the loop body funnels back here.
             n = len(bucket)
+            if self._obs_on:
+                self._obs_buckets += 1
+                self._obs_bucket_events += n
+                if n > self._obs_bucket_max:
+                    self._obs_bucket_max = n
             while True:
                 if i == n:
                     n = len(bucket)

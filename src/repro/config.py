@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.common.errors import ConfigError
 from repro.consistency.models import ConsistencyModel

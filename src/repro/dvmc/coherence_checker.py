@@ -207,7 +207,61 @@ class CoherenceChecker:
             f"dvcc.{n}.pq_forced_drains" for n in range(num)
         ]
         self._stat_violations = [f"dvcc.{n}.violations" for n in range(num)]
+        # Observability (repro.obs): per-bank probe and overlap-check
+        # counters, maintained only when attached.  Informs are orders
+        # of magnitude rarer than scheduler events, so a guarded int
+        # add per inform is well inside the obs overhead budget.
+        self._obs_on = False
+        self._obs_bank_pushes = [0] * MET_BANKS
+        self._obs_met_probes = 0
+        self._obs_overlap_checks = 0
         scheduler.post(SWEEP_PERIOD, self._sweep)
+
+    def attach_obs(self) -> None:
+        """Start recording MET bank probes and overlap-check counts."""
+        self._obs_on = True
+
+    def obs_snapshot(self) -> dict:
+        """Observable interface: CET/MET occupancy + checking effort."""
+        stats = self.stats
+        num = self.config.num_nodes
+        pq_depth = sum(self._pq_len)
+        return {
+            "cet_entries": sum(len(cet) for cet in self._cet),
+            "cet_open": sum(
+                sum(1 for e in cet.values() if not e.ended)
+                for cet in self._cet
+            ),
+            "met_entries": sum(
+                len(bank) for banks in self._met for bank in banks
+            ),
+            "met_bank_entries": [
+                sum(len(banks[b]) for banks in self._met)
+                for b in range(MET_BANKS)
+            ],
+            "met_bank_pushes": list(self._obs_bank_pushes),
+            "met_probes": self._obs_met_probes,
+            "epoch_overlap_checks": self._obs_overlap_checks,
+            "pq_depth": pq_depth,
+            "pq_capacity": self.config.dvmc.priority_queue_entries,
+            "pq_forced_drains": sum(
+                stats.counter(self._stat_pq_forced[n]) for n in range(num)
+            ),
+            "informs_sent": sum(
+                stats.counter(self._stat_informs_sent[n]) for n in range(num)
+            ),
+            "informs_processed": sum(
+                stats.counter(self._stat_informs_processed[n])
+                for n in range(num)
+            ),
+            "epochs_begun": sum(
+                stats.counter(self._stat_epochs_begun[n]) for n in range(num)
+            ),
+            "hash_memo_entries": len(self._hash_memo),
+            "violations": sum(
+                stats.counter(self._stat_violations[n]) for n in range(num)
+            ),
+        }
 
     def _hash_block(self, block: int, data) -> int:
         """Hash ``data`` with a per-block memo keyed on content."""
@@ -474,6 +528,8 @@ class CoherenceChecker:
                 -1,
             )
         bank = (block >> _BANK_SHIFT) & _BANK_MASK
+        if self._obs_on:
+            self._obs_bank_pushes[bank] += 1
         heapq.heappush(self._pq[home][bank], record)
         self._pq_len[home] += 1
         if self._pq_len[home] > self.config.dvmc.priority_queue_entries:
@@ -541,6 +597,8 @@ class CoherenceChecker:
                         )
 
     def _met_entry(self, home: int, block: int) -> METEntry:
+        if self._obs_on:
+            self._obs_met_probes += 1
         met = self._met[home][(block >> _BANK_SHIFT) & _BANK_MASK]
         entry = met.get(block)
         if entry is None:
@@ -629,6 +687,8 @@ class CoherenceChecker:
             query_end = end if end > begin else begin + 1
         else:
             query_end = None
+        if self._obs_on:
+            self._obs_overlap_checks += 1
         if is_rw:
             limit = (
                 entry.floor_rw

@@ -62,6 +62,33 @@ class DVMC:
             self.uo_checkers or self.ar_checkers or self.coherence_checker
         )
 
+    def attach_obs(self) -> None:
+        """Turn on internal observability counters in every checker."""
+        for ar in self.ar_checkers:
+            ar.attach_obs()
+        if self.coherence_checker is not None:
+            self.coherence_checker.attach_obs()
+
+    def obs_snapshot(self) -> dict:
+        """Observable interface: one view over every attached checker.
+
+        Node keys are strings so the snapshot survives a JSON round
+        trip (the result cache stores ``RunMetrics.obs`` as JSON)
+        unchanged.
+        """
+        snap: dict = {"violations": len(self.violations.reports)}
+        if self.uo_checkers:
+            snap["uo"] = {
+                str(uo.node): uo.obs_snapshot() for uo in self.uo_checkers
+            }
+        if self.ar_checkers:
+            snap["ar"] = {
+                str(ar.node): ar.obs_snapshot() for ar in self.ar_checkers
+            }
+        if self.coherence_checker is not None:
+            snap["cc"] = self.coherence_checker.obs_snapshot()
+        return snap
+
     def finalize(self) -> None:
         """Flush buffered checker state (end of simulation): drain the
         streaming AR logs and MET priority queues, run a final

@@ -81,3 +81,11 @@ class OpLog:
 
     def clear(self) -> None:
         self.length = 0
+
+    def stats(self) -> dict:
+        """Observable interface: fill level in records, not array slots."""
+        return {
+            "records": self.length // RECORD_WIDTH,
+            "capacity_records": self.capacity // RECORD_WIDTH,
+            "fill": (self.length / self.capacity) if self.capacity else 0.0,
+        }

@@ -288,3 +288,28 @@ class UniprocessorOrderingChecker:
     @property
     def vc_occupancy(self) -> int:
         return len(self._vc)
+
+    def obs_snapshot(self) -> dict:
+        """Observable interface: VC state + replay accounting.
+
+        Replay counters live in the shared stats registry (they are
+        deterministic run output); this view adds live VC occupancy so
+        backpressure is visible without poking checker internals.
+        """
+        stats = self.stats
+        vc_hits = stats.counter(self._stat_vc_hits)
+        cache_reads = stats.counter(self._stat_cache_reads)
+        stale = stats.counter(self._stat_stale)
+        return {
+            "vc_occupancy": len(self._vc),
+            "vc_capacity": self._capacity,
+            "vc_live_stores": sum(
+                1 for entry in self._vc.values() if entry.count > 0
+            ),
+            "vc_store_allocs": stats.counter(self._stat_store_allocs),
+            "replays": vc_hits + cache_reads + stale,
+            "replay_vc_hits": vc_hits,
+            "replay_cache_reads": cache_reads,
+            "replay_stale_entries": stale,
+            "violations": stats.counter(f"{self._stat}.violations"),
+        }

@@ -155,3 +155,25 @@ class Network(ABC):
     def max_link_bytes(self) -> int:
         """Bytes carried by the busiest link (paper Figure 7)."""
         return self.stats.max_over(f"net.{self.name}.link.")[1]
+
+    def obs_snapshot(self) -> dict:
+        """Observable interface: traffic and delivery-coalescing view.
+
+        Per-link byte counters live in the shared stats registry (they
+        are part of the deterministic run output); this view adds the
+        derived numbers the dashboards want — total/busiest-link bytes
+        and the coalescing ratio of the batched-delivery path.
+        """
+        link_prefix = f"net.{self.name}.link."
+        links = self.stats.counters_with_prefix(link_prefix)
+        sent = self.messages_sent
+        coalesced = self.deliveries_coalesced
+        return {
+            "messages_sent": sent,
+            "deliveries_coalesced": coalesced,
+            "coalescing_ratio": coalesced / sent if sent else 0.0,
+            "pending_batches": len(self._pending_batches),
+            "links": len(links),
+            "total_bytes": sum(links.values()),
+            "max_link_bytes": max(links.values(), default=0),
+        }

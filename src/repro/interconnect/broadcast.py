@@ -11,7 +11,6 @@ from the sender and the down-link to every receiver.
 
 from __future__ import annotations
 
-from typing import Callable, List
 
 from repro.common.errors import ConfigError
 from repro.common.events import Scheduler
@@ -79,6 +78,18 @@ class BroadcastTreeNetwork(Network):
             delivered.dst = node
             delivered.meta["snoop_order"] = order_index
             self._deliver(delivered)
+
+    def obs_snapshot(self) -> dict:
+        """Broadcast-tree view: ordered-broadcast accounting."""
+        snap = super().obs_snapshot()
+        snap.update(
+            {
+                "topology": f"broadcast-tree-{self._num_nodes}",
+                "broadcasts_ordered": self.order_count,
+                "root_free_at": self._root_free_at,
+            }
+        )
+        return snap
 
     @staticmethod
     def _clone_for(msg: Message, node: int) -> Message:

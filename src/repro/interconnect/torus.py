@@ -169,6 +169,18 @@ class TorusNetwork(Network):
             self.scheduler.post(arrival_delay, self._hop, (msg, nxt))
 
     # Introspection ------------------------------------------------------
+    def obs_snapshot(self) -> dict:
+        """Torus view: base traffic numbers plus topology/memo state."""
+        snap = super().obs_snapshot()
+        snap.update(
+            {
+                "topology": f"torus-{self.rows}x{self.cols}",
+                "links_active": len(self._links),
+                "next_hop_memo_entries": len(self._next_hop),
+            }
+        )
+        return snap
+
     def link_utilization(self, elapsed_cycles: int) -> Dict[str, float]:
         """Per-link bytes/cycle over ``elapsed_cycles`` (Figure 7/8)."""
         if elapsed_cycles <= 0:

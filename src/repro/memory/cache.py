@@ -9,7 +9,7 @@ slots.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.common.errors import SimulationError
 from repro.common.stats import StatsRegistry
@@ -183,6 +183,35 @@ class CacheArray:
                     if l.state is not CoherenceState.I
                 )
         return out
+
+    def obs_snapshot(self) -> dict:
+        """Observable interface: hit/miss/replay view of this array.
+
+        Access counters are incremented by the owning coherence
+        controller under this array's name prefix; the array itself
+        contributes occupancy and set-allocation state, so the cache
+        layer is fully readable from one place.
+        """
+        stats = self._stats
+        accesses = stats.counter(f"{self.name}.accesses")
+        misses = stats.counter(f"{self.name}.misses")
+        replay_accesses = stats.counter(f"{self.name}.replay_accesses")
+        replay_misses = stats.counter(f"{self.name}.replay_misses")
+        lines = self.lines()
+        return {
+            "accesses": accesses,
+            "misses": misses,
+            "hits": accesses - misses,
+            "hit_rate": (accesses - misses) / accesses if accesses else 0.0,
+            "replay_accesses": replay_accesses,
+            "replay_misses": replay_misses,
+            "evictions": stats.counter(f"{self.name}.evictions"),
+            "writebacks": stats.counter(f"{self.name}.writebacks"),
+            "lines_valid": len(lines),
+            "lines_dirty": sum(1 for line in lines if line.is_dirty()),
+            "sets_allocated": sum(1 for s in self._sets if s is not None),
+            "num_sets": self.num_sets,
+        }
 
     # Port model -----------------------------------------------------------
     def next_access_delay(self, now: int) -> int:

@@ -14,13 +14,7 @@ from typing import Dict, List
 
 from repro.common.errors import SimulationError
 from repro.common.stats import StatsRegistry
-from repro.common.types import (
-    BLOCK_SIZE,
-    WORD_MASK,
-    WORDS_PER_BLOCK,
-    block_of,
-    word_index,
-)
+from repro.common.types import WORD_MASK, WORDS_PER_BLOCK, block_of, word_index
 
 
 class MainMemory:

@@ -1,0 +1,95 @@
+"""Observability plane: metrics, phase timing, exporters, event traces.
+
+Everything here is *off by default* and guaranteed not to change
+simulation results: a run with ``REPRO_OBS=1`` produces bit-identical
+violations and statistics to the same run without it (asserted by
+``tests/integration/test_obs_identity.py`` and by the performance
+benchmark's extra obs pass).
+
+Layout:
+
+* :mod:`repro.obs.hub` — :class:`MetricsHub`, the counter / gauge /
+  histogram registry; :data:`NULL_HUB` is the shared disabled-mode hub
+  whose instruments are no-ops.
+* :mod:`repro.obs.phases` — :class:`PhaseTimer`, attributing wall time
+  to simulate / verify / drain / serialize.
+* :mod:`repro.obs.export` — run snapshots, Prometheus-style text
+  exporter (imported on demand; no cost on the simulation path).
+* :mod:`repro.obs.manifest` — per-run provenance manifest (config
+  hash, seed, git sha, python/platform).
+* :mod:`repro.obs.otrace` — ring-buffer backed sampled JSONL event
+  trace (``REPRO_OBS_TRACE=path``).
+
+Enablement: ``REPRO_OBS=1`` in the environment (worker processes
+inherit it) or ``--obs`` on the CLI, which sets the variable before
+any system is built.  ``REPRO_OBS_TRACE=path`` additionally records a
+sampled memory-operation trace regardless of ``REPRO_OBS``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.hub import (
+    Counter,
+    Gauge,
+    MetricsHub,
+    NULL_HUB,
+    NULL_INSTRUMENT,
+    NullHub,
+    ObsHistogram,
+)
+from repro.obs.phases import NULL_TIMER, NullPhaseTimer, PhaseTimer
+
+#: Environment variable enabling the metrics/phase plane.
+OBS_ENV = "REPRO_OBS"
+#: Environment variable naming the JSONL event-trace output path.
+TRACE_ENV = "REPRO_OBS_TRACE"
+#: Ring capacity (records kept) for the event trace.
+TRACE_CAP_ENV = "REPRO_OBS_TRACE_CAP"
+#: Sampling stride for the event trace (keep every Nth operation).
+TRACE_SAMPLE_ENV = "REPRO_OBS_TRACE_SAMPLE"
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def enabled() -> bool:
+    """Whether the observability plane is on (``REPRO_OBS``)."""
+    return os.environ.get(OBS_ENV, "").strip().lower() not in _FALSEY
+
+
+def trace_path() -> str:
+    """The event-trace output path, or "" when tracing is off."""
+    return os.environ.get(TRACE_ENV, "").strip()
+
+
+def new_hub() -> "MetricsHub | NullHub":
+    """A hub for one system: real when enabled, the null hub otherwise."""
+    return MetricsHub() if enabled() else NULL_HUB
+
+
+def new_phase_timer() -> "PhaseTimer | NullPhaseTimer":
+    """A phase timer for one system, null when disabled."""
+    return PhaseTimer() if enabled() else NULL_TIMER
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsHub",
+    "NULL_HUB",
+    "NULL_INSTRUMENT",
+    "NULL_TIMER",
+    "NullHub",
+    "NullPhaseTimer",
+    "OBS_ENV",
+    "ObsHistogram",
+    "PhaseTimer",
+    "TRACE_CAP_ENV",
+    "TRACE_ENV",
+    "TRACE_SAMPLE_ENV",
+    "enabled",
+    "new_hub",
+    "new_phase_timer",
+    "trace_path",
+]

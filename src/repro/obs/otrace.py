@@ -1,0 +1,112 @@
+"""Sampled, ring-buffer backed JSONL event trace.
+
+With ``REPRO_OBS_TRACE=path`` the system builder wraps every core's
+program with the offline oracle's transparent recorder
+(:func:`repro.verify.trace.record_program`) pointed at a
+:class:`TraceRing` instead of an unbounded :class:`~repro.verify.
+trace.Trace`.  The ring keeps the *last* ``capacity`` operations
+(debugging almost always wants the tail — the state right before the
+hang or violation), optionally keeping only every Nth operation
+(``REPRO_OBS_TRACE_SAMPLE=N``), and is written as JSON Lines through
+the shared :mod:`repro.verify.trace` codecs at the end of
+``System.run`` — so a recorded tail can be loaded straight back into
+the offline :class:`~repro.verify.trace.TraceChecker`.
+
+Recording is transparent to the simulation: the wrapper forwards every
+operation and result untouched, and the identity tests cover runs with
+tracing on.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Deque, List
+
+from repro.obs import TRACE_CAP_ENV, TRACE_SAMPLE_ENV
+from repro.verify.trace import Trace, TraceEvent, dump_jsonl
+
+#: Default ring capacity (events kept).
+DEFAULT_CAPACITY = 4096
+
+
+def _env_int(name: str, default: int, floor: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= floor else floor
+
+
+class _RingEvents:
+    """The ``trace.events`` facade :func:`record_program` appends to."""
+
+    __slots__ = ("ring", "owner")
+
+    def __init__(self, ring: Deque[TraceEvent], owner: "TraceRing"):
+        self.ring = ring
+        self.owner = owner
+
+    def append(self, event: TraceEvent) -> None:
+        owner = self.owner
+        owner.seen += 1
+        if owner.sample > 1 and owner.seen % owner.sample:
+            return
+        ring = self.ring
+        if len(ring) == ring.maxlen:
+            owner.dropped += 1
+        ring.append(event)
+
+
+class TraceRing:
+    """Bounded trace sink: last ``capacity`` events, 1-in-``sample``."""
+
+    __slots__ = ("capacity", "sample", "seen", "dropped", "_ring", "events")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sample: int = 1):
+        self.capacity = max(1, capacity)
+        self.sample = max(1, sample)
+        #: Operations offered to the ring (before sampling/eviction).
+        self.seen = 0
+        #: Sampled events evicted because the ring was full.
+        self.dropped = 0
+        self._ring: Deque[TraceEvent] = deque(maxlen=self.capacity)
+        self.events = _RingEvents(self._ring, self)
+
+    @classmethod
+    def from_env(cls) -> "TraceRing":
+        """Ring sized by ``REPRO_OBS_TRACE_CAP`` / ``_SAMPLE``."""
+        return cls(
+            capacity=_env_int(TRACE_CAP_ENV, DEFAULT_CAPACITY, 1),
+            sample=_env_int(TRACE_SAMPLE_ENV, 1, 1),
+        )
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def tail(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def to_trace(self) -> Trace:
+        """Materialise the tail as an offline-checkable :class:`Trace`."""
+        return Trace(events=self.tail())
+
+    def write_jsonl(self, path: str) -> int:
+        """Dump the tail as JSON Lines; returns events written."""
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        return dump_jsonl(self._ring, path)
+
+    def stats(self) -> dict:
+        """Observable interface: ring occupancy and loss accounting."""
+        return {
+            "capacity": self.capacity,
+            "sample": self.sample,
+            "seen": self.seen,
+            "kept": len(self._ring),
+            "dropped": self.dropped,
+        }

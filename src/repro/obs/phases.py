@@ -1,0 +1,104 @@
+"""Phase timer: attribute wall-clock time to named run phases.
+
+DVMC's headline claim is that verification rides along at low cost;
+until now the only way to see *where* a run's wall time went was an
+external profiler.  The phase timer splits one run into named,
+nestable phases (``simulate`` / ``verify`` / ``drain`` / ``serialize``
+in :meth:`repro.system.builder.System.run`) and reports both views:
+
+* **exclusive** — time spent in a phase minus time spent in phases
+  nested inside it (the numbers sum to total instrumented time);
+* **inclusive** — plain enter-to-exit time per phase.
+
+The timer only exists on observed systems; unobserved systems hold
+:data:`NULL_TIMER`, whose ``phase()`` returns one shared reentrant
+no-op context manager, so the disabled cost is a method call per
+``System.run`` — not per event.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, List
+
+
+class PhaseTimer:
+    """Nestable named wall-time accumulator.
+
+    ``clock`` is injectable so tests can drive the timer with a fake
+    clock and assert exact attribution.
+    """
+
+    __slots__ = ("exclusive", "inclusive", "_clock", "_stack")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self.exclusive: Dict[str, float] = {}
+        self.inclusive: Dict[str, float] = {}
+        self._clock = clock
+        #: Open phases: [name, child-time accumulated so far].
+        self._stack: List[List] = []
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; nested phases are subtracted from ``exclusive``."""
+        start = self._clock()
+        frame = [name, 0.0]
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            elapsed = self._clock() - start
+            self._stack.pop()
+            self.exclusive[name] = (
+                self.exclusive.get(name, 0.0) + elapsed - frame[1]
+            )
+            self.inclusive[name] = self.inclusive.get(name, 0.0) + elapsed
+            if self._stack:
+                self._stack[-1][1] += elapsed
+
+    def total(self) -> float:
+        """Total instrumented wall time (sum of exclusive phases)."""
+        return sum(self.exclusive.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "exclusive": dict(sorted(self.exclusive.items())),
+            "inclusive": dict(sorted(self.inclusive.items())),
+        }
+
+
+class _NullContext:
+    """Reentrant no-op context manager shared by every null phase."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullPhaseTimer:
+    """Disabled-mode timer: ``phase()`` costs one shared object."""
+
+    __slots__ = ()
+
+    exclusive: Dict[str, float] = {}
+    inclusive: Dict[str, float] = {}
+
+    def phase(self, name: str) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def total(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        return {"exclusive": {}, "inclusive": {}}
+
+
+NULL_TIMER = NullPhaseTimer()

@@ -43,6 +43,7 @@ import enum
 import hashlib
 import json
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -90,6 +91,11 @@ class RunMetrics:
     violations: int
     events_processed: int
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Observability snapshot (``REPRO_OBS=1``), or None.  Excluded
+    #: from equality and repr: the deterministic payload above must
+    #: compare bit-identical whether or not a run was observed, and
+    #: the snapshot carries wall-clock phase timings that never repeat.
+    obs: Optional[Dict] = field(default=None, compare=False, repr=False)
 
     def counter_sum(self, prefix: str) -> int:
         """Sum of counters under ``prefix`` (StatsRegistry.sum analogue)."""
@@ -125,12 +131,18 @@ def execute_run_spec(spec: RunSpec) -> RunMetrics:
 
     system = build_system(spec.config, workload=spec.workload, ops=spec.ops)
     result = system.run(max_cycles=spec.max_cycles)
+    obs_snap = None
+    if system.obs.enabled or system.obs_trace is not None:
+        from repro.obs.export import snapshot_system
+
+        obs_snap = snapshot_system(system)
     return RunMetrics(
         cycles=result.cycles,
         completed=result.completed,
         violations=len(result.violations),
         events_processed=system.scheduler.events_processed,
         counters=system.stats.counters(),
+        obs=obs_snap,
     )
 
 
@@ -200,17 +212,83 @@ atexit.register(discard_pool)
 
 
 def _indexed_call(item: Tuple[int, Callable, object]):
-    """Shippable wrapper: run one spec, return (index, error, result).
+    """Shippable wrapper: run one spec, return (index, error, result,
+    elapsed_seconds).
 
     Worker exceptions come back as values instead of poisoning the
     pool, so one bad spec aborts the batch without costing the warm
-    workers.
+    workers.  The elapsed time feeds the pool utilization metric in
+    the parent and never touches the deterministic result payload.
     """
     index, worker, spec = item
+    start = time.perf_counter()
     try:
-        return index, None, worker(spec)
+        return index, None, worker(spec), time.perf_counter() - start
     except BaseException as exc:  # noqa: BLE001 - reported to the caller
-        return index, str(exc) or type(exc).__name__, None
+        return index, str(exc) or type(exc).__name__, None, (
+            time.perf_counter() - start
+        )
+
+
+# ---------------------------------------------------------------------------
+# Pool observability
+# ---------------------------------------------------------------------------
+
+_last_obs: Optional[Dict] = None
+_pool_hub = None
+
+
+def pool_hub():
+    """The orchestrator-side :class:`~repro.obs.hub.MetricsHub`.
+
+    Re-evaluates ``REPRO_OBS`` on every call (the benchmark toggles it
+    between passes): disabled callers always get the shared null hub,
+    and a stale null hub is replaced the moment observability turns on.
+    """
+    global _pool_hub
+    from repro import obs
+
+    if not obs.enabled():
+        return obs.NULL_HUB
+    if _pool_hub is None or not _pool_hub.enabled:
+        _pool_hub = obs.new_hub()
+    return _pool_hub
+
+
+def last_run_obs() -> Optional[Dict]:
+    """Pool/cache view of the most recent :func:`run_points` batch.
+
+    Plain data (jobs, wall seconds, per-task seconds, utilization,
+    cache hits/misses) — independent of the per-run ``RunMetrics.obs``
+    snapshots, which describe the simulated systems themselves.
+    """
+    return dict(_last_obs) if _last_obs is not None else None
+
+
+def _note_execution(
+    jobs: int, wall_s: float, latencies: List[float]
+) -> None:
+    """Record one batch's pool metrics (obs plane; results untouched)."""
+    global _last_obs
+    task_s = sum(latencies)
+    busy = wall_s * jobs
+    _last_obs = {
+        "jobs": jobs,
+        "specs": len(latencies),
+        "wall_s": wall_s,
+        "task_s_total": task_s,
+        "task_s_max": max(latencies, default=0.0),
+        "utilization": (task_s / busy) if busy > 0 else 0.0,
+    }
+    hub = pool_hub()
+    if hub.enabled:
+        hub.counter("pool.batches").add(1)
+        hub.counter("pool.specs").add(len(latencies))
+        hub.gauge("pool.jobs").set(jobs)
+        hub.gauge("pool.utilization").set(_last_obs["utilization"])
+        task_hist = hub.histogram("pool.task_s")
+        for elapsed in latencies:
+            task_hist.record(elapsed)
 
 
 # ---------------------------------------------------------------------------
@@ -448,14 +526,34 @@ def run_points(
         for i, value in zip(missing, fresh):
             store.put(specs[i], value)
             results[i] = value
+    else:
+        _note_execution(jobs, 0.0, [])
+    global _last_obs
+    if _last_obs is not None:
+        _last_obs["cache_hits"] = store.hits
+        _last_obs["cache_misses"] = store.misses
+        _last_obs["cache_evictions"] = store.evictions
+    hub = pool_hub()
+    if hub.enabled:
+        hub.counter("cache.hits").add(store.hits)
+        hub.counter("cache.misses").add(store.misses)
+        hub.counter("cache.evictions").add(store.evictions)
     return results  # type: ignore[return-value]
 
 
 def _execute(
     specs: List[SpecT], jobs: int, worker: Callable[[SpecT], ResultT]
 ) -> List[ResultT]:
+    start = time.perf_counter()
+    latencies: List[float] = []
     if jobs <= 1 or len(specs) <= 1:
-        return [worker(spec) for spec in specs]
+        results_serial: List[ResultT] = []
+        for spec in specs:
+            t0 = time.perf_counter()
+            results_serial.append(worker(spec))
+            latencies.append(time.perf_counter() - t0)
+        _note_execution(1, time.perf_counter() - start, latencies)
+        return results_serial
 
     results: List[Optional[ResultT]] = [None] * len(specs)
     pool = _get_pool(jobs)
@@ -463,13 +561,14 @@ def _execute(
     done = 0
     try:
         # Streamed in order: workers pull specs as they free up, the
-        # parent consumes (index, error, result) records as they
-        # complete, and a failure aborts the batch promptly without
-        # tearing down the warm pool.
-        for index, error, value in pool.map(_indexed_call, items):
+        # parent consumes (index, error, result, elapsed) records as
+        # they complete, and a failure aborts the batch promptly
+        # without tearing down the warm pool.
+        for index, error, value, elapsed in pool.map(_indexed_call, items):
             if error is not None:
                 raise ParallelRunError(index, specs[index], error)
             results[index] = value
+            latencies.append(elapsed)
             done += 1
     except BrokenProcessPool as exc:
         discard_pool()
@@ -477,4 +576,5 @@ def _execute(
         raise ParallelRunError(
             index, specs[index], "worker process died"
         ) from exc
+    _note_execution(jobs, time.perf_counter() - start, latencies)
     return results  # type: ignore[return-value]

@@ -25,7 +25,6 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.common.errors import SimulationError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.common.types import MembarMask, OpType, block_of, word_of
@@ -34,7 +33,7 @@ from repro.consistency.models import ConsistencyModel
 from repro.consistency.ordering_table import OrderingTable
 from repro.consistency.tables import table_for
 
-from .operations import Atomic, Batch, Compute, Load, Membar, SetModel, Stbar, Store
+from .operations import Batch, Compute, SetModel
 from .write_buffer import WBEntry, WriteBuffer
 
 #: Extra stall cycles charged for a load-order mis-speculation squash.

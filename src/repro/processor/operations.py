@@ -9,7 +9,7 @@ architecturally bound.  See :mod:`repro.workloads` for the programs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Union
 
 from repro.common.types import MembarMask, OpType
 from repro.consistency.models import ConsistencyModel

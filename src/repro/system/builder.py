@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.common.errors import ConfigError, DeadlockError
 from repro.common.events import Scheduler
 from repro.common.logical_time import (
@@ -29,7 +30,7 @@ from repro.coherence.directory import (
     DirectoryMemoryController,
 )
 from repro.coherence.hooks import SystemHooks
-from repro.coherence.messages import Coh, Dvcc, Sn, Snoop
+from repro.coherence.messages import Coh, Dvcc, Sn
 from repro.coherence.snooping import (
     SnoopingCacheController,
     SnoopingMemoryController,
@@ -88,6 +89,13 @@ class System:
         #: Callbacks invoked after every :meth:`run` returns, e.g. a
         #: fault injector flushing a still-pending plan as not-landed.
         self.finalizers: List[Callable[[], None]] = []
+        #: Observability plane (null objects unless ``REPRO_OBS`` is
+        #: set when :func:`build_system` runs; never feeds back into
+        #: the simulation).
+        self.obs = obs.NULL_HUB
+        self.obs_phases = obs.NULL_TIMER
+        self.obs_trace = None  # TraceRing when REPRO_OBS_TRACE is set
+        self._obs_trace_path: Optional[str] = None
 
     # -- address interleaving ------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -106,20 +114,38 @@ class System:
         remaining (unless ``allow_incomplete``, used by fault campaigns
         where injected errors may legitimately hang the machine).
         """
-        for core in self.cores:
-            core.start()
-        cores = self.cores
+        phases = self.obs_phases
+        with phases.phase("simulate"):
+            for core in self.cores:
+                core.start()
+            cores = self.cores
 
-        def done() -> bool:
-            return all(core.quiescent for core in cores)
+            def done() -> bool:
+                return all(core.quiescent for core in cores)
 
-        # stop_interval=64 keeps the old every-64th-event polling cadence
-        # but moves the skip counter into the kernel's event loop.
-        self.scheduler.run(until=max_cycles, stop_when=done, stop_interval=64)
-        self.dvmc.finalize()
-        for finalize in self.finalizers:
-            finalize()
-        result = RunResult(self)
+            # stop_interval=64 keeps the old every-64th-event polling
+            # cadence but moves the skip counter into the kernel's
+            # event loop.
+            self.scheduler.run(
+                until=max_cycles, stop_when=done, stop_interval=64
+            )
+        with phases.phase("verify"):
+            self.dvmc.finalize()
+        with phases.phase("drain"):
+            for finalize in self.finalizers:
+                finalize()
+        with phases.phase("serialize"):
+            result = RunResult(self)
+            if self.obs.enabled:
+                self.obs.counter("run.events_processed").add(
+                    self.scheduler.obs_snapshot()["events_processed"]
+                )
+                self.obs.counter("run.violations").add(
+                    len(self.dvmc.violations)
+                )
+                self.obs.gauge("run.cycles").set(self.scheduler.now)
+            if self.obs_trace is not None and self._obs_trace_path:
+                self.obs_trace.write_jsonl(self._obs_trace_path)
         if not result.completed and not allow_incomplete:
             stuck = [c.node for c in self.cores if not c.quiescent]
             raise DeadlockError(
@@ -216,6 +242,18 @@ def build_system(
     num = config.num_nodes
     eager_check = os.environ.get("REPRO_EAGER_CHECK") == "1"
 
+    # Observability (REPRO_OBS / REPRO_OBS_TRACE) -------------------------
+    if obs.enabled():
+        system.obs = obs.new_hub()
+        system.obs_phases = obs.new_phase_timer()
+        sched.attach_obs()
+    trace_dest = obs.trace_path()
+    if trace_dest:
+        from repro.obs.otrace import TraceRing
+
+        system.obs_trace = TraceRing.from_env()
+        system._obs_trace_path = trace_dest
+
     # Memories -----------------------------------------------------------
     system.memories = [
         MainMemory(stats, config.memory.ecc_enabled, name=f"mem.{n}")
@@ -304,6 +342,12 @@ def build_system(
                 workload, n, num, config.model, config.seed, ops
             )
         )
+        if system.obs_trace is not None:
+            from repro.verify.trace import record_program
+
+            # Transparent generator wrapper: forwards every operation
+            # and result unchanged, sampling into the obs trace ring.
+            program = record_program(n, program, system.obs_trace)
         core = Core(
             n,
             sched,
@@ -346,6 +390,8 @@ def build_system(
     hooks.on_invalidation(
         lambda node, block: system.cores[node].on_invalidation(block)
     )
+    if system.obs.enabled:
+        system.dvmc.attach_obs()
     return system
 
 

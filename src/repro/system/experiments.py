@@ -14,7 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.stats import mean_stddev
 from repro.config import SystemConfig
-from repro.consistency.models import ConsistencyModel
 from repro.parallel import RunMetrics, RunSpec, run_points
 
 from .builder import RunResult, System, build_system
@@ -102,6 +101,23 @@ def aggregate_metrics(
         l1_accesses=l1_accesses,
         violations=violations,
     )
+
+
+def merge_obs_phases(metrics: Sequence[RunMetrics]) -> Dict[str, float]:
+    """Fold per-replica obs phase timings into one exclusive-seconds map.
+
+    Replicas with no snapshot (obs disabled, or served from the result
+    cache before the obs field existed) contribute nothing; an empty
+    dict means no replica was observed.
+    """
+    merged: Dict[str, float] = {}
+    for m in metrics:
+        snap = getattr(m, "obs", None)
+        if not snap:
+            continue
+        for name, secs in snap.get("phases", {}).get("exclusive", {}).items():
+            merged[name] = merged.get(name, 0.0) + secs
+    return merged
 
 
 def measure(

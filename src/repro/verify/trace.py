@@ -21,8 +21,9 @@ cross-validate the online checkers in tests.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.common.types import word_of
 from repro.processor.operations import Atomic, Batch, Load, Store
@@ -38,6 +39,46 @@ class TraceEvent:
     addr: int
     value: int  # load result / stored value / atomic's new value
     old_value: Optional[int] = None  # atomic's returned (swapped-out) value
+
+
+# -- JSONL codec -----------------------------------------------------------
+# Shared by the offline oracle and the observability plane's sampled
+# event trace (repro.obs.otrace): one JSON object per line, stable key
+# order, round-trip exact (the obs tests assert load(dump(t)) == t).
+
+_EVENT_FIELDS = ("core", "index", "kind", "addr", "value", "old_value")
+
+
+def event_to_dict(event: "TraceEvent") -> Dict:
+    """Plain JSON-safe dict for one :class:`TraceEvent`."""
+    return {name: getattr(event, name) for name in _EVENT_FIELDS}
+
+
+def event_from_dict(data: Dict) -> "TraceEvent":
+    """Inverse of :func:`event_to_dict` (unknown keys rejected)."""
+    return TraceEvent(**{name: data[name] for name in _EVENT_FIELDS})
+
+
+def dump_jsonl(events: Iterable["TraceEvent"], path: str) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    count = 0
+    with open(path, "w") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def load_jsonl(path: str) -> "Trace":
+    """Read a JSONL event file back into a :class:`Trace`."""
+    trace = Trace()
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                trace.events.append(event_from_dict(json.loads(line)))
+    return trace
 
 
 @dataclass

@@ -29,14 +29,13 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator
 
 from repro.common.rng import SplitRng
-from repro.common.types import BLOCK_SIZE, MembarMask
+from repro.common.types import BLOCK_SIZE
 from repro.consistency.models import ConsistencyModel
 from repro.processor.operations import (
     Atomic,
     Batch,
     Compute,
     Load,
-    Membar,
     SetModel,
     Store,
 )

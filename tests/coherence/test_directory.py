@@ -1,6 +1,5 @@
 """Directory-protocol corner cases: races the blocking home resolves."""
 
-from repro.common.types import CoherenceState
 from repro.config import ProtocolKind
 
 from tests.conftest import (

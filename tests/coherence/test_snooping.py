@@ -1,6 +1,5 @@
 """Snooping-protocol corner cases: total order, obligations, killed fills."""
 
-from repro.common.types import CoherenceState
 from repro.config import ProtocolKind
 
 from tests.conftest import (

@@ -1,6 +1,5 @@
 """Shared test fixtures and helpers."""
 
-from typing import List, Optional
 
 import pytest
 

@@ -1,13 +1,12 @@
 """Cache Coherence checker: CET/MET, epoch rules, scrubbing (4.3)."""
 
-import pytest
 
 from repro.common.crc import hash_block
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.common.types import WORDS_PER_BLOCK, EpochType
 from repro.config import DVMCConfig, SystemConfig
-from repro.dvmc.coherence_checker import CoherenceChecker, MET_SORT_SLACK
+from repro.dvmc.coherence_checker import CoherenceChecker
 from repro.dvmc.framework import ViolationLog
 from repro.memory.memory import MainMemory
 

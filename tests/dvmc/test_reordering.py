@@ -1,6 +1,5 @@
 """Allowable Reordering checker unit tests (paper Section 4.2)."""
 
-import pytest
 
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry

@@ -1,7 +1,6 @@
 """Streaming verification plane: OpLog substrate and eager/batch identity."""
 
 import dataclasses
-import os
 
 import pytest
 
@@ -85,7 +84,9 @@ class TestARCheckerLogModes:
         self._drive(sched_e, eager)
         sched_b, batch, violations_b = self._checker(attach=True)
         self._drive(sched_b, batch)
-        key = lambda r: (r.cycle, r.checker, r.node, r.kind, r.detail)
+        def key(r):
+            return (r.cycle, r.checker, r.node, r.kind, r.detail)
+
         assert sorted(map(key, violations_e.reports)) == sorted(
             map(key, violations_b.reports)
         )

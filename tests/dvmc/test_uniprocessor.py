@@ -1,6 +1,5 @@
 """Uniprocessor Ordering checker and Verification Cache (Section 4.1)."""
 
-import pytest
 
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry

@@ -1,9 +1,7 @@
 """Fault injector: every fault kind can land and mutate real state."""
 
-import pytest
 
-from repro.common.types import CoherenceState
-from repro.config import ProtocolKind, SystemConfig
+from repro.config import SystemConfig
 from repro.faults.injector import FaultInjector, FaultKind, FaultPlan
 from repro.system.builder import build_system
 

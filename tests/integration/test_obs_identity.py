@@ -1,0 +1,83 @@
+"""Observability must never change results: obs on == obs off, bit for bit.
+
+The acceptance property of the observability plane (and the reason the
+benchmark's ``identical`` flag folds in an observed pass): enabling
+``REPRO_OBS`` / ``REPRO_OBS_TRACE`` yields the same violations, the
+same stats counters, and the same cycle count as an unobserved run.
+"""
+
+from repro.config import SystemConfig
+from repro.parallel import RunSpec, execute_run_spec, last_run_obs, run_points
+from repro.system.builder import build_system
+from repro.verify.trace import load_jsonl
+
+SPEC = RunSpec(SystemConfig.protected().with_seed(3), "oltp", 80)
+
+
+def run_reports(config, workload="oltp", ops=80):
+    system = build_system(config, workload=workload, ops=ops)
+    result = system.run()
+    reports = [
+        (r.checker, r.cycle, r.node, r.kind, r.detail)
+        for r in result.violations
+    ]
+    return system, result, reports
+
+
+class TestObsIdentity:
+    def test_metrics_bit_identical_with_obs_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        base = execute_run_spec(SPEC)
+        monkeypatch.setenv("REPRO_OBS", "1")
+        observed = execute_run_spec(SPEC)
+        # Full deterministic payload: cycles, completion, violations,
+        # events and every stats counter (RunMetrics equality covers
+        # all of them; the obs field is excluded by design).
+        assert base == observed
+        assert base.counters == observed.counters
+        assert base.obs is None
+        assert observed.obs is not None
+
+    def test_violation_reports_identical(self, monkeypatch):
+        config = SystemConfig.protected().with_seed(5)
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        _, plain_result, plain_reports = run_reports(config)
+        monkeypatch.setenv("REPRO_OBS", "1")
+        system, obs_result, obs_reports = run_reports(config)
+        assert plain_reports == obs_reports
+        assert plain_result.cycles == obs_result.cycles
+        assert system.obs.enabled
+
+    def test_trace_recording_is_transparent(self, monkeypatch, tmp_path):
+        trace_file = tmp_path / "tail.jsonl"
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        base = execute_run_spec(SPEC)
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setenv("REPRO_OBS_TRACE", str(trace_file))
+        monkeypatch.setenv("REPRO_OBS_TRACE_CAP", "100000")
+        traced = execute_run_spec(SPEC)
+        assert base == traced
+        assert traced.obs["layers"]["trace"]["seen"] > 0
+        recorded = load_jsonl(str(trace_file))
+        assert len(recorded.events) == traced.obs["layers"]["trace"]["kept"]
+
+    def test_snapshot_layers_cover_every_subsystem(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        observed = execute_run_spec(SPEC)
+        layers = observed.obs["layers"]
+        assert layers["scheduler"]["events_processed"] > 0
+        assert layers["scheduler"]["buckets_drained"] > 0
+        assert layers["networks"]["data"]["messages_sent"] > 0
+        assert layers["caches"]["l1.0"]["accesses"] > 0
+        assert layers["dvmc"]["violations"] == observed.violations
+        assert layers["dvmc"]["cc"]["met_probes"] >= 0
+        phases = observed.obs["phases"]["exclusive"]
+        assert set(phases) == {"simulate", "verify", "drain", "serialize"}
+
+    def test_pool_obs_reports_batch_metrics(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        run_points([SPEC, SPEC], jobs=1)
+        batch = last_run_obs()
+        assert batch["jobs"] == 1
+        assert batch["specs"] == 2
+        assert batch["task_s_total"] > 0

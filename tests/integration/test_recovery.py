@@ -1,6 +1,5 @@
 """Detection-plus-recovery: the end-to-end story of DVMC + SafetyNet."""
 
-from repro.common.types import block_of, word_index
 from repro.config import SystemConfig
 from repro.faults import FaultInjector, FaultKind, FaultPlan
 from repro.system.builder import build_system

@@ -1,6 +1,5 @@
 """2D torus: topology, routing, bandwidth accounting, fault hooks."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common.events import Scheduler

@@ -1,0 +1,107 @@
+"""MetricsHub instruments: semantics, snapshots, disabled-mode no-ops."""
+
+from repro.obs.hub import (
+    NULL_HUB,
+    NULL_INSTRUMENT,
+    MetricsHub,
+    NullHub,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        hub = MetricsHub()
+        c = hub.counter("events")
+        assert c.value == 0
+        c.add()
+        c.add(41)
+        assert c.value == 42
+
+    def test_get_or_create_returns_same_instrument(self):
+        hub = MetricsHub()
+        assert hub.counter("x") is hub.counter("x")
+
+    def test_distinct_names_are_distinct(self):
+        hub = MetricsHub()
+        hub.counter("a").add(1)
+        assert hub.counter("b").value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        hub = MetricsHub()
+        g = hub.gauge("occupancy")
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_streaming_moments(self):
+        hub = MetricsHub()
+        h = hub.histogram("latency")
+        for v in (2.0, 8.0, 5.0):
+            h.record(v)
+        assert h.count == 3
+        assert h.total == 15.0
+        assert h.min == 2.0
+        assert h.max == 8.0
+        assert h.mean == 5.0
+
+    def test_empty_histogram_dict_is_finite(self):
+        h = MetricsHub().histogram("empty")
+        assert h.as_dict() == {
+            "count": 0,
+            "sum": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+        }
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_sorted_data(self):
+        hub = MetricsHub()
+        hub.counter("b").add(2)
+        hub.counter("a").add(1)
+        hub.gauge("g").set(7)
+        hub.histogram("h").record(1.0)
+        snap = hub.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"] == {"a": 1, "b": 2}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_snapshot_does_not_alias_registry(self):
+        hub = MetricsHub()
+        hub.counter("a").add(1)
+        snap = hub.snapshot()
+        hub.counter("a").add(1)
+        assert snap["counters"]["a"] == 1
+
+
+class TestNullHub:
+    def test_disabled_flag(self):
+        assert NULL_HUB.enabled is False
+        assert MetricsHub().enabled is True
+
+    def test_every_instrument_is_the_shared_noop(self):
+        hub = NullHub()
+        assert hub.counter("a") is hub.counter("b")
+        assert hub.counter("a") is NULL_INSTRUMENT
+        assert hub.gauge("g") is NULL_INSTRUMENT
+        assert hub.histogram("h") is NULL_INSTRUMENT
+
+    def test_updates_are_noops(self):
+        NULL_INSTRUMENT.add(10)
+        NULL_INSTRUMENT.set(3.0)
+        NULL_INSTRUMENT.record(1.0)
+        assert NULL_INSTRUMENT.value == 0
+        assert NULL_INSTRUMENT.count == 0
+
+    def test_snapshot_is_empty(self):
+        assert NULL_HUB.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

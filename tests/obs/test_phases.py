@@ -1,0 +1,86 @@
+"""PhaseTimer attribution under a fake clock, including nesting."""
+
+from repro.obs.phases import NULL_TIMER, PhaseTimer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestPhaseTimer:
+    def test_single_phase(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        with timer.phase("simulate"):
+            clock.advance(5.0)
+        assert timer.exclusive == {"simulate": 5.0}
+        assert timer.inclusive == {"simulate": 5.0}
+        assert timer.total() == 5.0
+
+    def test_nested_phase_subtracts_child_time(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        with timer.phase("outer"):
+            clock.advance(1.0)
+            with timer.phase("inner"):
+                clock.advance(2.0)
+            clock.advance(3.0)
+        assert timer.inclusive == {"outer": 6.0, "inner": 2.0}
+        assert timer.exclusive == {"outer": 4.0, "inner": 2.0}
+        # Exclusive times partition the instrumented wall time.
+        assert timer.total() == 6.0
+
+    def test_repeated_phases_accumulate(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        for dt in (1.0, 2.0):
+            with timer.phase("simulate"):
+                clock.advance(dt)
+        assert timer.exclusive == {"simulate": 3.0}
+
+    def test_exception_still_attributes_time(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        try:
+            with timer.phase("simulate"):
+                clock.advance(2.0)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert timer.exclusive == {"simulate": 2.0}
+        # The stack unwound: a new phase nests at top level again.
+        with timer.phase("verify"):
+            clock.advance(1.0)
+        assert timer.exclusive["verify"] == 1.0
+
+    def test_snapshot_sorted_plain_data(self):
+        clock = FakeClock()
+        timer = PhaseTimer(clock=clock)
+        with timer.phase("b"):
+            clock.advance(1.0)
+        with timer.phase("a"):
+            clock.advance(1.0)
+        snap = timer.snapshot()
+        assert list(snap["exclusive"]) == ["a", "b"]
+        assert snap == {
+            "exclusive": {"a": 1.0, "b": 1.0},
+            "inclusive": {"a": 1.0, "b": 1.0},
+        }
+
+
+class TestNullTimer:
+    def test_shared_reentrant_context(self):
+        ctx = NULL_TIMER.phase("anything")
+        assert ctx is NULL_TIMER.phase("other")
+        with ctx:
+            with ctx:
+                pass
+        assert NULL_TIMER.total() == 0.0
+        assert NULL_TIMER.snapshot() == {"exclusive": {}, "inclusive": {}}

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.common.types import MembarMask
-from repro.config import ProtocolKind, SystemConfig
+from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel
 from repro.processor.operations import (
     Atomic,

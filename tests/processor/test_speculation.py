@@ -5,7 +5,6 @@ speculatively loaded addresses; a tracked write makes the replay
 mismatch a *squash* (pipeline flush), not a violation.
 """
 
-import pytest
 
 from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel

@@ -1,7 +1,7 @@
 """Write buffers: drain policies, fences, forwarding, fault handles."""
 
 from repro.common.stats import StatsRegistry
-from repro.processor.write_buffer import WBEntry, WriteBuffer
+from repro.processor.write_buffer import WriteBuffer
 
 
 class Harness:

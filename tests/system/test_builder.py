@@ -3,12 +3,7 @@
 import pytest
 
 from repro.common.errors import ConfigError, DeadlockError
-from repro.config import (
-    DVMCConfig,
-    ProtocolKind,
-    SafetyNetConfig,
-    SystemConfig,
-)
+from repro.config import DVMCConfig, ProtocolKind, SystemConfig
 from repro.consistency.models import ConsistencyModel
 from repro.processor.operations import Load, Store
 from repro.system.builder import build_system

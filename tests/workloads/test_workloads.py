@@ -4,10 +4,9 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel
-from repro.processor.operations import Atomic, Load, Store
+from repro.processor.operations import Load, Store
 from repro.system.builder import build_system
 from repro.workloads import (
-    PROGRAMS,
     THIRTY_TWO_BIT_FRACTION,
     WORKLOAD_NAMES,
     lock_addr,
@@ -15,7 +14,7 @@ from repro.workloads import (
     private_addr,
     shared_addr,
 )
-from repro.workloads.primitives import UNLOCKED, lock_acquire, lock_release
+from repro.workloads.primitives import lock_acquire, lock_release
 
 
 class TestRegistry:
