@@ -6,7 +6,12 @@ through four measurement passes:
 
 * **kernel-only**: a synthetic event storm through the calendar-queue
   ``Scheduler`` with no simulation payload, isolating raw event-kernel
-  throughput (``kernel_events_per_sec``);
+  throughput (``kernel_events_per_sec``).  The same storm also runs
+  through the object/tuple ``LegacyScheduler``
+  (``legacy_kernel_events_per_sec``), so the flat kernel's win — and
+  any regression of it — is visible in the JSON trajectory
+  (``flat_kernel_events_per_sec`` is the gated alias of the flat
+  number);
 * **serial** (``jobs=1``): the reference pass — ``events_per_sec`` and
   the regression baseline come from here;
 * **parallel** (``jobs=N``): same specs through the persistent worker
@@ -24,6 +29,16 @@ through four measurement passes:
   (``identical`` covers all five passes) and the wall-clock delta is
   recorded as ``obs_overhead_pct`` (gated in
   ``check_perf_regression.py``).
+
+Timing methodology: one untimed warmup sweep runs first, then the
+serial, eager and observed passes run *interleaved* — each of four
+reps times one sweep of each back to back, so a slow background window
+on a shared host penalises all three alike — and each pass reports its
+best rep (minimum wall clock, the standard estimator under additive
+background noise; the runs are deterministic so the metrics are the
+same every rep).  The kernel storms report the best of two.  Parallel
+and cached passes stay single-shot: their numbers gate correctness
+(bit-identity, cache hits), not throughput.
 
 A ``tracemalloc`` pass over one representative run reports allocation
 deltas (``alloc_blocks``/``alloc_kib``) so slot/regression wins on hot
@@ -45,6 +60,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import shutil
@@ -58,7 +74,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
-from repro.common.events import Scheduler  # noqa: E402
+from repro.common.events import LegacyScheduler, Scheduler  # noqa: E402
 from repro.config import SystemConfig  # noqa: E402
 from repro.parallel import (  # noqa: E402
     ResultCache,
@@ -88,7 +104,7 @@ def workload_mix(ops: int, seeds: int) -> List[RunSpec]:
     ]
 
 
-def bench_kernel(events: int = 200_000) -> float:
+def bench_kernel(events: int = 200_000, scheduler_factory=Scheduler) -> float:
     """Raw calendar-queue throughput: schedule/execute ``events`` events.
 
     The callback reschedules itself at small pseudo-random strides (the
@@ -98,8 +114,12 @@ def bench_kernel(events: int = 200_000) -> float:
     chains reschedule through :meth:`Scheduler.post` — the no-handle
     fast path every hot component uses — so the ceiling tracks the
     production scheduling path, not the handle-returning API.
+
+    ``scheduler_factory`` lets the same storm run on either kernel:
+    the flat :class:`Scheduler` (default) or the object/tuple
+    :class:`LegacyScheduler` reference.
     """
-    sched = Scheduler()
+    sched = scheduler_factory()
     state = {"left": events, "x": 12345}
 
     def tick() -> None:
@@ -172,11 +192,52 @@ def main(argv=None) -> int:
         f"jobs={jobs}, cpus={cpu_count}"
     )
 
-    kernel_events_per_sec = bench_kernel()
+    kernel_events_per_sec = max(bench_kernel() for _ in range(2))
+    legacy_kernel_events_per_sec = max(
+        bench_kernel(scheduler_factory=LegacyScheduler) for _ in range(2)
+    )
 
-    t0 = time.perf_counter()
-    serial = run_points(specs, jobs=1)
-    serial_s = time.perf_counter() - t0
+    # One untimed warmup pass: imports, code objects, memo tables and
+    # branch caches all settle before any timed pass, so the serial and
+    # observed passes (whose ratio is the gated obs_overhead_pct) start
+    # from the same warmed state.
+    run_points(specs, jobs=1)
+
+    def timed_sweep(env=None):
+        """One timed serial sweep of ``specs`` under env overrides."""
+        saved = {}
+        if env:
+            for key, value in env.items():
+                saved[key] = os.environ.get(key)
+                os.environ[key] = value
+        try:
+            gc.collect()
+            t0 = time.perf_counter()
+            metrics = run_points(specs, jobs=1)
+            return metrics, time.perf_counter() - t0
+        finally:
+            for key, value in saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+    # Interleaved timing: each rep runs one serial, one eager
+    # (REPRO_EAGER_CHECK=1: per-event checker calls) and one observed
+    # (REPRO_OBS=1: observability plane on) sweep back to back, so a
+    # slow background window on a shared host penalises all three
+    # alike; each pass reports its best rep (minimum wall clock).  The
+    # runs are deterministic, so the metrics are the same every rep —
+    # only the wall clock varies.
+    serial = eager = observed = None
+    serial_s = eager_s = obs_s = float("inf")
+    for _ in range(4):
+        serial, s = timed_sweep()
+        serial_s = min(serial_s, s)
+        eager, s = timed_sweep({"REPRO_EAGER_CHECK": "1"})
+        eager_s = min(eager_s, s)
+        observed, s = timed_sweep({"REPRO_OBS": "1"})
+        obs_s = min(obs_s, s)
 
     t0 = time.perf_counter()
     parallel = run_points(specs, jobs=jobs)
@@ -196,39 +257,14 @@ def main(argv=None) -> int:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
-    # Eager pass: REPRO_EAGER_CHECK=1 turns the streaming verification
-    # plane off (checkers run per event).  Results must be bit-identical
-    # to batch mode; the throughput delta is the plane's win.
-    saved_eager = os.environ.get("REPRO_EAGER_CHECK")
-    os.environ["REPRO_EAGER_CHECK"] = "1"
-    try:
-        t0 = time.perf_counter()
-        eager = run_points(specs, jobs=1)
-        eager_s = time.perf_counter() - t0
-    finally:
-        if saved_eager is None:
-            del os.environ["REPRO_EAGER_CHECK"]
-        else:
-            os.environ["REPRO_EAGER_CHECK"] = saved_eager
+    # Eager must be bit-identical to batch mode (the throughput delta is
+    # the streaming plane's win); observed must leave the deterministic
+    # payload untouched (RunMetrics equality ignores the obs field).
+    # The wall-clock delta of observed vs serial is the observability
+    # plane's overhead, gated in check_perf_regression.py.
     eager_events_per_sec = (
         sum(m.events_processed for m in eager) / eager_s if eager_s else 0.0
     )
-
-    # Observed pass: REPRO_OBS=1 turns the observability plane on.  The
-    # deterministic payload must stay bit-identical (RunMetrics equality
-    # ignores the obs field); the wall-clock delta vs the serial pass is
-    # the plane's overhead, gated in check_perf_regression.py.
-    saved_obs = os.environ.get("REPRO_OBS")
-    os.environ["REPRO_OBS"] = "1"
-    try:
-        t0 = time.perf_counter()
-        observed = run_points(specs, jobs=1)
-        obs_s = time.perf_counter() - t0
-    finally:
-        if saved_obs is None:
-            del os.environ["REPRO_OBS"]
-        else:
-            os.environ["REPRO_OBS"] = saved_obs
     obs_overhead_pct = (obs_s / serial_s - 1.0) * 100.0 if serial_s else 0.0
 
     identical = serial == parallel == cached == eager == observed
@@ -285,6 +321,10 @@ def main(argv=None) -> int:
         "jobs": jobs,
         "events_per_sec": round(events_per_sec, 1),
         "kernel_events_per_sec": round(kernel_events_per_sec, 1),
+        "flat_kernel_events_per_sec": round(kernel_events_per_sec, 1),
+        "legacy_kernel_events_per_sec": round(
+            legacy_kernel_events_per_sec, 1
+        ),
         "eager_events_per_sec": round(eager_events_per_sec, 1),
         "speedup": None if speedup is None else round(speedup, 3),
         "speedup_note": speedup_note,
@@ -308,8 +348,15 @@ def main(argv=None) -> int:
     speed_txt = (
         f"speedup {speedup:.2f}x" if speedup is not None else speedup_note
     )
+    kernel_ratio = (
+        kernel_events_per_sec / legacy_kernel_events_per_sec
+        if legacy_kernel_events_per_sec
+        else 0.0
+    )
     print(
-        f"kernel   {kernel_events_per_sec:12,.0f} events/sec (scheduler only)\n"
+        f"kernel   {kernel_events_per_sec:12,.0f} events/sec "
+        f"(flat; legacy {legacy_kernel_events_per_sec:,.0f}, "
+        f"{kernel_ratio:.2f}x)\n"
         f"serial   {serial_s:8.2f} s   ({events_per_sec:,.0f} events/sec, "
         f"{coalesced} coalesced deliveries)\n"
         f"parallel {parallel_s:8.2f} s   (jobs={jobs}, {speed_txt})\n"

@@ -1,0 +1,91 @@
+"""Render a fresh-vs-committed ``BENCH_perf.json`` diff as markdown.
+
+CI appends the output to ``$GITHUB_STEP_SUMMARY`` so every build shows
+the measured perf trajectory — committed baseline, fresh candidate, and
+the relative delta per numeric field — without digging into artifacts.
+
+Usage::
+
+    python benchmarks/bench_summary.py \
+        --baseline BENCH_perf.json \
+        --candidate /tmp/BENCH_perf.candidate.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Fields where bigger is better; everything else numeric is
+#: lower-is-better (wall clocks, allocation counts) or neutral.
+HIGHER_IS_BETTER = {
+    "events_per_sec",
+    "kernel_events_per_sec",
+    "flat_kernel_events_per_sec",
+    "legacy_kernel_events_per_sec",
+    "eager_events_per_sec",
+    "speedup",
+    "cache_hits",
+}
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    if isinstance(value, int) and not isinstance(value, bool):
+        return f"{value:,}"
+    return str(value)
+
+
+def _delta(base, cand, key: str) -> str:
+    if (
+        not isinstance(base, (int, float))
+        or not isinstance(cand, (int, float))
+        or isinstance(base, bool)
+        or isinstance(cand, bool)
+        or not base
+    ):
+        return ""
+    pct = (cand / base - 1.0) * 100.0
+    if abs(pct) < 0.05:
+        return "±0.0%"
+    arrow = ""
+    if key in HIGHER_IS_BETTER:
+        arrow = " ⬆" if pct > 0 else " ⬇"
+    return f"{pct:+.1f}%{arrow}"
+
+
+def render(baseline: dict, candidate: dict) -> str:
+    lines = [
+        "## bench_perf: fresh candidate vs committed baseline",
+        "",
+        "| field | committed | fresh | delta |",
+        "|---|---:|---:|---:|",
+    ]
+    for key in sorted(set(baseline) | set(candidate)):
+        base = baseline.get(key)
+        cand = candidate.get(key)
+        lines.append(
+            f"| `{key}` | {_fmt(base)} | {_fmt(cand)} "
+            f"| {_delta(base, cand, key)} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--candidate", required=True)
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.candidate) as fh:
+        candidate = json.load(fh)
+    print(render(baseline, candidate))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,7 @@ def main(argv=None) -> int:
     for key, label in (
         ("events_per_sec", "serial"),
         ("kernel_events_per_sec", "kernel"),
+        ("flat_kernel_events_per_sec", "flat kernel"),
     ):
         base = baseline.get(key)
         cand = candidate.get(key)

@@ -113,6 +113,15 @@ class BaseCacheController:
         self._stat_accesses = f"l1.{node}.accesses"
         self._stat_replay_accesses = f"l1.{node}.replay_accesses"
         self._hit_latency = config.l1.hit_latency
+        # Interned bound method: _submit/_transaction_done post this once
+        # per request, and a fresh bound-method object per post is pure
+        # allocator traffic on the hot path.
+        self._cb_service = self._service_block
+        # Interned hot-path targets (one attribute hop instead of two
+        # per request).
+        self._post = scheduler.post
+        self._incr = stats.incr
+        self._next_access_delay = l1.next_access_delay
         #: When False (snooping), the protocol subclass fires epoch
         #: hooks itself at serialization points; the shared helpers stay
         #: silent except for clean-eviction epoch ends (no serialization
@@ -153,14 +162,16 @@ class BaseCacheController:
     # ------------------------------------------------------------------
     def _submit(self, req: CoreRequest) -> None:
         if req.kind is OpKind.REPLAY:
-            self.stats.incr(self._stat_replay_accesses)
+            self._incr(self._stat_replay_accesses)
         else:
-            self.stats.incr(self._stat_accesses)
-        delay = self.l1.next_access_delay(self.scheduler.now) + self._hit_latency
+            self._incr(self._stat_accesses)
+        delay = self._next_access_delay(self.scheduler.now) + self._hit_latency
         block = req.addr & ~63  # block_of, inlined
-        queue = self._queues.setdefault(block, deque())
+        queue = self._queues.get(block)
+        if queue is None:
+            queue = self._queues[block] = deque()
         queue.append(req)
-        self.scheduler.post(delay, self._service_block, (block,))
+        self._post(delay, self._cb_service, (block,))
 
     def _service_block(self, block: int) -> None:
         """Complete satisfiable queued requests; start a transaction for
@@ -168,10 +179,32 @@ class BaseCacheController:
         if block in self._active:
             return
         queue = self._queues.get(block)
+        if not queue:
+            if queue is not None:
+                del self._queues[block]
+            return
+        # The line (identity and state) cannot change synchronously while
+        # we drain: on_done callbacks only enqueue work through _submit /
+        # the scheduler, so one peek serves the whole loop.
+        line = self.l1.peek(block)
+        if line is None:
+            can_read = can_write = False
+        else:
+            state = line.state
+            can_read = state is not CoherenceState.I
+            can_write = state is CoherenceState.M
         while queue:
             req = queue[0]
-            line = self.l1.peek(block)
-            if self._satisfiable(req, line):
+            kind = req.kind
+            if (
+                can_write
+                if (
+                    kind is OpKind.STORE
+                    or kind is OpKind.ATOMIC
+                    or kind is OpKind.PREFETCH
+                )
+                else can_read
+            ):
                 queue.popleft()
                 self._perform(req, line)
                 continue
@@ -181,8 +214,7 @@ class BaseCacheController:
                 return
             self._begin_miss(req, block, line)
             return
-        if queue is not None and not queue:
-            self._queues.pop(block, None)
+        del self._queues[block]
 
     @staticmethod
     def _satisfiable(req: CoreRequest, line: Optional[CacheLine]) -> bool:
@@ -233,27 +265,30 @@ class BaseCacheController:
     # Performing accesses
     # ------------------------------------------------------------------
     def _perform(self, req: CoreRequest, line: CacheLine) -> None:
-        self.l1.lookup(req.addr)  # touch LRU
+        self.l1.touch(line)  # refresh LRU without a second set lookup
         kind = req.kind
         hooks = self.hooks
+        addr = req.addr
         if kind is OpKind.PREFETCH:
             req.on_done(0)
             return
+        word = (addr & 63) >> 2  # word_index, inlined
         if kind is OpKind.LOAD or kind is OpKind.REPLAY:
-            value = line.read_word(req.addr)
+            value = line.data[word]
             if kind is OpKind.LOAD and hooks.sub_access:
-                hooks.access(self.node, req.addr, False)
+                hooks.access(self.node, addr, False)
             req.on_done(value)
             return
         # STORE / ATOMIC: write in place (state M guaranteed).
-        old_value = line.read_word(req.addr)
+        data = line.data
+        old_value = data[word]
         if hooks.sub_block_write:
-            hooks.block_write(self.node, line.addr, list(line.data))
-        line.write_word(req.addr, req.value & WORD_MASK)
+            hooks.block_write(self.node, line.addr, list(data))
+        data[word] = req.value & WORD_MASK
         if hooks.sub_access:
-            hooks.access(self.node, req.addr, True)
+            hooks.access(self.node, addr, True)
             if kind is OpKind.ATOMIC:
-                hooks.access(self.node, req.addr, False)
+                hooks.access(self.node, addr, False)
         req.on_done(old_value)
 
     # ------------------------------------------------------------------
@@ -348,7 +383,7 @@ class BaseCacheController:
     def _transaction_done(self, block: int) -> None:
         """Subclasses call this once permissions are in place."""
         self._active.pop(block, None)
-        self.scheduler.post(1, self._service_block, (block,))
+        self.scheduler.post(1, self._cb_service, (block,))
 
     # ------------------------------------------------------------------
     def unexpected(self, what: str) -> None:

@@ -79,6 +79,7 @@ class DirectoryCacheController(BaseCacheController):
         super().__init__(node, scheduler, stats, hooks, config, l1)
         self.network = network
         self.home_of = home_of
+        self._cb_handle = self._handle
 
     # -- outbound ---------------------------------------------------------
     def _send(self, dst: int, kind: Coh, addr: int, **meta) -> None:
@@ -121,7 +122,7 @@ class DirectoryCacheController(BaseCacheController):
     # -- inbound ------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
         """Entry point from the node's network dispatcher."""
-        self.scheduler.post(_CTRL_LATENCY, self._handle, (msg,))
+        self.scheduler.post(_CTRL_LATENCY, self._cb_handle, (msg,))
 
     def _handle(self, msg: Message) -> None:
         kind = msg.kind
@@ -255,7 +256,13 @@ class DirectoryCacheController(BaseCacheController):
 
 
 class _DirEntry:
-    """Home-side directory state for one block."""
+    """Compatibility view of one block's directory state.
+
+    The controller keeps its real state struct-of-arrays (parallel
+    int-keyed dicts with sharer *bitmasks*); this object is materialised
+    on demand for tests and fault targeting, which want the old
+    owner/sharer-set shape.
+    """
 
     __slots__ = ("owner", "sharers", "busy", "queue")
 
@@ -267,7 +274,15 @@ class _DirEntry:
 
 
 class DirectoryMemoryController:
-    """Home side: full-map blocking directory plus its memory slice."""
+    """Home side: full-map blocking directory plus its memory slice.
+
+    Directory state is struct-of-arrays: ``_owner`` (block -> owning
+    node, absent when memory owns), ``_sharers`` (block -> bitmask of
+    sharer nodes), ``_busy`` (set of blocks with an open transaction)
+    and ``_queue`` (block -> deferred messages, allocated lazily).  The
+    bitmask form makes the GetM invalidation sweep a few int ops per
+    sharer instead of set algebra plus a sort.
+    """
 
     def __init__(
         self,
@@ -286,14 +301,34 @@ class DirectoryMemoryController:
         self.config = config
         self.memory = memory
         self.network = network
-        self._entries: Dict[int, _DirEntry] = {}
+        self._owner: Dict[int, int] = {}
+        self._sharers: Dict[int, int] = {}
+        self._busy: Set[int] = set()
+        self._queue: Dict[int, Deque[Message]] = {}
         self._stat = f"dir.{node}"
+        self._stat_gets = f"dir.{node}.gets"
+        self._stat_getm = f"dir.{node}.getm"
+        self._stat_putm = f"dir.{node}.putm"
+        self._stat_unexpected = f"dir.{node}.unexpected"
+        self._cb_handle = self._handle
+        # Interned hot-path targets; every coherence transaction funnels
+        # several messages through this controller.
+        self._post = scheduler.post
+        self._incr = stats.incr
+        self._cb_supply = self._supply
+        self._mem_latency = config.memory.latency
 
     def entry(self, block: int) -> _DirEntry:
-        ent = self._entries.get(block)
-        if ent is None:
-            ent = _DirEntry()
-            self._entries[block] = ent
+        """Materialise the old per-block entry shape (cold path)."""
+        ent = _DirEntry()
+        ent.owner = self._owner.get(block)
+        mask = self._sharers.get(block, 0)
+        while mask:
+            low = mask & -mask
+            ent.sharers.add(low.bit_length() - 1)
+            mask ^= low
+        ent.busy = block in self._busy
+        ent.queue = self._queue.get(block, ent.queue)
         return ent
 
     # -- outbound ---------------------------------------------------------
@@ -318,92 +353,101 @@ class DirectoryMemoryController:
 
     # -- inbound ------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
-        self.scheduler.post(_CTRL_LATENCY, self._handle, (msg,))
+        self.scheduler.post(_CTRL_LATENCY, self._cb_handle, (msg,))
 
     def _handle(self, msg: Message) -> None:
-        block = block_of(msg.addr)
-        ent = self.entry(block)
+        block = msg.addr & ~63  # block_of, inlined
         if msg.kind is Coh.UNBLOCK:
-            self._on_unblock(block, ent)
+            self._on_unblock(block)
             return
-        if ent.busy:
-            ent.queue.append(msg)
+        if block in self._busy:
+            queue = self._queue.get(block)
+            if queue is None:
+                queue = self._queue[block] = deque()
+            queue.append(msg)
             return
-        self._process(msg, block, ent)
+        self._process(msg, block)
 
-    def _process(self, msg: Message, block: int, ent: _DirEntry) -> None:
+    def _process(self, msg: Message, block: int) -> None:
         if msg.kind is Coh.GETS:
-            self._on_gets(msg.src, block, ent)
+            self._on_gets(msg.src, block)
         elif msg.kind is Coh.GETM:
-            self._on_getm(msg.src, block, ent, msg.meta.get("have_line", False))
+            self._on_getm(msg.src, block, msg.meta.get("have_line", False))
         elif msg.kind is Coh.PUTM:
-            self._on_putm(msg, block, ent)
+            self._on_putm(msg, block)
         else:
-            self.stats.incr(f"{self._stat}.unexpected")
+            self._incr(self._stat_unexpected)
 
-    def _on_gets(self, requestor: int, block: int, ent: _DirEntry) -> None:
-        ent.busy = True
-        self.stats.incr(f"{self._stat}.gets")
+    def _supply(self, requestor: int, block: int, data: List[int]) -> None:
+        """Memory-sourced Data reply (posted after the memory latency)."""
+        self._send(requestor, Coh.DATA, block, data=data)
+
+    def _on_gets(self, requestor: int, block: int) -> None:
+        self._busy.add(block)
+        self._incr(self._stat_gets)
         self.hooks.home_request(self.node, block)
-        if ent.owner is None:
+        owner = self._owner.get(block)
+        if owner is None:
             data = self.memory.read_block(block)
-            self.scheduler.post(
-                self.config.memory.latency,
-                lambda: self._send(requestor, Coh.DATA, block, data=data),
-            )
+            self._post(self._mem_latency, self._cb_supply, (requestor, block, data))
         else:
-            self._send(ent.owner, Coh.FWD_GETS, block, requestor=requestor)
-        ent.sharers.add(requestor)
+            self._send(owner, Coh.FWD_GETS, block, requestor=requestor)
+        self._sharers[block] = self._sharers.get(block, 0) | (1 << requestor)
         # Owner (if any) retains ownership in O state.
 
-    def _on_getm(
-        self, requestor: int, block: int, ent: _DirEntry, have_line: bool = False
-    ) -> None:
-        ent.busy = True
-        self.stats.incr(f"{self._stat}.getm")
+    def _on_getm(self, requestor: int, block: int, have_line: bool = False) -> None:
+        self._busy.add(block)
+        self._incr(self._stat_getm)
         self.hooks.home_request(self.node, block)
-        invalidatees = ent.sharers - {requestor}
-        data_coming = not (
-            ent.owner == requestor or (requestor in ent.sharers and have_line)
-        )
-        if ent.owner is not None and ent.owner != requestor:
-            self._send(ent.owner, Coh.FWD_GETM, block, requestor=requestor)
+        owner = self._owner.get(block)
+        rbit = 1 << requestor
+        sharer_mask = self._sharers.get(block, 0)
+        inv_mask = sharer_mask & ~rbit
+        data_coming = not (owner == requestor or (sharer_mask & rbit and have_line))
+        if owner is not None and owner != requestor:
+            self._send(owner, Coh.FWD_GETM, block, requestor=requestor)
             data_coming = True
-            invalidatees.discard(ent.owner)
-        elif ent.owner is None and data_coming:
+            inv_mask &= ~(1 << owner)
+        elif owner is None and data_coming:
             data = self.memory.read_block(block)
-            self.scheduler.post(
-                self.config.memory.latency,
-                lambda: self._send(requestor, Coh.DATA, block, data=data),
-            )
+            self._post(self._mem_latency, self._cb_supply, (requestor, block, data))
         self._send(
             requestor,
             Coh.ACK_COUNT,
             block,
-            acks=len(invalidatees),
+            acks=inv_mask.bit_count(),
             data_coming=data_coming,
         )
-        for sharer in sorted(invalidatees):
-            self._send(sharer, Coh.INV, block, requestor=requestor)
-        ent.owner = requestor
-        ent.sharers = set()
+        # Ascending bit order matches the old sorted(invalidatees) sweep.
+        mask = inv_mask
+        while mask:
+            low = mask & -mask
+            self._send(low.bit_length() - 1, Coh.INV, block, requestor=requestor)
+            mask ^= low
+        self._owner[block] = requestor
+        self._sharers[block] = 0
 
-    def _on_putm(self, msg: Message, block: int, ent: _DirEntry) -> None:
-        self.stats.incr(f"{self._stat}.putm")
-        if ent.owner == msg.src:
+    def _on_putm(self, msg: Message, block: int) -> None:
+        self._incr(self._stat_putm)
+        if self._owner.get(block) == msg.src:
             if msg.data is None:
                 raise SimulationError("PutM without data")
             self.hooks.memory_write(
                 self.node, block, self.memory.read_block(block), msg.data
             )
             self.memory.write_block(block, msg.data)
-            ent.owner = None
+            del self._owner[block]
             self._send(msg.src, Coh.WB_ACK, block)
         else:
             self._send(msg.src, Coh.WB_STALE, block)
 
-    def _on_unblock(self, block: int, ent: _DirEntry) -> None:
-        ent.busy = False
-        while ent.queue and not ent.busy:
-            queued = ent.queue.popleft()
-            self._process(queued, block, ent)
+    def _on_unblock(self, block: int) -> None:
+        busy = self._busy
+        busy.discard(block)
+        queue = self._queue.get(block)
+        if queue is None:
+            return
+        while queue and block not in busy:
+            self._process(queue.popleft(), block)
+        if not queue:
+            del self._queue[block]

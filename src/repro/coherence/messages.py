@@ -29,6 +29,11 @@ class Coh(enum.Enum):
     WB_STALE = "WBStale"  # writeback raced with an ownership transfer
     UNBLOCK = "Unblock"  # requestor -> home: transaction complete
 
+    # Singleton members: identity hashing dispatches in C instead of
+    # hashing the member name per lookup; message kinds key the
+    # protocol dispatch dicts on every delivery.
+    __hash__ = object.__hash__
+
 
 class Snoop(enum.Enum):
     """Snooping address-network broadcast kinds (totally ordered)."""
@@ -36,6 +41,8 @@ class Snoop(enum.Enum):
     GETS = "Snoop_GetS"
     GETM = "Snoop_GetM"
     PUTM = "Snoop_PutM"
+
+    __hash__ = object.__hash__  # singleton members; see Coh
 
 
 class Dvcc(enum.Enum):
@@ -45,8 +52,12 @@ class Dvcc(enum.Enum):
     INFORM_OPEN_EPOCH = "InformOpenEpoch"
     INFORM_CLOSED_EPOCH = "InformClosedEpoch"
 
+    __hash__ = object.__hash__  # singleton members; see Coh
+
 
 class Sn(enum.Enum):
     """SafetyNet checkpoint-coordination messages."""
 
     CKPT_VALIDATE = "CkptValidate"
+
+    __hash__ = object.__hash__  # singleton members; see Coh

@@ -81,6 +81,8 @@ class SnoopingCacheController(BaseCacheController):
         #: Set by the system builder; epochs are stamped with snoop
         #: counts so handoffs land exactly at their serialization point.
         self.logical_time = None
+        self._cb_snoop = self._snoop
+        self._cb_data = self._data
 
     def _now(self):
         return None if self.logical_time is None else self.logical_time.now(self.node)
@@ -118,7 +120,7 @@ class SnoopingCacheController(BaseCacheController):
 
     # -- snoops (ordered) ---------------------------------------------------
     def handle_snoop(self, msg: Message) -> None:
-        self.scheduler.post(_CTRL_LATENCY, self._snoop, (msg,))
+        self.scheduler.post(_CTRL_LATENCY, self._cb_snoop, (msg,))
 
     def _snoop(self, msg: Message) -> None:
         block = block_of(msg.addr)
@@ -247,7 +249,7 @@ class SnoopingCacheController(BaseCacheController):
 
     # -- data arrival ---------------------------------------------------------
     def handle_data(self, msg: Message) -> None:
-        self.scheduler.post(_CTRL_LATENCY, self._data, (msg,))
+        self.scheduler.post(_CTRL_LATENCY, self._cb_data, (msg,))
 
     def _data(self, msg: Message) -> None:
         block = block_of(msg.addr)
@@ -282,7 +284,7 @@ class SnoopingCacheController(BaseCacheController):
                 self._other_getm(requestor, block, at_lt)
             else:
                 self._other_gets(requestor, block, at_lt)
-        self.scheduler.post(1, self._service_block, (block,))
+        self.scheduler.post(1, self._cb_service, (block,))
 
     def _complete_killed(self, txn: _SnoopTransaction, data: List[int]) -> None:
         """Serve the head load from in-flight data; the line is not
@@ -298,7 +300,7 @@ class SnoopingCacheController(BaseCacheController):
                 self.hooks.access(self.node, head.addr, False)
                 head.on_done(value)
         self.stats.incr(f"{self._stat}.killed_fills")
-        self.scheduler.post(1, self._service_block, (block,))
+        self.scheduler.post(1, self._cb_service, (block,))
 
 
 class SnoopingMemoryController:
@@ -326,29 +328,35 @@ class SnoopingMemoryController:
         self._owner: Dict[int, Optional[int]] = {}
         self._pending_wb: Dict[int, int] = {}
         self._stat = f"snoopmem.{node}"
+        self._stat_gets = f"snoopmem.{node}.gets"
+        self._stat_getm = f"snoopmem.{node}.getm"
+        self._stat_putm = f"snoopmem.{node}.putm"
+        self._cb_snoop = self._snoop
+        self._cb_wb_data = self._wb_data
 
     def handle_snoop(self, msg: Message) -> None:
-        self.scheduler.post(_CTRL_LATENCY, self._snoop, (msg,))
+        self.scheduler.post(_CTRL_LATENCY, self._cb_snoop, (msg,))
 
     def _snoop(self, msg: Message) -> None:
         block = block_of(msg.addr)
         if self.home_of(block) != self.node:
             return
         owner = self._owner.get(block)
-        if msg.kind in (Snoop.GETS, Snoop.GETM):
+        kind = msg.kind
+        if kind is Snoop.GETS:
             self.hooks.home_request(self.node, block)
-        if msg.kind is Snoop.GETS:
-            self.stats.incr(f"{self._stat}.gets")
+            self.stats.incr(self._stat_gets)
             if owner is None:
                 self._supply(msg.src, block)
-        elif msg.kind is Snoop.GETM:
-            self.stats.incr(f"{self._stat}.getm")
+        elif kind is Snoop.GETM:
+            self.hooks.home_request(self.node, block)
+            self.stats.incr(self._stat_getm)
             if owner is None and owner != msg.src:
                 self._supply(msg.src, block)
             if owner != msg.src:
                 self._owner[block] = msg.src
-        elif msg.kind is Snoop.PUTM:
-            self.stats.incr(f"{self._stat}.putm")
+        elif kind is Snoop.PUTM:
+            self.stats.incr(self._stat_putm)
             if owner == msg.src:
                 self._owner[block] = None
                 self._pending_wb[block] = msg.src
@@ -370,7 +378,7 @@ class SnoopingMemoryController:
 
     def handle_data(self, msg: Message) -> None:
         """Writeback data arriving on the torus."""
-        self.scheduler.post(_CTRL_LATENCY, self._wb_data, (msg,))
+        self.scheduler.post(_CTRL_LATENCY, self._cb_wb_data, (msg,))
 
     def _wb_data(self, msg: Message) -> None:
         block = block_of(msg.addr)

@@ -19,6 +19,7 @@ detects all corruptions of fewer than 16 bits within a block.
 
 from __future__ import annotations
 
+import struct
 from binascii import crc_hqx
 from typing import Iterable, List
 
@@ -30,6 +31,12 @@ _INIT = 0xFFFF
 #: Captured builtin for the fast-path type check (keeps the check
 #: working even when tests shadow ``list`` to count conversions).
 _LIST = list
+
+#: One-shot packer for a full block: a single C call replaces the
+#: per-word ``int.to_bytes`` genexpr on the epoch-hash path.  Word
+#: values are already masked to 32 bits by the memory model; the
+#: masked genexpr fallback handles anything wider.
+_BLOCK_PACK = struct.Struct(f"!{WORDS_PER_BLOCK}I").pack
 
 
 def _build_table() -> List[int]:
@@ -89,4 +96,8 @@ def hash_block(block: Iterable[int]) -> int:
         raise ValueError(
             f"block must have {WORDS_PER_BLOCK} words, got {len(words)}"
         )
-    return crc_hqx(pack_words(words), _INIT)
+    try:
+        return crc_hqx(_BLOCK_PACK(*words), _INIT)
+    except struct.error:
+        # A word outside [0, 2**32): mask and pack the slow way.
+        return crc_hqx(pack_words(words), _INIT)

@@ -16,12 +16,29 @@ The window is never wider than the ring, so a bucket only ever holds
 one cycle's events, appended in schedule order; execution therefore
 preserves the exact ``(time, seq)`` order of the heap-based kernel and
 serial results stay bit-identical.
+
+Two kernels share this contract:
+
+* :class:`Scheduler` — the **flat kernel** (default).  Hot-path records
+  are stored *flat* inside the bucket list itself (two adjacent slots:
+  callback, args) so a ``post`` allocates nothing, and a min-heap of
+  occupied bucket times lets the drain cursor jump quiescent cycle
+  spans in O(log b) instead of walking empty buckets one by one.
+* :class:`LegacyScheduler` — the previous object/tuple kernel, kept
+  verbatim as the ``REPRO_FLAT_KERNEL=0`` escape hatch and as the
+  reference implementation for equivalence tests.
+
+:func:`make_scheduler` picks between them from the environment; both
+are asserted bit-identical across the full workload × protocol matrix
+in ``tests/integration/test_flat_kernel_identity.py``.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import os
+from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from .errors import SimulationError
@@ -32,22 +49,53 @@ from .errors import SimulationError
 #: window advances past them.
 RING_SIZE = 2048
 
+#: Batch-advance threshold K (flat kernel): a post due within K cycles
+#: is *dense* and costs nothing extra to schedule — the drain cursor
+#: finds it with a short bucket walk.  A post due further out is
+#: *sparse* and registers its bucket time in a small min-heap, so a
+#: quiescent span of more than K cycles is jumped with one heap pop
+#: instead of being probed bucket by bucket.
+DENSE_SPAN = 64
+
 
 class Event:
-    """Handle for a scheduled callback; supports cancellation."""
+    """Handle for a scheduled callback; supports cancellation.
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    The compatibility shell for cold paths: anything needing a handle
+    (cancellable timers, heartbeats) goes through :meth:`Scheduler.at`
+    / :meth:`Scheduler.after` and gets one of these; the hot no-handle
+    path (:meth:`Scheduler.post`) never allocates an ``Event``.
+    """
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., Any], args: tuple):
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sched")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+        sched: Optional["Scheduler"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        # Owning scheduler, so cancellation can keep the scheduler's
+        # cancelled-slot count exact for pending().  Cleared when the
+        # event is consumed (run or skipped) so a late cancel() on a
+        # dead handle cannot skew the count.
+        self._sched = sched
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sched = self._sched
+        if sched is not None:
+            sched._cancelled += 1
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -56,7 +104,24 @@ class Event:
 class Scheduler:
     """Deterministic discrete-event scheduler keyed by cycle count.
 
-    See the module docstring for the calendar-queue layout.  Invariants:
+    This is the **flat kernel**.  See the module docstring for the
+    calendar-queue layout.  Representation:
+
+    * a bucket is a flat list mixing two record shapes — a hot
+      ``post``/``post_at`` record occupies two adjacent slots
+      (``callback, args``; nothing is allocated to schedule it), while
+      a cold :meth:`at`/:meth:`after` record is a single
+      :class:`Event` slot.  The drain walk tells them apart with one
+      class check per record;
+    * ``_times`` is a min-heap of *sparse* bucket times — targets of
+      posts due more than :data:`DENSE_SPAN` cycles out (plus overflow
+      migrations).  Dense posts pay nothing; the drain cursor walks at
+      most ``DENSE_SPAN`` buckets (which provably covers every pending
+      dense record) and then batch-advances: one lazy heap pop jumps a
+      quiescent span of any length straight to the next occupied
+      sparse bucket.
+
+    Invariants:
 
     * every ring event's time lies in ``[now, window_end)`` and
       ``window_end - now <= ring_size``, so bucket ``time & mask`` is
@@ -64,7 +129,14 @@ class Scheduler:
       at least a full ring);
     * every overflow event's time is ``>= window_end``, so migrating
       the overflow in heap order appends each bucket's events in
-      ``(time, seq)`` order before any direct append can target it.
+      ``(time, seq)`` order before any direct append can target it;
+    * a pending record posted with delay ``<= DENSE_SPAN`` always lies
+      within ``DENSE_SPAN`` cycles of the current ``now`` (time only
+      advances after the post), so the bounded drain walk cannot miss
+      it; every record beyond the walk horizon was sparse when posted
+      (or was migrated from overflow into an empty bucket) and its
+      bucket time is in ``_times``.  Heap entries below the window
+      floor or naming an empty bucket are stale and safe to pop.
     """
 
     __slots__ = (
@@ -72,6 +144,8 @@ class Scheduler:
         "_mask",
         "_ring_size",
         "_ring_count",
+        "_cancelled",
+        "_times",
         "_overflow",
         "_window_end",
         "_counter",
@@ -88,11 +162,15 @@ class Scheduler:
     def __init__(self, ring_size: int = RING_SIZE) -> None:
         if ring_size <= 0 or ring_size & (ring_size - 1):
             raise SimulationError("ring_size must be a power of two")
-        self._ring: List[List[Event]] = [[] for _ in range(ring_size)]
+        self._ring: List[list] = [[] for _ in range(ring_size)]
         self._mask = ring_size - 1
         self._ring_size = ring_size
-        #: Events (including cancelled ones) currently in ring buckets.
+        #: Records (including cancelled ones) currently in ring buckets.
         self._ring_count = 0
+        #: Cancelled-but-not-yet-drained events (ring or overflow).
+        self._cancelled = 0
+        #: Min-heap of occupied bucket times (may hold stale entries).
+        self._times: List[int] = []
         self._overflow: List[Tuple[int, int, Event]] = []
         self._window_end = ring_size
         self._counter = itertools.count()
@@ -149,7 +227,392 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule event at {time}, current time is {self.now}"
             )
-        event = Event(time, next(self._counter), callback, args)
+        event = Event(time, next(self._counter), callback, args, self)
+        if time < self._window_end:
+            bucket = self._ring[time & self._mask]
+            if time - self.now > DENSE_SPAN and not bucket:
+                heappush(self._times, time)
+            bucket.append(event)
+            self._ring_count += 1
+        else:
+            heapq.heappush(self._overflow, (time, event.seq, event))
+        return event
+
+    def after(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self.now + delay, callback, *args)
+
+    def post(self, delay: int, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now, cheaply.
+
+        The no-handle, no-allocation fast path for hot call sites that
+        never cancel: an in-window record is stored *flat in the bucket
+        itself* as two adjacent slots (``callback``, ``args``) — no
+        :class:`Event`, no wrapper tuple, no sequence number (the
+        bucket's append order alone carries the tie-break, which is
+        exactly the insertion order the counter would have recorded).
+        Out-of-window posts fall back to a real overflow
+        :class:`Event`, whose heap ordering does need a sequence
+        number.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        if time < self._window_end:
+            bucket = self._ring[time & self._mask]
+            if delay > DENSE_SPAN and not bucket:
+                heappush(self._times, time)
+            bucket.append(callback)
+            bucket.append(args)
+            self._ring_count += 1
+        else:
+            event = Event(time, next(self._counter), callback, args, self)
+            heapq.heappush(self._overflow, (time, event.seq, event))
+
+    def post_at(self, time: int, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Schedule ``callback(*args)`` at absolute cycle ``time``, cheaply.
+
+        Absolute-time twin of :meth:`post`: same flat two-slot record
+        in-window, same overflow :class:`Event` fallback, same
+        no-cancellation contract; rejects times in the past exactly
+        like :meth:`at`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, current time is {self.now}"
+            )
+        if time < self._window_end:
+            bucket = self._ring[time & self._mask]
+            if time - self.now > DENSE_SPAN and not bucket:
+                heappush(self._times, time)
+            bucket.append(callback)
+            bucket.append(args)
+            self._ring_count += 1
+        else:
+            event = Event(time, next(self._counter), callback, args, self)
+            heapq.heappush(self._overflow, (time, event.seq, event))
+
+    def pending(self) -> int:
+        """Number of queued events still due to run.
+
+        Cancelled-but-undrained slots are excluded (the scheduler keeps
+        an exact count as they are cancelled and as the drain reaps
+        them), so a periodic check polling ``pending()`` to decide
+        whether to re-arm itself is not kept alive by dead timers.
+        """
+        return self._ring_count + len(self._overflow) - self._cancelled
+
+    def _locate(
+        self, limit: Optional[int] = None
+    ) -> Optional[Tuple[int, Optional[list]]]:
+        """Cursor to the next non-empty bucket, or None when drained.
+
+        Shared by :meth:`run` and :meth:`step`, so both paths advance
+        ``now``, skip cancelled events, and count ``events_processed``
+        identically.  Does not consume events.  The bucket walk is
+        bounded: after :data:`DENSE_SPAN` empty probes (which provably
+        cover every pending dense record) the cursor batch-advances
+        through the ``_times`` heap of sparse bucket times (stale heads
+        — entries below the window floor or naming since-emptied
+        buckets — are popped lazily), so a long quiescent span is
+        jumped in one heap operation rather than probed bucket by
+        bucket.  When the ring is empty
+        the window jumps to the earliest overflow event and every
+        overflow event inside the new window migrates into the ring (in
+        heap order, preserving ``(time, seq)``) — except that with a
+        ``limit`` the jump is *not* committed when the earliest event
+        lies beyond it: ``(time, None)`` is returned instead, leaving
+        the window consistent with ``now`` for the caller's early
+        return.  The floor for genuine entries is the window's base,
+        not ``now``, because right after a jump the window begins in
+        the future and an entry at ``now`` could name a bucket under a
+        time label one ring-period early.
+        """
+        ring = self._ring
+        mask = self._mask
+        overflow = self._overflow
+        times = self._times
+        while True:
+            if self._ring_count:
+                floor = self._window_end - self._ring_size
+                if self.now > floor:
+                    floor = self.now
+                t = floor
+                bucket = ring[t & mask]
+                if bucket:
+                    return t, bucket
+                # Bounded dense walk.  The horizon is clamped to the
+                # window so a tiny ring can never wrap onto an aliased
+                # time label mid-walk.
+                horizon = t + DENSE_SPAN
+                end = self._window_end - 1
+                if horizon > end:
+                    horizon = end
+                while t < horizon:
+                    t += 1
+                    bucket = ring[t & mask]
+                    if bucket:
+                        return t, bucket
+                # Batch advance: everything pending is sparse, so the
+                # next occupied bucket's time is in the heap.
+                while True:
+                    t = times[0]
+                    if t > horizon:
+                        bucket = ring[t & mask]
+                        if bucket:
+                            return t, bucket
+                    heappop(times)
+            if not overflow:
+                # Re-anchor the (empty) window at ``now`` so times in
+                # [now, now + ring) bucket unambiguously again even if
+                # a jump had pushed the window into the far future.
+                self._window_end = self.now + self._ring_size
+                del times[:]
+                return None
+            first = overflow[0][0]
+            if limit is not None and first > limit:
+                return first, None
+            end = first + self._ring_size
+            self._window_end = end
+            pop = heapq.heappop
+            count = 0
+            while overflow and overflow[0][0] < end:
+                time, _seq, event = pop(overflow)
+                bucket = ring[time & mask]
+                if not bucket:
+                    heappush(times, time)
+                bucket.append(event)
+                count += 1
+            self._ring_count += count
+            if self._obs_on:
+                self._obs_window_jumps += 1
+                self._obs_migrations += count
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False if the queue is empty."""
+        while True:
+            located = self._locate()
+            if located is None:
+                return False
+            t, bucket = located
+            assert bucket is not None  # no limit passed
+            i = 0
+            n = len(bucket)
+            while i < n:
+                record = bucket[i]
+                if record.__class__ is not Event:
+                    args = bucket[i + 1]
+                    i += 2
+                    self._ring_count -= 1
+                    del bucket[:i]
+                    self.now = t
+                    self._events_processed += 1
+                    record(*args)
+                    return True
+                i += 1
+                self._ring_count -= 1
+                record._sched = None
+                if record.cancelled:
+                    self._cancelled -= 1
+                    continue
+                del bucket[:i]
+                self.now = t
+                self._events_processed += 1
+                record.callback(*record.args)
+                return True
+            del bucket[:n]
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_events: Optional[int] = None,
+        stop_interval: int = 1,
+    ) -> None:
+        """Run events until the queue drains or a bound is hit.
+
+        This is the simulator's innermost loop (tens of thousands of
+        iterations per run): buckets are drained with a plain index
+        walk over the flat records, and cancelled events are skipped
+        without touching ``now`` or the counters.
+
+        Args:
+            until: stop once simulated time would exceed this cycle.
+            stop_when: predicate polled after events; stops when true.
+            max_events: hard cap on the number of callbacks executed
+                (guards against runaway simulations in tests).
+            stop_interval: poll ``stop_when`` only every N executed
+                events (default 1 = every event).  Lets callers hoist a
+                cheap-but-not-free predicate out of the per-event path.
+        """
+        locate = self._locate
+        ring = self._ring
+        mask = self._mask
+        ring_size = self._ring_size
+        # Countdown twin of ``done % stop_interval == 0`` — one
+        # decrement-and-test per event instead of a modulo.
+        poll_in = stop_interval
+        # ``events_processed`` is flushed from this local at bucket
+        # boundaries and on every exit (the ``finally`` covers early
+        # returns, the max_events raise, and callback exceptions);
+        # nothing observes the counter mid-run, so batching it off the
+        # per-event path is free.  ``_ring_count`` by contrast *is*
+        # decremented per record: callbacks may poll ``pending()`` and
+        # must never see already-run events, matching the old heap
+        # kernel's pop-then-execute accounting.
+        done = 0
+        try:
+            while True:
+                # Inline bucket cursor: ``_locate``'s dense probe
+                # without the call — at ~2 events per bucket the
+                # call-and-rehoist overhead is measurable.  Sparse
+                # batch-advance, window jumps, and the drained case
+                # fall back to the full ``_locate``.
+                bucket = None
+                if self._ring_count:
+                    floor = self._window_end - ring_size
+                    now = self.now
+                    t = floor if floor > now else now
+                    bucket = ring[t & mask]
+                    if not bucket:
+                        horizon = t + DENSE_SPAN
+                        end = self._window_end - 1
+                        if horizon > end:
+                            horizon = end
+                        while t < horizon:
+                            t += 1
+                            bucket = ring[t & mask]
+                            if bucket:
+                                break
+                        else:
+                            bucket = None
+                if bucket is None:
+                    located = locate(until)
+                    if located is None:
+                        return
+                    t, bucket = located
+                if until is not None and t > until:
+                    self.now = until
+                    return
+                i = 0
+                # ``n`` is re-sampled only when the walk catches up with
+                # it: same-cycle posts append to the bucket being
+                # drained, so the bound grows mid-walk, but re-checking
+                # len() at the catch-up point (instead of per record) is
+                # enough to notice — callbacks are the only appenders
+                # and every path through the loop body funnels back
+                # here.  Appends are whole records, so ``i`` and ``n``
+                # always land on record boundaries.
+                n = len(bucket)
+                if self._obs_on:
+                    self._obs_buckets += 1
+                    self._obs_bucket_events += n
+                    if n > self._obs_bucket_max:
+                        self._obs_bucket_max = n
+                while True:
+                    if i == n:
+                        n = len(bucket)
+                        if i == n:
+                            break
+                    record = bucket[i]
+                    if record.__class__ is not Event:
+                        args = bucket[i + 1]
+                        i += 2
+                        self._ring_count -= 1
+                        self.now = t
+                        done += 1
+                        record(*args)
+                    else:
+                        i += 1
+                        self._ring_count -= 1
+                        record._sched = None
+                        if record.cancelled:
+                            self._cancelled -= 1
+                            continue
+                        self.now = t
+                        done += 1
+                        record.callback(*record.args)
+                    poll_in -= 1
+                    if poll_in == 0:
+                        poll_in = stop_interval
+                        if stop_when is not None and stop_when():
+                            del bucket[:i]
+                            return
+                    if max_events is not None and done >= max_events:
+                        del bucket[:i]
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} at cycle {self.now}"
+                        )
+                del bucket[:]
+        finally:
+            self._events_processed += done
+
+
+class LegacyScheduler:
+    """The pre-flat object/tuple calendar-queue kernel.
+
+    Kept as the ``REPRO_FLAT_KERNEL=0`` escape hatch and as the
+    object-``Event`` reference implementation for equivalence tests:
+    hot ``post`` records are ``(callback, args)`` wrapper tuples, the
+    drain cursor walks empty buckets one cycle at a time, and all
+    counters are maintained per event.  Behaviour (event order, time
+    labels, ``pending()``, ``events_processed``) is bit-identical to
+    :class:`Scheduler`.
+    """
+
+    __slots__ = (
+        "_ring",
+        "_mask",
+        "_ring_size",
+        "_ring_count",
+        "_cancelled",
+        "_overflow",
+        "_window_end",
+        "_counter",
+        "now",
+        "_events_processed",
+        "_obs_on",
+        "_obs_buckets",
+        "_obs_bucket_events",
+        "_obs_bucket_max",
+        "_obs_migrations",
+        "_obs_window_jumps",
+    )
+
+    def __init__(self, ring_size: int = RING_SIZE) -> None:
+        if ring_size <= 0 or ring_size & (ring_size - 1):
+            raise SimulationError("ring_size must be a power of two")
+        self._ring: List[list] = [[] for _ in range(ring_size)]
+        self._mask = ring_size - 1
+        self._ring_size = ring_size
+        self._ring_count = 0
+        self._cancelled = 0
+        self._overflow: List[Tuple[int, int, Event]] = []
+        self._window_end = ring_size
+        self._counter = itertools.count()
+        self.now = 0
+        self._events_processed = 0
+        self._obs_on = False
+        self._obs_buckets = 0
+        self._obs_bucket_events = 0
+        self._obs_bucket_max = 0
+        self._obs_migrations = 0
+        self._obs_window_jumps = 0
+
+    events_processed = Scheduler.events_processed
+    attach_obs = Scheduler.attach_obs
+    obs_snapshot = Scheduler.obs_snapshot
+    pending = Scheduler.pending
+
+    def at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {time}, current time is {self.now}"
+            )
+        event = Event(time, next(self._counter), callback, args, self)
         if time < self._window_end:
             self._ring[time & self._mask].append(event)
             self._ring_count += 1
@@ -161,26 +624,13 @@ class Scheduler:
         """Schedule ``callback(*args)`` ``delay`` cycles from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        time = self.now + delay
-        event = Event(time, next(self._counter), callback, args)
-        if time < self._window_end:
-            self._ring[time & self._mask].append(event)
-            self._ring_count += 1
-        else:
-            heapq.heappush(self._overflow, (time, event.seq, event))
-        return event
+        return self.at(self.now + delay, callback, *args)
 
     def post(self, delay: int, callback: Callable[..., Any], args: tuple = ()) -> None:
-        """Schedule ``callback(*args)`` ``delay`` cycles from now, cheaply.
-
-        The no-handle fast path for hot call sites that never cancel:
-        in-window events are stored as bare ``(callback, args)`` tuples
-        (no :class:`Event` allocation, no sequence number — the bucket's
-        append order alone carries the tie-break, which is exactly the
-        insertion order the counter would have recorded).  Out-of-window
-        posts fall back to a real overflow :class:`Event`, whose heap
-        ordering does need a sequence number.
-        """
+        """No-handle fast path: in-window records are bare
+        ``(callback, args)`` tuples (no :class:`Event`, no sequence
+        number); out-of-window posts fall back to an overflow
+        :class:`Event`."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         time = self.now + delay
@@ -188,11 +638,11 @@ class Scheduler:
             self._ring[time & self._mask].append((callback, args))
             self._ring_count += 1
         else:
-            event = Event(time, next(self._counter), callback, args)
+            event = Event(time, next(self._counter), callback, args, self)
             heapq.heappush(self._overflow, (time, event.seq, event))
 
     def post_at(self, time: int, callback: Callable[..., Any], args: tuple = ()) -> None:
-        """Absolute-time twin of :meth:`post` (see :meth:`at`)."""
+        """Absolute-time twin of :meth:`post` (past times rejected)."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule event at {time}, current time is {self.now}"
@@ -201,32 +651,14 @@ class Scheduler:
             self._ring[time & self._mask].append((callback, args))
             self._ring_count += 1
         else:
-            event = Event(time, next(self._counter), callback, args)
+            event = Event(time, next(self._counter), callback, args, self)
             heapq.heappush(self._overflow, (time, event.seq, event))
-
-    def pending(self) -> int:
-        """Number of queued (possibly cancelled) events."""
-        return self._ring_count + len(self._overflow)
 
     def _locate(
         self, limit: Optional[int] = None
-    ) -> Optional[Tuple[int, Optional[List[Event]]]]:
-        """Cursor to the next non-empty bucket, or None when drained.
-
-        Shared by :meth:`run` and :meth:`step`, so both paths advance
-        ``now``, skip cancelled events, and count ``events_processed``
-        identically.  Does not consume events.  When the ring is empty
-        the window jumps to the earliest overflow event and every
-        overflow event inside the new window migrates into the ring (in
-        heap order, preserving ``(time, seq)``) — except that with a
-        ``limit`` the jump is *not* committed when the earliest event
-        lies beyond it: ``(time, None)`` is returned instead, leaving
-        the window consistent with ``now`` for the caller's early
-        return.  The bucket scan starts at the window's base, not at
-        ``now``, because right after a jump the window begins in the
-        future and scanning from ``now`` could find a bucket under a
-        time label one ring-period early.
-        """
+    ) -> Optional[Tuple[int, Optional[list]]]:
+        """Cursor to the next non-empty bucket, walking the ring one
+        cycle at a time (see :meth:`Scheduler._locate` for contract)."""
         ring = self._ring
         mask = self._mask
         overflow = self._overflow
@@ -242,9 +674,6 @@ class Scheduler:
                     bucket = ring[t & mask]
                 return t, bucket
             if not overflow:
-                # Re-anchor the (empty) window at ``now`` so times in
-                # [now, now + ring) bucket unambiguously again even if
-                # a jump had pushed the window into the far future.
                 self._window_end = self.now + self._ring_size
                 return None
             first = overflow[0][0]
@@ -283,7 +712,9 @@ class Scheduler:
                     self._events_processed += 1
                     event[0](*event[1])
                     return True
+                event._sched = None
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
                 del bucket[:i]
                 self.now = t
@@ -299,26 +730,10 @@ class Scheduler:
         max_events: Optional[int] = None,
         stop_interval: int = 1,
     ) -> None:
-        """Run events until the queue drains or a bound is hit.
-
-        This is the simulator's innermost loop (tens of thousands of
-        iterations per run): buckets are drained with a plain index
-        walk, and cancelled events are skipped without touching ``now``
-        or the counters.
-
-        Args:
-            until: stop once simulated time would exceed this cycle.
-            stop_when: predicate polled after events; stops when true.
-            max_events: hard cap on the number of callbacks executed
-                (guards against runaway simulations in tests).
-            stop_interval: poll ``stop_when`` only every N executed
-                events (default 1 = every event).  Lets callers hoist a
-                cheap-but-not-free predicate out of the per-event path.
-        """
+        """Run events until the queue drains or a bound is hit
+        (contract identical to :meth:`Scheduler.run`)."""
         locate = self._locate
         executed = 0
-        # Countdown twin of ``executed % stop_interval == 0`` — one
-        # decrement-and-test per event instead of a modulo.
         poll_in = stop_interval
         while True:
             located = locate(until)
@@ -328,18 +743,7 @@ class Scheduler:
             if until is not None and t > until:
                 self.now = until
                 return
-            # Each event is decounted as it is consumed (not when the
-            # bucket is finally cleared) so a callback that polls
-            # ``pending()`` — e.g. a periodic check deciding whether to
-            # re-arm itself — never sees already-run events, matching
-            # the old heap kernel's pop-then-execute accounting.
             i = 0
-            # ``n`` is re-sampled only when the walk catches up with it:
-            # same-cycle posts append to the bucket being drained, so
-            # the bound grows mid-walk, but re-checking len() at the
-            # catch-up point (instead of per event) is enough to
-            # notice — callbacks are the only appenders and every path
-            # through the loop body funnels back here.
             n = len(bucket)
             if self._obs_on:
                 self._obs_buckets += 1
@@ -360,7 +764,9 @@ class Scheduler:
                     executed += 1
                     event[0](*event[1])
                 else:
+                    event._sched = None
                     if event.cancelled:
+                        self._cancelled -= 1
                         continue
                     self.now = t
                     self._events_processed += 1
@@ -378,3 +784,17 @@ class Scheduler:
                         f"exceeded max_events={max_events} at cycle {self.now}"
                     )
             del bucket[:]
+
+
+def make_scheduler(ring_size: int = RING_SIZE):
+    """Build the kernel selected by ``REPRO_FLAT_KERNEL``.
+
+    The flat kernel is the default; setting ``REPRO_FLAT_KERNEL=0``
+    swaps in :class:`LegacyScheduler` — the escape hatch CI and the
+    equivalence tests use to pin down bit-identity between the two.
+    The variable is read per call so tests can flip kernels without
+    re-importing the world.
+    """
+    if os.environ.get("REPRO_FLAT_KERNEL", "1") == "0":
+        return LegacyScheduler(ring_size)
+    return Scheduler(ring_size)

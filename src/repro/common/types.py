@@ -119,13 +119,15 @@ class CoherenceState(enum.Enum):
     __hash__ = object.__hash__  # singleton members; see OpType
 
     def can_read(self) -> bool:
-        return self in (CoherenceState.M, CoherenceState.O, CoherenceState.S)
+        # Everything but I is readable; the identity check avoids
+        # building a members tuple per call on the per-access path.
+        return self is not CoherenceState.I
 
     def can_write(self) -> bool:
         return self is CoherenceState.M
 
     def is_owner(self) -> bool:
-        return self in (CoherenceState.M, CoherenceState.O)
+        return self is CoherenceState.M or self is CoherenceState.O
 
 
 class EpochType(enum.Enum):

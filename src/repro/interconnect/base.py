@@ -49,6 +49,13 @@ class Network(ABC):
         self.messages_sent = 0
         self.deliveries_coalesced = 0
         self._coalesce_key = f"net.{name}.coalesced_deliveries"
+        # Interned hot-path targets: every message delivery goes through
+        # deliver_at, and subclasses charge per-link byte counters per
+        # hop.
+        self._post = scheduler.post
+        self._post_at = scheduler.post_at
+        self._incr = stats.incr
+        self._cb_deliver_batch = self._deliver_batch
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         """Attach the handler receiving messages addressed to ``node``."""
@@ -123,10 +130,10 @@ class Network(ABC):
         if batch is not None:
             batch.append(message)
             self.deliveries_coalesced += 1
-            self.stats.incr(self._coalesce_key)
+            self._incr(self._coalesce_key)
             return
         self._pending_batches[key] = batch = [message]
-        self.scheduler.post_at(time, self._deliver_batch, (key, batch))
+        self._post_at(time, self._cb_deliver_batch, (key, batch))
 
     def _deliver_batch(self, key: Tuple[int, int], batch: List[Message]) -> None:
         del self._pending_batches[key]

@@ -76,6 +76,10 @@ class TorusNetwork(Network):
         self._links_fast: Dict[int, _Link] = {}
         self._ser_memo: Dict[int, int] = {}
         self._hop_fixed = config.link_latency + config.switch_latency
+        # Interned bound method: multi-hop messages re-post _hop once
+        # per intermediate hop, and binding it fresh each time costs an
+        # allocation on the hot path.
+        self._cb_hop = self._hop
 
     # Topology helpers ---------------------------------------------------
     def _coords(self, node: int) -> Tuple[int, int]:
@@ -159,14 +163,14 @@ class TorusNetwork(Network):
         if start < now:
             start = now
         link.free_at = start + ser
-        self.stats.incr(link.key, size)
+        self._incr(link.key, size)
         arrival_delay = (start - now) + ser + self._hop_fixed
         if nxt == dst:
             # Final hop: coalesce with other same-cycle arrivals at the
             # destination so each (node, cycle) costs one event.
             self.deliver_at(now + arrival_delay, msg)
         else:
-            self.scheduler.post(arrival_delay, self._hop, (msg, nxt))
+            self._post(arrival_delay, self._cb_hop, (msg, nxt))
 
     # Introspection ------------------------------------------------------
     def obs_snapshot(self) -> dict:

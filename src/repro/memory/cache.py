@@ -94,7 +94,14 @@ class CacheArray:
     def lookup(self, addr: int) -> Optional[CacheLine]:
         """Line holding ``addr`` in any valid state, updating LRU."""
         base = addr & self._block_mask
-        cache_set = self._sets[self._set_index(base)]
+        # _set_index inlined (power-of-two fast path): lookup/peek run
+        # once per access and the call overhead is measurable.
+        set_mask = self._set_mask
+        cache_set = self._sets[
+            (base >> self._shift) & set_mask
+            if set_mask is not None
+            else self._set_index(base)
+        ]
         line = cache_set.get(base) if cache_set is not None else None
         if line is not None and line.state is not CoherenceState.I:
             self._use_clock += 1
@@ -102,10 +109,25 @@ class CacheArray:
             return line
         return None
 
+    def touch(self, line: CacheLine) -> None:
+        """Refresh LRU recency for a line already in hand.
+
+        Equivalent to the LRU side-effect of :meth:`lookup` without
+        re-running the set walk; callers must pass a line this array
+        returned from a prior lookup/peek.
+        """
+        self._use_clock += 1
+        line.last_used = self._use_clock
+
     def peek(self, addr: int) -> Optional[CacheLine]:
         """Like :meth:`lookup` but without touching LRU state."""
         base = addr & self._block_mask
-        cache_set = self._sets[self._set_index(base)]
+        set_mask = self._set_mask
+        cache_set = self._sets[
+            (base >> self._shift) & set_mask
+            if set_mask is not None
+            else self._set_index(base)
+        ]
         line = cache_set.get(base) if cache_set is not None else None
         if line is not None and line.state is not CoherenceState.I:
             return line

@@ -23,6 +23,7 @@ checker then independently verifies the result.
 from __future__ import annotations
 
 from collections import deque
+from itertools import islice
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.common.events import Scheduler
@@ -60,14 +61,33 @@ class OpRec:
         "ord_row",
         "ord_si",
         "wb_veto",
+        "blocker",
+        "poll_args",
     )
 
     def __init__(self, seq: int, op) -> None:
         self.seq = seq
-        self.op_type: OpType = op.op_type
-        self.addr = getattr(op, "addr", 0)
-        self.value = getattr(op, "value", None)
-        self.mask: MembarMask = getattr(op, "mask", MembarMask.ALL)
+        kind: OpType = op.op_type
+        self.op_type = kind
+        # Per-kind field pick-up: the old getattr(op, ..., default)
+        # triple costs three C calls per decoded op; every kind's field
+        # set is statically known.
+        if kind is OpType.LOAD:
+            self.addr = op.addr
+            self.value = None
+            self.mask = MembarMask.ALL
+        elif kind is OpType.STORE or kind is OpType.ATOMIC:
+            self.addr = op.addr
+            self.value = op.value
+            self.mask = MembarMask.ALL
+        elif kind is OpType.MEMBAR:
+            self.addr = 0
+            self.value = None
+            self.mask = op.mask
+        else:  # STBAR
+            self.addr = 0
+            self.value = None
+            self.mask = MembarMask.ALL
         self.executed = False
         self.bound_value: Optional[int] = None
         self.committed = False
@@ -83,6 +103,18 @@ class OpRec:
         self.ord_row: List[bool] = []
         self.ord_si = 0
         self.wb_veto = False
+        #: Poll-loop memo: the ordering-table scan's last hit.  While
+        #: the cached record is still unperformed the scan's verdict
+        #: cannot have changed (seq and ord_row are immutable), so the
+        #: next poll skips the walk.  Never holds a STORE — under a
+        #: write-buffer model stores can retire unperformed and their
+        #: ``performed`` flag then never flips.
+        self.blocker: Optional["OpRec"] = None
+        #: Shared ``(self,)`` args tuple for every post that targets
+        #: this record — poll loops re-post dozens of times per op and
+        #: each fresh tuple is allocator traffic.  (The self-reference
+        #: makes the record a GC cycle; records are few and short-lived.)
+        self.poll_args = (self,)
 
 
 class Core:
@@ -115,6 +147,11 @@ class Core:
         )
 
         self._inflight: Deque[OpRec] = deque()
+        # Committed entries form a strict prefix of ``_inflight`` (commit
+        # is in order and stops at the first stall); this cursor lets
+        # ``_try_commit`` resume at the first uncommitted record instead
+        # of rescanning the prefix every pump.
+        self._ncommitted = 0
         self._verify_q: Deque[OpRec] = deque()
         self._next_seq = 0
         self._spec_loads: Dict[int, List[OpRec]] = {}
@@ -134,6 +171,29 @@ class Core:
         self._rob_size = config.processor.rob_size
         self._fetch_width = max(1, config.processor.fetch_width)
         self._decode_delay_single = 1 + 1 // self._fetch_width
+        # Interned bound methods for hot post sites: the poll loops
+        # (atomics, SC stores, barrier/load perform gates) and the
+        # advance/execute/pump chain re-post these thousands of times
+        # per run, and a fresh bound-method object per post is pure
+        # allocator churn.
+        # Interned unbound targets: ``self.scheduler.post`` /
+        # ``self.stats.incr`` cost two attribute hops per call; one
+        # interned lookup serves the ~14 calls made per simulated event.
+        self._post = scheduler.post
+        self._incr = stats.incr
+        self._cb_advance = self._advance
+        self._cb_execute = self._execute
+        self._cb_execute_load = self._execute_load
+        self._cb_execute_atomic = self._execute_atomic
+        self._cb_perform_load = self._perform_load_when_final
+        self._cb_sc_issue_store = self._sc_issue_store
+        self._cb_barrier = self._perform_barrier_when_ready
+        self._cb_replay_load = self._replay_load
+        self._cb_verify_trivial = self._verify_trivial
+        self._cb_pump = self._pump
+        self._cb_may_drain = self._may_drain
+        self._cb_decode_one = self._decode_one
+        self._cb_decode_group = self._decode_group
 
         uses_wb = self.model is not ConsistencyModel.SC
         self.wb: Optional[WriteBuffer] = (
@@ -164,7 +224,7 @@ class Core:
         if self._started:
             return
         self._started = True
-        self.scheduler.post(0, self._advance, (None,))
+        self._post(0, self._cb_advance, (None,))
 
     def _advance(self, result) -> None:
         """Feed the previous result to the program; decode what it yields."""
@@ -175,18 +235,25 @@ class Core:
             self._kick()
             return
         self.last_progress_cycle = self.scheduler.now
-        if isinstance(yielded, Compute):
-            self.stats.incr(self._stat_compute, yielded.cycles)
-            self.scheduler.post(max(1, yielded.cycles), self._advance, (None,))
+        # One isinstance against the control-op tuple keeps the common
+        # shape — a bare memory op — at a single type check and no
+        # wrapper list.
+        if isinstance(yielded, (Compute, SetModel, Batch)):
+            if isinstance(yielded, Compute):
+                self._incr(self._stat_compute, yielded.cycles)
+                self._post(
+                    max(1, yielded.cycles), self._cb_advance, (None,)
+                )
+            elif isinstance(yielded, SetModel):
+                self._switch_model(yielded.model)
+            else:
+                ops = yielded.ops
+                if ops:
+                    self._decode_group(ops, is_batch=True)
+                else:
+                    self._post(1, self._cb_advance, (None,))
             return
-        if isinstance(yielded, SetModel):
-            self._switch_model(yielded.model)
-            return
-        ops = yielded.ops if isinstance(yielded, Batch) else [yielded]
-        if not ops:
-            self.scheduler.post(1, self._advance, (None,))
-            return
-        self._decode_group(ops, is_batch=isinstance(yielded, Batch))
+        self._decode_one(yielded)
 
     def _switch_model(self, model: ConsistencyModel) -> None:
         """Drain the pipeline, then adopt ``model``'s ordering rules.
@@ -205,7 +272,7 @@ class Core:
         )
         if not drained:
             self._kick()
-            self.scheduler.post(4, self._switch_model, (model,))
+            self._post(4, self._switch_model, (model,))
             return
         self.model = model
         self.table = table_for(model)
@@ -231,13 +298,33 @@ class Core:
         if self.uo is not None:
             self.uo.rmo_mode = not model.requires_load_order
             self.uo.flush_clean_entries()
-        self.stats.incr(f"{self._stat}.model_switches")
-        self.scheduler.post(2, self._advance, (None,))
+        self._incr(f"{self._stat}.model_switches")
+        self._post(2, self._cb_advance, (None,))
+
+    def _decode_one(self, op) -> None:
+        """Decode a bare (non-batch) operation — the common shape."""
+        if len(self._inflight) >= self._rob_size:
+            # ROB full: retry when retirement frees entries.
+            self._post(2, self._cb_decode_one, (op,))
+            return
+        rec = OpRec(self._next_seq, op)
+        self._next_seq += 1
+        kind = rec.op_type
+        rec.ord_row, rec.ord_si = self.table.op_role(kind, rec.mask)
+        rec.wb_veto = (
+            kind is OpType.LOAD
+            or kind is OpType.MEMBAR
+            or kind is OpType.STBAR
+        ) and rec.ord_row[self._store_si]
+        self._inflight.append(rec)
+        self._incr(self._ops_stat[kind])
+        rec.release = self._release_single
+        self._post(self._decode_delay_single, self._cb_execute, rec.poll_args)
 
     def _decode_group(self, ops: List, is_batch: bool) -> None:
         if len(self._inflight) + len(ops) > self._rob_size:
             # ROB full: retry when retirement frees entries.
-            self.scheduler.post(2, self._decode_group, (ops, is_batch))
+            self._post(2, self._cb_decode_group, (ops, is_batch))
             return
         recs = []
         table = self.table
@@ -254,7 +341,7 @@ class Core:
             ) and rec.ord_row[self._store_si]
             self._inflight.append(rec)
             recs.append(rec)
-            self.stats.incr(ops_stat[kind])
+            self._incr(ops_stat[kind])
 
         if not is_batch and len(recs) == 1:
             # Singleton group (the overwhelmingly common shape): the
@@ -262,7 +349,7 @@ class Core:
             # no countdown cell, no per-rec closure.
             rec = recs[0]
             rec.release = self._release_single
-            self.scheduler.post(self._decode_delay_single, self._execute, (rec,))
+            self._post(self._decode_delay_single, self._cb_execute, rec.poll_args)
             return
 
         results: List[Optional[int]] = [None] * len(recs)
@@ -273,17 +360,17 @@ class Core:
             remaining[0] -= 1
             if remaining[0] == 0:
                 out = results if is_batch else results[0]
-                self.scheduler.post(1, self._advance, (out,))
+                self._post(1, self._cb_advance, (out,))
 
         for index, rec in enumerate(recs):
             rec.release = lambda v, i=index: release_one(i, v)
         decode_delay = 1 + len(ops) // self._fetch_width
         for rec in recs:
-            self.scheduler.post(decode_delay, self._execute, (rec,))
+            self._post(decode_delay, self._cb_execute, rec.poll_args)
 
     def _release_single(self, value: Optional[int]) -> None:
         """Release path for singleton decode groups."""
-        self.scheduler.post(1, self._advance, (value,))
+        self._post(1, self._cb_advance, (value,))
 
     # ------------------------------------------------------------------
     # Execute stage
@@ -310,13 +397,15 @@ class Core:
     def _lsq_forward(self, rec: OpRec) -> Optional[int]:
         """Forward from an older in-flight (not yet buffered) store."""
         word = word_of(rec.addr)
+        seq = rec.seq
         value = None
         for other in self._inflight:
-            if other.seq >= rec.seq:
+            if other.seq >= seq:
                 break
+            kind = other.op_type
             if (
                 not other.performed  # performed stores live in the cache
-                and other.op_type in (OpType.STORE, OpType.ATOMIC)
+                and (kind is OpType.STORE or kind is OpType.ATOMIC)
                 and word_of(other.addr) == word
             ):
                 value = other.value
@@ -349,7 +438,7 @@ class Core:
             if self._can_perform(rec):
                 self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
             else:
-                self.scheduler.post(2, self._execute_load, (rec,))
+                self._post(2, self._cb_execute_load, rec.poll_args)
 
     def _load_bound(self, rec: OpRec, value: int) -> None:
         if self.uo is not None:
@@ -359,7 +448,7 @@ class Core:
         if self.fault_load_value_xor is not None:
             value ^= self.fault_load_value_xor
             self.fault_load_value_xor = None
-            self.stats.incr(f"{self._stat}.injected_load_faults")
+            self._incr(f"{self._stat}.injected_load_faults")
         rec.executed = True
         rec.bound_value = value
         if not self.model.requires_load_order:
@@ -375,17 +464,36 @@ class Core:
 
     def _execute_atomic(self, rec: OpRec) -> None:
         # Atomics satisfy both load and store ordering constraints and
-        # access the cache directly (never buffered).  Both gates are
+        # access the cache directly (never buffered).  All gates are
         # pure predicates; the cheap write-buffer check goes first so a
         # backed-up buffer short-circuits the ordering-table scan.
-        # (Inlined ``wb.empty`` — this is the per-poll retry gate and a
-        # property call per poll is measurable.)
+        # (``wb.empty`` and ``_can_perform`` are inlined — this is the
+        # hottest poll loop in the core, and a property or method call
+        # per poll is measurable.  With the write buffer known empty,
+        # ``_can_perform``'s has_store_older_than branch is trivially
+        # false; only the SC-store flag and the inflight scan remain.)
         wb = self.wb
-        if (
-            wb is not None and (wb._entries or wb._outstanding)
-        ) or not self._can_perform(rec):
-            self.scheduler.post(2, self._execute_atomic, (rec,))
+        si = rec.ord_si
+        if (wb is not None and (wb._entries or wb._outstanding)) or (
+            self._sc_store_outstanding and self._store_row[si]
+        ):
+            self._post(2, self._cb_execute_atomic, rec.poll_args)
             return
+        blocker = rec.blocker
+        if blocker is not None:
+            if not blocker.performed:
+                self._post(2, self._cb_execute_atomic, rec.poll_args)
+                return
+            rec.blocker = None
+        seq = rec.seq
+        for other in self._inflight:
+            if other.seq >= seq:
+                break
+            if not other.performed and other.ord_row[si]:
+                if other.op_type is not OpType.STORE:
+                    rec.blocker = other
+                self._post(2, self._cb_execute_atomic, rec.poll_args)
+                return
         self.controller.atomic(
             rec.addr, rec.value, lambda old: self._atomic_done(rec, old)
         )
@@ -407,13 +515,14 @@ class Core:
     # Commit stage (in order)
     # ------------------------------------------------------------------
     def _try_commit(self) -> None:
-        for rec in self._inflight:
-            if rec.committed:
-                continue
-            if not rec.executed:
+        inflight = self._inflight
+        n = self._ncommitted
+        if n >= len(inflight):
+            return
+        for rec in islice(inflight, n, None):
+            if not rec.executed or not self._commit_one(rec):
                 return
-            if not self._commit_one(rec):
-                return
+            self._ncommitted += 1
 
     def _commit_one(self, rec: OpRec) -> bool:
         kind = rec.op_type
@@ -424,7 +533,7 @@ class Core:
                     self._sc_issue_store(rec)
             else:
                 if self.wb.full:
-                    self.stats.incr(f"{self._stat}.wb_full_stalls")
+                    self._incr(f"{self._stat}.wb_full_stalls")
                     return False
                 entry = self.wb.insert(rec.seq, rec.addr, rec.value)
                 if self.uo is None:
@@ -464,11 +573,11 @@ class Core:
         if rec.performed:
             return
         if not self._can_perform(rec):
-            self.scheduler.post(2, self._perform_load_when_final, (rec,))
+            self._post(2, self._cb_perform_load, rec.poll_args)
             return
         if rec.squashed:
             rec.squashed = False
-            self.stats.incr(f"{self._stat}.load_squashes")
+            self._incr(f"{self._stat}.load_squashes")
             self._stall_until = self.scheduler.now + SQUASH_PENALTY
 
             def rebound(value: int) -> None:
@@ -484,7 +593,7 @@ class Core:
 
     def _sc_issue_store(self, rec: OpRec) -> None:
         if self._sc_store_outstanding or not self._can_perform(rec):
-            self.scheduler.post(2, self._sc_issue_store, (rec,))
+            self._post(2, self._cb_sc_issue_store, rec.poll_args)
             return
         self._sc_store_outstanding = True
 
@@ -552,7 +661,7 @@ class Core:
         if done:
             self._kick()
         if done < len(run):
-            self.stats.incr(f"{self._stat}.vc_full_stalls")
+            self._incr(f"{self._stat}.vc_full_stalls")
             self._schedule_verify_retry(4)
             return False
         return True
@@ -566,7 +675,7 @@ class Core:
                 return False
         if kind is OpType.STORE:
             if not self.uo.commit_store(rec.seq, rec.addr, rec.value):
-                self.stats.incr(f"{self._stat}.vc_full_stalls")
+                self._incr(f"{self._stat}.vc_full_stalls")
                 self._schedule_verify_retry(4)
                 return False
             self._verify_q.popleft()
@@ -582,10 +691,10 @@ class Core:
             self._verify_slot_delay() + self.config.dvmc.verification_stage_latency
         )
         if kind is OpType.LOAD:
-            self.scheduler.post(delay, self._replay_load, (rec,))
+            self._post(delay, self._cb_replay_load, rec.poll_args)
         else:
             # MEMBAR / STBAR / ATOMIC: no replay action.
-            self.scheduler.post(delay, self._verify_trivial, (rec,))
+            self._post(delay, self._cb_verify_trivial, rec.poll_args)
         return True
 
     def _schedule_verify_retry(self, delay: int) -> None:
@@ -597,7 +706,7 @@ class Core:
             self._verify_retry_scheduled = False
             self._pump_verify()
 
-        self.scheduler.post(delay, fire)
+        self._post(delay, fire)
 
     def _verify_trivial(self, rec: OpRec) -> None:
         rec.verified = True
@@ -616,7 +725,7 @@ class Core:
                     # Tracked write to a speculatively loaded address:
                     # legitimate mis-speculation, not an error (paper 4.1).
                     rec.bound_value = replay_value
-                    self.stats.incr(f"{self._stat}.load_squashes")
+                    self._incr(f"{self._stat}.load_squashes")
                     self._stall_until = self.scheduler.now + SQUASH_PENALTY
                 else:
                     self.uo.report_mismatch(rec.addr, rec.bound_value, replay_value)
@@ -641,7 +750,7 @@ class Core:
         if self._can_perform(rec):
             self._mark_performed(rec)
         else:
-            self.scheduler.post(2, self._perform_barrier_when_ready, (rec,))
+            self._post(2, self._cb_barrier, rec.poll_args)
 
     def _mark_performed(self, rec: OpRec) -> None:
         if rec.performed:
@@ -731,12 +840,19 @@ class Core:
         precompiled cell) — but as a single list lookup, since this is
         the per-poll inner loop of every blocked operation.
         """
+        blocker = rec.blocker
+        if blocker is not None:
+            if not blocker.performed:
+                return False
+            rec.blocker = None
         seq = rec.seq
         si = rec.ord_si
         for other in self._inflight:
             if other.seq >= seq:
                 break
             if not other.performed and other.ord_row[si]:
+                if other.op_type is not OpType.STORE:
+                    rec.blocker = other
                 return False
         # Stores already retired to the write buffer:
         if self._store_row[si]:
@@ -750,19 +866,24 @@ class Core:
     # Retirement and the pump
     # ------------------------------------------------------------------
     def _try_retire(self) -> None:
-        while self._inflight:
-            rec = self._inflight[0]
-            done_stage = rec.verified if self.uo is not None else rec.committed
-            if not done_stage:
-                return
-            kind = rec.op_type
-            if kind is OpType.STORE:
-                if self.wb is None and not rec.performed:
-                    return  # SC: stores retire once performed
+        inflight = self._inflight
+        needs_verify = self.uo is not None
+        sc_stores = self.wb is None
+        retired = 0
+        while inflight:
+            rec = inflight[0]
+            if not (rec.verified if needs_verify else rec.committed):
+                break
+            if rec.op_type is OpType.STORE:
+                if sc_stores and not rec.performed:
+                    break  # SC: stores retire once performed
             elif not rec.performed:
-                return
-            self._inflight.popleft()
-            self.stats.incr(self._stat_retired)
+                break
+            inflight.popleft()
+            retired += 1
+        if retired:
+            self._ncommitted -= retired
+            self._incr(self._stat_retired, retired)
             self.last_progress_cycle = self.scheduler.now
 
     def _kick(self) -> None:
@@ -772,15 +893,16 @@ class Core:
         delay = self._stall_until - self.scheduler.now
         if delay < 1:
             delay = 1
-        self.scheduler.post(delay, self._pump)
+        self._post(delay, self._cb_pump)
 
     def _pump(self) -> None:
         self._pump_scheduled = False
         self._try_commit()
         if self.uo is not None:
             self._pump_verify()
-        if self.wb is not None:
-            self.wb.drain(self._may_drain)
+        wb = self.wb
+        if wb is not None and wb._entries:
+            wb.drain(self._cb_may_drain)
         self._try_retire()
 
     # ------------------------------------------------------------------

@@ -15,7 +15,7 @@ from repro.common.types import MembarMask, OpType
 from repro.consistency.models import ConsistencyModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Load:
     """Read a word.  Yield result: the loaded value."""
 
@@ -24,7 +24,7 @@ class Load:
     op_type = OpType.LOAD
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Store:
     """Write a word.  Yield result: None (stores do not block)."""
 
@@ -34,7 +34,7 @@ class Store:
     op_type = OpType.STORE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Atomic:
     """Atomic swap (SPARC ``swap``).  Yield result: the old value."""
 
@@ -44,7 +44,7 @@ class Atomic:
     op_type = OpType.ATOMIC
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Membar:
     """SPARC v9 masked memory barrier.  Yield result: None."""
 
@@ -53,21 +53,21 @@ class Membar:
     op_type = OpType.MEMBAR
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Stbar:
     """PSO store barrier (equivalent to Membar #SS).  Yield result: None."""
 
     op_type = OpType.STBAR
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Non-memory work occupying the core for ``cycles`` cycles."""
 
     cycles: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SetModel:
     """Switch the core's consistency model (SPARC v9 PSTATE.MM).
 
@@ -81,7 +81,7 @@ class SetModel:
     model: ConsistencyModel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Batch:
     """Independent operations the core may execute out of order.
 

@@ -145,16 +145,26 @@ class WriteBuffer:
     # -- draining -----------------------------------------------------------
     def _eligible(self) -> List[WBEntry]:
         """Entries allowed to issue right now."""
-        pending = [e for e in self._entries if not e.issued]
+        entries = self._entries
+        if not entries:
+            return []
+        if self.in_order:
+            # In-order policy: only the head may ever issue, so the
+            # pending/verified list builds reduce to two flag checks.
+            # (With the head issued, or unverified under
+            # ``require_verified``, no younger entry is eligible either
+            # way — matching the general path's answer.)
+            head = entries[0]
+            if head.issued or (self.require_verified and not head.verified):
+                return []
+            return [head]
+        pending = [e for e in entries if not e.issued]
         if not pending:
             return []
         if self.require_verified:
             pending = [e for e in pending if e.verified]
             if not pending:
                 return []
-        if self.in_order:
-            head = self._entries[0]
-            return [head] if (not head.issued and head in pending) else []
         oldest_gen = min(e.generation for e in self._entries)
         eligible = [e for e in pending if e.generation == oldest_gen]
         # Same-word program order: only the oldest entry per word may
@@ -180,25 +190,43 @@ class WriteBuffer:
         ordering table (e.g. TSO's Load->Store constraint while an older
         load has not performed).
         """
+        if self.in_order:
+            # Head-only policy with max_outstanding == 1: the general
+            # path's list builds collapse to flag checks on the head.
+            if self._outstanding:
+                return
+            entries = self._entries
+            if not entries:
+                return
+            head = entries[0]
+            if (
+                head.issued
+                or (self.require_verified and not head.verified)
+                or not may_issue(head)
+            ):
+                return
+            head.issued = True
+            self._outstanding += 1
+            self.stats.incr(self._stat_issues)
+            self._issue(head, lambda old, e=head: self._performed(e, old))
+            return
         while self._outstanding < self.max_outstanding:
             if not self._entries:
                 return
             candidates = [e for e in self._eligible() if may_issue(e)]
             if not candidates:
                 return
-            if self.in_order:
-                entry = candidates[0]
-            else:
-                # Issue-policy: favour the block with the most queued
-                # stores (maximises coalescing), oldest entry first.
-                def block_weight(e: WBEntry) -> int:
-                    return sum(
-                        1
-                        for x in self._entries
-                        if block_of(x.addr) == block_of(e.addr)
-                    )
 
-                entry = max(candidates, key=lambda e: (block_weight(e), -e.seq))
+            # Issue-policy: favour the block with the most queued
+            # stores (maximises coalescing), oldest entry first.
+            def block_weight(e: WBEntry) -> int:
+                return sum(
+                    1
+                    for x in self._entries
+                    if block_of(x.addr) == block_of(e.addr)
+                )
+
+            entry = max(candidates, key=lambda e: (block_weight(e), -e.seq))
             entry.issued = True
             self._outstanding += 1
             self.stats.incr(self._stat_issues)

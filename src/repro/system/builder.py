@@ -17,7 +17,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro import obs
 from repro.common.errors import ConfigError, DeadlockError
-from repro.common.events import Scheduler
+from repro.common.events import make_scheduler
 from repro.common.logical_time import (
     DirectoryLogicalTime,
     SnoopingLogicalTime,
@@ -74,7 +74,7 @@ class System:
     def __init__(self, config: SystemConfig):
         config.validate()
         self.config = config
-        self.scheduler = Scheduler()
+        self.scheduler = make_scheduler()
         self.stats = StatsRegistry()
         self.hooks = SystemHooks()
         self.cores: List[Core] = []

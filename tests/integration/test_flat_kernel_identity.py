@@ -1,0 +1,50 @@
+"""Flat-vs-legacy kernel bit-identity on full-system runs.
+
+The ``REPRO_FLAT_KERNEL=0`` escape hatch swaps the flat two-slot
+calendar queue for the object/tuple :class:`LegacyScheduler`.  Both
+kernels must produce byte-for-byte the same simulation: same cycle
+count, same event count, same violation count, and the same value for
+every stats counter — across the whole 5-workload × 2-protocol matrix.
+This is the integration-level guarantee the randomized kernel
+equivalence tests (``tests/common/test_events_equivalence.py``)
+establish at the API level.
+"""
+
+import pytest
+
+from repro.common.events import LegacyScheduler, Scheduler, make_scheduler
+from repro.config import ProtocolKind, SystemConfig
+from repro.parallel import RunSpec, execute_run_spec
+from repro.workloads import WORKLOAD_NAMES
+
+
+def _metrics(spec, monkeypatch, flat: bool):
+    if flat:
+        monkeypatch.delenv("REPRO_FLAT_KERNEL", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_FLAT_KERNEL", "0")
+    return execute_run_spec(spec)
+
+
+def test_factory_honours_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FLAT_KERNEL", raising=False)
+    assert type(make_scheduler()) is Scheduler
+    monkeypatch.setenv("REPRO_FLAT_KERNEL", "1")
+    assert type(make_scheduler()) is Scheduler
+    monkeypatch.setenv("REPRO_FLAT_KERNEL", "0")
+    assert type(make_scheduler()) is LegacyScheduler
+
+
+@pytest.mark.parametrize("protocol", list(ProtocolKind))
+@pytest.mark.parametrize("workload", WORKLOAD_NAMES)
+def test_flat_and_legacy_runs_identical(protocol, workload, monkeypatch):
+    spec = RunSpec(
+        SystemConfig.protected(protocol=protocol, num_nodes=4).with_seed(3),
+        workload,
+        30,
+    )
+    flat = _metrics(spec, monkeypatch, flat=True)
+    legacy = _metrics(spec, monkeypatch, flat=False)
+    assert flat == legacy  # RunMetrics equality covers every counter
+    assert flat.events_processed == legacy.events_processed
+    assert flat.completed and legacy.completed
