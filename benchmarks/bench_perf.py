@@ -28,7 +28,18 @@ through four measurement passes:
   plane on; the deterministic payload must stay bit-identical
   (``identical`` covers all five passes) and the wall-clock delta is
   recorded as ``obs_overhead_pct`` (gated in
-  ``check_perf_regression.py``).
+  ``check_perf_regression.py``);
+* **poll** (``REPRO_POLL=1``): same specs with the wake-on-change
+  kernel degraded to the classic fixed-period retry polls.  The
+  architectural payload must match the wakeup-mode serial pass with
+  only ``events_processed`` allowed to differ
+  (``wakeup_poll_identical``); the event delta is the spin traffic the
+  wakeup plane elides (``spin_events_elided``).  Because wake mode
+  removes events rather than speeding them up, the gated throughput
+  basis is ``poll_equivalent_events_per_sec`` — the poll pass's event
+  count over the wakeup pass's wall clock, i.e. how fast the wakeup
+  kernel gets through the *same simulated work* — compared against the
+  poll pass's own ``poll_events_per_sec``.
 
 Timing methodology: one untimed warmup sweep runs first, then the
 serial, eager and observed passes run *interleaved* — each of four
@@ -60,6 +71,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import gc
 import json
 import os
@@ -229,8 +241,8 @@ def main(argv=None) -> int:
     # alike; each pass reports its best rep (minimum wall clock).  The
     # runs are deterministic, so the metrics are the same every rep —
     # only the wall clock varies.
-    serial = eager = observed = None
-    serial_s = eager_s = obs_s = float("inf")
+    serial = eager = observed = poll = None
+    serial_s = eager_s = obs_s = poll_s = float("inf")
     for _ in range(4):
         serial, s = timed_sweep()
         serial_s = min(serial_s, s)
@@ -238,6 +250,8 @@ def main(argv=None) -> int:
         eager_s = min(eager_s, s)
         observed, s = timed_sweep({"REPRO_OBS": "1"})
         obs_s = min(obs_s, s)
+        poll, s = timed_sweep({"REPRO_POLL": "1"})
+        poll_s = min(poll_s, s)
 
     t0 = time.perf_counter()
     parallel = run_points(specs, jobs=jobs)
@@ -268,6 +282,22 @@ def main(argv=None) -> int:
     obs_overhead_pct = (obs_s / serial_s - 1.0) * 100.0 if serial_s else 0.0
 
     identical = serial == parallel == cached == eager == observed
+
+    # Wakeup-vs-poll identity: same machine, fewer events.  Everything
+    # but the raw event count must match (events_processed is exactly
+    # what the wakeup plane is allowed to shrink).
+    def arch(metrics):
+        return [
+            dataclasses.replace(m, events_processed=0, obs=None)
+            for m in metrics
+        ]
+
+    wakeup_poll_identical = arch(serial) == arch(poll)
+    poll_events = sum(m.events_processed for m in poll)
+    poll_events_per_sec = poll_events / poll_s if poll_s else 0.0
+    poll_equivalent_events_per_sec = (
+        poll_events / serial_s if serial_s else 0.0
+    )
     if not identical:
         rows = zip(serial, parallel, cached, eager, observed)
         for i, (a, b, c, e, o) in enumerate(rows):
@@ -317,6 +347,7 @@ def main(argv=None) -> int:
         "cached_s": round(cached_s, 4),
         "eager_s": round(eager_s, 4),
         "obs_s": round(obs_s, 4),
+        "poll_s": round(poll_s, 4),
         "obs_overhead_pct": round(obs_overhead_pct, 2),
         "jobs": jobs,
         "events_per_sec": round(events_per_sec, 1),
@@ -326,6 +357,12 @@ def main(argv=None) -> int:
             legacy_kernel_events_per_sec, 1
         ),
         "eager_events_per_sec": round(eager_events_per_sec, 1),
+        "poll_events_per_sec": round(poll_events_per_sec, 1),
+        "poll_equivalent_events_per_sec": round(
+            poll_equivalent_events_per_sec, 1
+        ),
+        "spin_events_elided": poll_events - events,
+        "wakeup_poll_identical": wakeup_poll_identical,
         "speedup": None if speedup is None else round(speedup, 3),
         "speedup_note": speedup_note,
         "events": events,
@@ -365,6 +402,12 @@ def main(argv=None) -> int:
         f"checkers on the hot path)\n"
         f"observed {obs_s:8.2f} s   (REPRO_OBS=1, "
         f"{obs_overhead_pct:+.1f}% vs serial)\n"
+        f"poll     {poll_s:8.2f} s   (REPRO_POLL=1, "
+        f"{poll_events:,} events, {poll_events - events:,} spin events "
+        f"elided by wakeups;\n"
+        f"          poll-equivalent {poll_equivalent_events_per_sec:,.0f} "
+        f"events/sec vs poll {poll_events_per_sec:,.0f}, "
+        f"arch-identical: {wakeup_poll_identical})\n"
         f"alloc    {alloc_blocks:,} blocks retained "
         f"({alloc_kib:,.0f} KiB, peak {peak_bytes / 1024.0:,.0f} KiB) "
         f"over {alloc_events:,} events\n"
@@ -372,7 +415,11 @@ def main(argv=None) -> int:
         f"(serial == parallel == cached == eager == observed)\n"
         f"[written to {os.path.abspath(args.out)}]"
     )
-    return 0 if identical and cache_hits == len(specs) else 1
+    return (
+        0
+        if identical and wakeup_poll_identical and cache_hits == len(specs)
+        else 1
+    )
 
 
 if __name__ == "__main__":

@@ -25,6 +25,9 @@ HIGHER_IS_BETTER = {
     "flat_kernel_events_per_sec",
     "legacy_kernel_events_per_sec",
     "eager_events_per_sec",
+    "poll_events_per_sec",
+    "poll_equivalent_events_per_sec",
+    "spin_events_elided",
     "speedup",
     "cache_hits",
 }

@@ -9,6 +9,16 @@ serial/parallel/cached/eager/observed metrics were not identical, or
 when the observability plane's ``obs_overhead_pct`` exceeds its
 ceiling (default 3%).
 
+The wake-on-change kernel is gated on two further conditions: the
+wakeup and poll passes must be architecturally identical
+(``wakeup_poll_identical``), and the wakeup kernel's
+``poll_equivalent_events_per_sec`` — poll-pass event count over
+wakeup-pass wall clock, the apples-to-apples basis when wake mode
+*removes* events instead of speeding them up — must reach
+``--wakeup-threshold`` (default 110%) of the committed baseline's
+``poll_events_per_sec``.  That floor asserts the wakeup kernel
+actually beats polling, not merely matches it.
+
 The threshold is deliberately loose: CI runners vary, and the guard is
 meant to catch order-of-magnitude mistakes (an accidentally quadratic
 loop, a lost fast path), not wall-clock noise.
@@ -55,6 +65,13 @@ def main(argv=None) -> int:
         help="maximum obs_overhead_pct (REPRO_OBS=1 wall-clock cost, "
         "percent over the unobserved serial pass)",
     )
+    parser.add_argument(
+        "--wakeup-threshold",
+        type=float,
+        default=1.10,
+        help="minimum candidate poll_equivalent_events_per_sec over "
+        "baseline poll_events_per_sec (wakeup kernel must beat polling)",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -64,6 +81,14 @@ def main(argv=None) -> int:
 
     if not candidate.get("identical", False):
         print("FAIL: candidate metrics were not identical across passes")
+        return 1
+    if "wakeup_poll_identical" in candidate and not candidate[
+        "wakeup_poll_identical"
+    ]:
+        print(
+            "FAIL: wakeup and poll kernel modes disagreed on the "
+            "architectural payload"
+        )
         return 1
 
     failed = False
@@ -87,6 +112,25 @@ def main(argv=None) -> int:
             print(
                 f"FAIL: {label} throughput regressed below "
                 f"{args.threshold:.0%} of the committed baseline"
+            )
+            failed = True
+
+    wake_base = baseline.get("poll_events_per_sec")
+    wake_cand = candidate.get("poll_equivalent_events_per_sec")
+    if wake_base is None or wake_cand is None:
+        # Older baselines predate the wakeup kernel; nothing to gate.
+        print("perf check: wakeup-vs-poll skipped (poll fields missing)")
+    else:
+        ratio = wake_cand / wake_base if wake_base else float("inf")
+        print(
+            f"perf check: wakeup poll-equivalent {wake_cand:,.0f} ev/s vs "
+            f"baseline poll {wake_base:,.0f} ev/s "
+            f"(ratio {ratio:.2f}, floor {args.wakeup_threshold:.2f})"
+        )
+        if wake_cand < wake_base * args.wakeup_threshold:
+            print(
+                "FAIL: wakeup kernel does not beat the committed poll "
+                f"baseline by {args.wakeup_threshold:.0%}"
             )
             failed = True
 

@@ -127,6 +127,11 @@ class BaseCacheController:
         #: silent except for clean-eviction epoch ends (no serialization
         #: event exists for those).
         self.manage_epochs = True
+        #: WaitSet notified on block state/ownership changes and
+        #: transaction (MSHR) completion — wired to the owning core's
+        #: ordering WaitSet by the system builder.  Spurious notifies
+        #: are safe: parked checks just re-evaluate and re-park.
+        self.wakes = None
 
     # ------------------------------------------------------------------
     # Core-facing API
@@ -318,6 +323,8 @@ class BaseCacheController:
                 else EpochType.READ_ONLY
             )
             self.hooks.epoch_begin(self.node, block, etype, list(line.data))
+        if self.wakes is not None:
+            self.wakes.notify()
         return line
 
     def _upgrade_to_m(self, block: int) -> CacheLine:
@@ -332,6 +339,8 @@ class BaseCacheController:
             self.hooks.epoch_begin(
                 self.node, block, EpochType.READ_WRITE, list(line.data)
             )
+        if self.wakes is not None:
+            self.wakes.notify()
         return line
 
     def _downgrade_to_o(self, block: int) -> Optional[CacheLine]:
@@ -359,6 +368,8 @@ class BaseCacheController:
             self.hooks.epoch_end(self.node, block, data)
         self.hooks.invalidation(self.node, block)
         self.l1.remove(block)
+        if self.wakes is not None:
+            self.wakes.notify()
         return data
 
     def _writeback_done(self, addr: int, stale: bool) -> None:
@@ -370,6 +381,8 @@ class BaseCacheController:
             f"{self._stat}.writebacks_stale" if stale else f"{self._stat}.writebacks"
         )
         entry.on_done()
+        if self.wakes is not None:
+            self.wakes.notify()
 
     # ------------------------------------------------------------------
     # Protocol hooks (implemented by subclasses)
@@ -384,6 +397,8 @@ class BaseCacheController:
         """Subclasses call this once permissions are in place."""
         self._active.pop(block, None)
         self.scheduler.post(1, self._cb_service, (block,))
+        if self.wakes is not None:
+            self.wakes.notify()
 
     # ------------------------------------------------------------------
     def unexpected(self, what: str) -> None:

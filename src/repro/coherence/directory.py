@@ -191,6 +191,8 @@ class DirectoryCacheController(BaseCacheController):
                     self.hooks.epoch_begin(
                         self.node, block, EpochType.READ_WRITE, list(line.data)
                     )
+                    if self.wakes is not None:
+                        self.wakes.notify()
                 else:
                     self._upgrade_to_m(block)
             else:

@@ -148,6 +148,8 @@ class SnoopingCacheController(BaseCacheController):
                 self.hooks.epoch_begin(
                     self.node, block, EpochType.READ_WRITE, list(line.data)
                 )
+                if self.wakes is not None:
+                    self.wakes.notify()
                 self._complete(txn)
                 return
             if line is not None:
@@ -194,6 +196,8 @@ class SnoopingCacheController(BaseCacheController):
                 self.hooks.epoch_begin(
                     self.node, block, EpochType.READ_ONLY, list(line.data), at
                 )
+                if self.wakes is not None:
+                    self.wakes.notify()
             self._send_data(requestor, Coh.DATA, block, line.data)
             return
         wb = self._writebacks.get(block)
@@ -285,6 +289,8 @@ class SnoopingCacheController(BaseCacheController):
             else:
                 self._other_gets(requestor, block, at_lt)
         self.scheduler.post(1, self._cb_service, (block,))
+        if self.wakes is not None:
+            self.wakes.notify()
 
     def _complete_killed(self, txn: _SnoopTransaction, data: List[int]) -> None:
         """Serve the head load from in-flight data; the line is not
@@ -301,6 +307,8 @@ class SnoopingCacheController(BaseCacheController):
                 head.on_done(value)
         self.stats.incr(f"{self._stat}.killed_fills")
         self.scheduler.post(1, self._cb_service, (block,))
+        if self.wakes is not None:
+            self.wakes.notify()
 
 
 class SnoopingMemoryController:

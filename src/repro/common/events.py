@@ -58,6 +58,10 @@ RING_SIZE = 2048
 DENSE_SPAN = 64
 
 
+def _noop() -> None:
+    """Sentinel callback for late-lane cycles (see ``post_late``)."""
+
+
 class Event:
     """Handle for a scheduled callback; supports cancellation.
 
@@ -151,6 +155,9 @@ class Scheduler:
         "_counter",
         "now",
         "_events_processed",
+        "_late",
+        "_late_count",
+        "_halted",
         "_obs_on",
         "_obs_buckets",
         "_obs_bucket_events",
@@ -176,6 +183,17 @@ class Scheduler:
         self._counter = itertools.count()
         self.now = 0
         self._events_processed = 0
+        #: Late lanes: cycle -> flat (callback, args) record pairs that
+        #: run after every normally-posted record of that cycle.
+        self._late: dict = {}
+        #: Records currently sitting in late lanes.  Kept out of
+        #: ``_ring_count`` until splice time: a lane's cycle may lie
+        #: beyond the current window (its sentinel then lives in the
+        #: overflow heap), and counting its records as ring-resident
+        #: would make the drain cursor search the ring for records
+        #: that are not there.
+        self._late_count = 0
+        self._halted = False
         # Observability (repro.obs): disabled by default.  The kernel
         # keeps raw ints itself — an attribute add per *bucket* (not
         # per event) when attached, a single false branch otherwise —
@@ -294,15 +312,73 @@ class Scheduler:
             event = Event(time, next(self._counter), callback, args, self)
             heapq.heappush(self._overflow, (time, event.seq, event))
 
+    def post_late(self, delay: int, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Schedule ``callback(*args)`` in cycle ``now + delay``'s *late lane*.
+
+        A late record runs at its cycle strictly **after** every
+        normally-posted record of that cycle — including zero-delay
+        records appended while the cycle's bucket is draining (the
+        drain splices the late lane in only once the bucket is
+        exhausted, re-checking its length first).  Within the lane,
+        records run in post order.  This is the hook the wakeup plane
+        (:mod:`repro.common.waitsets`) uses to run condition re-checks
+        at end-of-cycle, after every state transition of the cycle has
+        been applied, so check outcomes do not depend on intra-cycle
+        event interleaving.
+
+        A zero-delay post made *by* a late record runs in the same
+        cycle, after the lane (normal records append behind the
+        splice); a ``post_late(0, ...)`` made by a late record opens a
+        fresh lane that runs after those.  The first late record for a
+        cycle posts a no-op sentinel through :meth:`post_at` so the
+        cycle stays discoverable by the drain cursor even when it has
+        no normal records.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        lane = self._late.get(time)
+        if lane is None:
+            self._late[time] = lane = []
+            self.post_at(time, _noop)
+        lane.append(callback)
+        lane.append(args)
+        self._late_count += 1
+
+    def halt(self) -> None:
+        """Make :meth:`run` return at the end of the current bucket.
+
+        Called from inside a callback (or before :meth:`run`) this
+        stops the run loop at the next bucket boundary — the cycle's
+        remaining records (and late lane) still execute, so the stop
+        point is a pure function of simulated time, never of how many
+        host-side events a cycle happened to contain.  One-shot: the
+        flag clears when it takes effect.
+        """
+        self._halted = True
+
     def pending(self) -> int:
-        """Number of queued events still due to run.
+        """Number of queued events still due to run, exact per event.
 
         Cancelled-but-undrained slots are excluded (the scheduler keeps
         an exact count as they are cancelled and as the drain reaps
         them), so a periodic check polling ``pending()`` to decide
         whether to re-arm itself is not kept alive by dead timers.
+
+        Late-lane records (:meth:`post_late`) and their per-cycle
+        sentinel each count as one pending event until they run.
+        Waiters parked on a :class:`~repro.common.waitsets.WaitSet` are
+        *not* scheduler events and never appear here — a parked (or
+        parked-then-cancelled) waiter contributes nothing; only the
+        per-cycle agenda record that an *armed* waiter shares with its
+        cycle is counted, and that record always runs.
         """
-        return self._ring_count + len(self._overflow) - self._cancelled
+        return (
+            self._ring_count
+            + self._late_count
+            + len(self._overflow)
+            - self._cancelled
+        )
 
     def _locate(
         self, limit: Optional[int] = None
@@ -390,6 +466,24 @@ class Scheduler:
                 self._obs_window_jumps += 1
                 self._obs_migrations += count
 
+    def _splice_late(self, t: int, bucket: list) -> bool:
+        """Move cycle ``t``'s late lane into its (exhausted) bucket.
+
+        Called only when ``bucket`` has no unconsumed records left, so
+        the lane lands after every normal record of the cycle.  Returns
+        True when records were spliced.
+        """
+        if not self._late:
+            return False
+        lane = self._late.pop(t, None)
+        if lane is None:
+            return False
+        bucket.extend(lane)
+        moved = len(lane) >> 1  # flat pairs: two slots per record
+        self._late_count -= moved
+        self._ring_count += moved
+        return True
+
     def step(self) -> bool:
         """Run the next event.  Returns False if the queue is empty."""
         while True:
@@ -410,6 +504,8 @@ class Scheduler:
                     self.now = t
                     self._events_processed += 1
                     record(*args)
+                    if not bucket:
+                        self._splice_late(t, bucket)
                     return True
                 i += 1
                 self._ring_count -= 1
@@ -421,8 +517,11 @@ class Scheduler:
                 self.now = t
                 self._events_processed += 1
                 record.callback(*record.args)
+                if not bucket:
+                    self._splice_late(t, bucket)
                 return True
             del bucket[:n]
+            self._splice_late(t, bucket)
 
     def run(
         self,
@@ -465,6 +564,9 @@ class Scheduler:
         done = 0
         try:
             while True:
+                if self._halted:
+                    self._halted = False
+                    return
                 # Inline bucket cursor: ``_locate``'s dense probe
                 # without the call — at ~2 events per bucket the
                 # call-and-rehoist overhead is measurable.  Sparse
@@ -515,7 +617,12 @@ class Scheduler:
                     if i == n:
                         n = len(bucket)
                         if i == n:
-                            break
+                            # Exhausted for real: splice in the cycle's
+                            # late lane (wakeup agendas) and keep
+                            # draining, or finish the bucket.
+                            if not self._splice_late(t, bucket):
+                                break
+                            n = len(bucket)
                     record = bucket[i]
                     if record.__class__ is not Event:
                         args = bucket[i + 1]
@@ -539,9 +646,13 @@ class Scheduler:
                         poll_in = stop_interval
                         if stop_when is not None and stop_when():
                             del bucket[:i]
+                            if not bucket:
+                                self._splice_late(t, bucket)
                             return
                     if max_events is not None and done >= max_events:
                         del bucket[:i]
+                        if not bucket:
+                            self._splice_late(t, bucket)
                         raise SimulationError(
                             f"exceeded max_events={max_events} at cycle {self.now}"
                         )
@@ -573,6 +684,9 @@ class LegacyScheduler:
         "_counter",
         "now",
         "_events_processed",
+        "_late",
+        "_late_count",
+        "_halted",
         "_obs_on",
         "_obs_buckets",
         "_obs_bucket_events",
@@ -594,6 +708,9 @@ class LegacyScheduler:
         self._counter = itertools.count()
         self.now = 0
         self._events_processed = 0
+        self._late: dict = {}
+        self._late_count = 0
+        self._halted = False
         self._obs_on = False
         self._obs_buckets = 0
         self._obs_bucket_events = 0
@@ -605,6 +722,7 @@ class LegacyScheduler:
     attach_obs = Scheduler.attach_obs
     obs_snapshot = Scheduler.obs_snapshot
     pending = Scheduler.pending
+    halt = Scheduler.halt
 
     def at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute cycle ``time``."""
@@ -653,6 +771,33 @@ class LegacyScheduler:
         else:
             event = Event(time, next(self._counter), callback, args, self)
             heapq.heappush(self._overflow, (time, event.seq, event))
+
+    def post_late(self, delay: int, callback: Callable[..., Any], args: tuple = ()) -> None:
+        """Late-lane twin of :meth:`Scheduler.post_late` (records are
+        ``(callback, args)`` tuples, matching this kernel's bucket
+        shape; ordering contract identical)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        time = self.now + delay
+        lane = self._late.get(time)
+        if lane is None:
+            self._late[time] = lane = []
+            self.post_at(time, _noop)
+        lane.append((callback, args))
+        self._late_count += 1
+
+    def _splice_late(self, t: int, bucket: list) -> bool:
+        """Move cycle ``t``'s late lane into its exhausted bucket."""
+        if not self._late:
+            return False
+        lane = self._late.pop(t, None)
+        if lane is None:
+            return False
+        bucket.extend(lane)
+        moved = len(lane)  # one tuple per record
+        self._late_count -= moved
+        self._ring_count += moved
+        return True
 
     def _locate(
         self, limit: Optional[int] = None
@@ -711,6 +856,8 @@ class LegacyScheduler:
                     self.now = t
                     self._events_processed += 1
                     event[0](*event[1])
+                    if not bucket:
+                        self._splice_late(t, bucket)
                     return True
                 event._sched = None
                 if event.cancelled:
@@ -720,8 +867,11 @@ class LegacyScheduler:
                 self.now = t
                 self._events_processed += 1
                 event.callback(*event.args)
+                if not bucket:
+                    self._splice_late(t, bucket)
                 return True
             del bucket[:n]
+            self._splice_late(t, bucket)
 
     def run(
         self,
@@ -736,6 +886,9 @@ class LegacyScheduler:
         executed = 0
         poll_in = stop_interval
         while True:
+            if self._halted:
+                self._halted = False
+                return
             located = locate(until)
             if located is None:
                 return
@@ -754,7 +907,9 @@ class LegacyScheduler:
                 if i == n:
                     n = len(bucket)
                     if i == n:
-                        break
+                        if not self._splice_late(t, bucket):
+                            break
+                        n = len(bucket)
                 event = bucket[i]
                 i += 1
                 self._ring_count -= 1
@@ -777,9 +932,13 @@ class LegacyScheduler:
                     poll_in = stop_interval
                     if stop_when is not None and stop_when():
                         del bucket[:i]
+                        if not bucket:
+                            self._splice_late(t, bucket)
                         return
                 if max_events is not None and executed >= max_events:
                     del bucket[:i]
+                    if not bucket:
+                        self._splice_late(t, bucket)
                     raise SimulationError(
                         f"exceeded max_events={max_events} at cycle {self.now}"
                     )

@@ -76,6 +76,10 @@ class UniprocessorOrderingChecker:
         self.violations = violations
         #: RMO optimisation: keep executed load values in the VC.
         self.rmo_mode = rmo_mode
+        #: WaitSet notified when a live VC entry frees (set by the
+        #: builder): VC backpressure is one of the verify pump's
+        #: parking conditions.
+        self.wakes = None
         self._vc: Dict[int, VCEntry] = {}
         self._capacity = config.dvmc.verification_cache_entries
         self._stat = f"uo.{node}"
@@ -167,6 +171,10 @@ class UniprocessorOrderingChecker:
                 entry.last_used = self.scheduler.now
             else:
                 del self._vc[word]
+            # Entry went dead (evictable or gone): a VC-full-stalled
+            # verify pump may now make progress.
+            if self.wakes is not None:
+                self.wakes.notify()
 
     # -- load path -----------------------------------------------------------
     def note_load_executed(self, addr: int, value: int, seq: Optional[int] = None) -> None:

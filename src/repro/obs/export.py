@@ -46,6 +46,7 @@ def snapshot_system(system) -> Dict[str, Any]:
         for ctrl in system.cache_controllers
     }
     layers["dvmc"] = system.dvmc.obs_snapshot()
+    layers["wakeups"] = system.wake_hub.obs_snapshot()
     if system.obs_trace is not None:
         layers["trace"] = system.obs_trace.stats()
     snap["layers"] = layers

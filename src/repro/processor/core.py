@@ -22,12 +22,14 @@ checker then independently verifies the result.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from itertools import islice
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
+from repro.common.waitsets import WaitSet, WakeHub
 from repro.common.types import MembarMask, OpType, block_of, word_of
 from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel
@@ -131,6 +133,7 @@ class Core:
         uo_checker=None,
         ar_checker=None,
         model: Optional[ConsistencyModel] = None,
+        wake_hub: Optional[WakeHub] = None,
     ):
         self.node = node
         self.scheduler = scheduler
@@ -194,6 +197,34 @@ class Core:
         self._cb_may_drain = self._may_drain
         self._cb_decode_one = self._decode_one
         self._cb_decode_group = self._decode_group
+        self._cb_pump_verify = self._pump_verify
+
+        # Wakeup plane: blocked ops park on a WaitSet instead of
+        # re-posting fixed-period retries; every transition that can
+        # unblock them notifies.  The hub is shared system-wide
+        # (builder passes it) so same-cycle checks across cores run in
+        # one deterministic agenda; a standalone core gets a private
+        # hub with the same semantics.
+        if wake_hub is None:
+            wake_hub = WakeHub(
+                scheduler, poll_mode=os.environ.get("REPRO_POLL", "0") == "1"
+            )
+        self._hub = wake_hub
+        #: Ordering/resource conditions: something *performed*, the
+        #: write buffer drained, the SC store slot freed, a VC entry
+        #: freed, a cache line changed state.
+        self._ws_order = WaitSet(wake_hub)
+        #: ROB-space condition: retirement freed entries.
+        self._ws_rob = WaitSet(wake_hub)
+        #: Quiescence hook (set by the System): called once when the
+        #: program has finished and every side effect is visible.
+        self.on_quiescent: Optional[Callable[[], None]] = None
+        self._q_reported = False
+        #: Per-episode VC-backpressure latch: ``vc_full_stalls`` counts
+        #: blocked *episodes*, not retry attempts — attempts are a
+        #: property of the retry regime (poll vs wakeup), episodes are
+        #: architectural and mode-identical.
+        self._vc_stall_flag = False
 
         uses_wb = self.model is not ConsistencyModel.SC
         self.wb: Optional[WriteBuffer] = (
@@ -209,10 +240,11 @@ class Core:
             if uses_wb
             else None
         )
+        if self.wb is not None:
+            self.wb.wakes = self._ws_order
         # Verify-stage slot accounting (verification_width per cycle).
         self._verify_cycle = -1
         self._verify_used = 0
-        self._verify_retry_scheduled = False
         #: Fault injection: XOR applied to the next load's bound value
         #: (models LSQ mis-forwarding / load reordering errors).
         self.fault_load_value_xor: Optional[int] = None
@@ -292,6 +324,7 @@ class Core:
                     on_perform=self._store_performed,
                     require_verified=self.uo is not None,
                 )
+                self.wb.wakes = self._ws_order
             else:
                 self.wb.in_order = not model.allows_store_store_reordering
                 self.wb.max_outstanding = 1 if self.wb.in_order else 4
@@ -304,8 +337,8 @@ class Core:
     def _decode_one(self, op) -> None:
         """Decode a bare (non-batch) operation — the common shape."""
         if len(self._inflight) >= self._rob_size:
-            # ROB full: retry when retirement frees entries.
-            self._post(2, self._cb_decode_one, (op,))
+            # ROB full: park until retirement frees entries.
+            self._ws_rob.park(self._cb_decode_one, (op,))
             return
         rec = OpRec(self._next_seq, op)
         self._next_seq += 1
@@ -323,8 +356,8 @@ class Core:
 
     def _decode_group(self, ops: List, is_batch: bool) -> None:
         if len(self._inflight) + len(ops) > self._rob_size:
-            # ROB full: retry when retirement frees entries.
-            self._post(2, self._cb_decode_group, (ops, is_batch))
+            # ROB full: park until retirement frees entries.
+            self._ws_rob.park(self._cb_decode_group, (ops, is_batch))
             return
         recs = []
         table = self.table
@@ -438,7 +471,7 @@ class Core:
             if self._can_perform(rec):
                 self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
             else:
-                self._post(2, self._cb_execute_load, rec.poll_args)
+                self._ws_order.park(self._cb_execute_load, rec.poll_args)
 
     def _load_bound(self, rec: OpRec, value: int) -> None:
         if self.uo is not None:
@@ -477,12 +510,12 @@ class Core:
         if (wb is not None and (wb._entries or wb._outstanding)) or (
             self._sc_store_outstanding and self._store_row[si]
         ):
-            self._post(2, self._cb_execute_atomic, rec.poll_args)
+            self._ws_order.park(self._cb_execute_atomic, rec.poll_args)
             return
         blocker = rec.blocker
         if blocker is not None:
             if not blocker.performed:
-                self._post(2, self._cb_execute_atomic, rec.poll_args)
+                self._ws_order.park(self._cb_execute_atomic, rec.poll_args)
                 return
             rec.blocker = None
         seq = rec.seq
@@ -492,7 +525,7 @@ class Core:
             if not other.performed and other.ord_row[si]:
                 if other.op_type is not OpType.STORE:
                     rec.blocker = other
-                self._post(2, self._cb_execute_atomic, rec.poll_args)
+                self._ws_order.park(self._cb_execute_atomic, rec.poll_args)
                 return
         self.controller.atomic(
             rec.addr, rec.value, lambda old: self._atomic_done(rec, old)
@@ -573,7 +606,7 @@ class Core:
         if rec.performed:
             return
         if not self._can_perform(rec):
-            self._post(2, self._cb_perform_load, rec.poll_args)
+            self._ws_order.park(self._cb_perform_load, rec.poll_args)
             return
         if rec.squashed:
             rec.squashed = False
@@ -593,7 +626,7 @@ class Core:
 
     def _sc_issue_store(self, rec: OpRec) -> None:
         if self._sc_store_outstanding or not self._can_perform(rec):
-            self._post(2, self._cb_sc_issue_store, rec.poll_args)
+            self._ws_order.park(self._cb_sc_issue_store, rec.poll_args)
             return
         self._sc_store_outstanding = True
 
@@ -659,10 +692,13 @@ class Core:
             else:
                 wb.mark_verified(r.seq)
         if done:
+            self._vc_stall_flag = False
             self._kick()
         if done < len(run):
-            self._incr(f"{self._stat}.vc_full_stalls")
-            self._schedule_verify_retry(4)
+            if not self._vc_stall_flag:
+                self._vc_stall_flag = True
+                self._incr(f"{self._stat}.vc_full_stalls")
+            self._schedule_verify_retry()
             return False
         return True
 
@@ -671,14 +707,17 @@ class Core:
         if kind is OpType.LOAD and self.model.requires_load_order:
             # The load performs here; its ordering constraints must hold.
             if not self._can_perform(rec):
-                self._schedule_verify_retry(2)
+                self._schedule_verify_retry()
                 return False
         if kind is OpType.STORE:
             if not self.uo.commit_store(rec.seq, rec.addr, rec.value):
-                self._incr(f"{self._stat}.vc_full_stalls")
-                self._schedule_verify_retry(4)
+                if not self._vc_stall_flag:
+                    self._vc_stall_flag = True
+                    self._incr(f"{self._stat}.vc_full_stalls")
+                self._schedule_verify_retry()
                 return False
             self._verify_q.popleft()
+            self._vc_stall_flag = False
             rec.verified = True
             if self.wb is None:
                 self._sc_issue_store(rec)
@@ -697,16 +736,13 @@ class Core:
             self._post(delay, self._cb_verify_trivial, rec.poll_args)
         return True
 
-    def _schedule_verify_retry(self, delay: int) -> None:
-        if self._verify_retry_scheduled:
-            return
-        self._verify_retry_scheduled = True
-
-        def fire() -> None:
-            self._verify_retry_scheduled = False
-            self._pump_verify()
-
-        self._post(delay, fire)
+    def _schedule_verify_retry(self) -> None:
+        """Park the verify pump until something performs or a VC entry
+        frees.  The hub's park is the at-most-one-pending-retry guard
+        (it returns the live waiter instead of stacking another), which
+        replaces the old ``_verify_retry_scheduled`` flag and covers
+        every parking site the same way."""
+        self._ws_order.park(self._cb_pump_verify, ())
 
     def _verify_trivial(self, rec: OpRec) -> None:
         rec.verified = True
@@ -750,7 +786,7 @@ class Core:
         if self._can_perform(rec):
             self._mark_performed(rec)
         else:
-            self._post(2, self._cb_barrier, rec.poll_args)
+            self._ws_order.park(self._cb_barrier, rec.poll_args)
 
     def _mark_performed(self, rec: OpRec) -> None:
         if rec.performed:
@@ -758,6 +794,10 @@ class Core:
         rec.performed = True
         if self.ar is not None:
             self.ar.performed(rec.op_type, rec.seq, rec.mask)
+        # Something became globally visible: every ordering gate
+        # (atomics, barriers, blocked loads, the verify pump) may now
+        # pass.
+        self._ws_order.notify()
         self._kick()
 
     def _resolve_speculation(self, rec: OpRec) -> None:
@@ -885,6 +925,8 @@ class Core:
             self._ncommitted -= retired
             self._incr(self._stat_retired, retired)
             self.last_progress_cycle = self.scheduler.now
+            # ROB entries freed: parked decodes may proceed.
+            self._ws_rob.notify()
 
     def _kick(self) -> None:
         if self._pump_scheduled:
@@ -904,6 +946,18 @@ class Core:
         if wb is not None and wb._entries:
             wb.drain(self._cb_may_drain)
         self._try_retire()
+        # Every transition that can complete the program funnels
+        # through a kick, so this is the one place quiescence needs
+        # checking.  The report lets the System halt the scheduler once
+        # all cores are done instead of polling a stop predicate.
+        if (
+            self.finished
+            and not self._q_reported
+            and self.on_quiescent is not None
+            and self.quiescent
+        ):
+            self._q_reported = True
+            self.on_quiescent()
 
     # ------------------------------------------------------------------
     @property

@@ -74,6 +74,9 @@ class WriteBuffer:
         self._on_perform = on_perform
         self.max_outstanding = 1 if in_order else max_outstanding
         self.require_verified = require_verified
+        #: WaitSet notified when a store performs (set by the owning
+        #: core): frees buffer space and clears drain/ordering gates.
+        self.wakes = None
         self._entries: List[WBEntry] = []
         self._outstanding = 0
         self._generation = 0
@@ -237,6 +240,11 @@ class WriteBuffer:
         self._entries.remove(entry)
         self.stats.incr(self._stat_performs)
         self._on_perform(entry, old_value)
+        # After on_perform so waiters re-check against the fully
+        # updated state (checker + ROB bookkeeping included).  Covers
+        # the retired-store case _mark_performed never sees.
+        if self.wakes is not None:
+            self.wakes.notify()
 
     # -- fault injection ----------------------------------------------------
     def corrupt_entry(self, index: int, addr_xor: int = 0, value_xor: int = 0) -> bool:

@@ -24,6 +24,7 @@ from repro.common.logical_time import (
 )
 from repro.common.stats import StatsRegistry
 from repro.common.types import BLOCK_SIZE, CoherenceState, block_of
+from repro.common.waitsets import WakeHub
 from repro.config import ProtocolKind, SystemConfig
 from repro.coherence.directory import (
     DirectoryCacheController,
@@ -75,6 +76,19 @@ class System:
         config.validate()
         self.config = config
         self.scheduler = make_scheduler()
+        #: Shared wakeup hub: one per system so the end-of-cycle retry
+        #: agenda interleaves all cores' blocked checks in one global
+        #: (cycle, seq) order — identical in wakeup and poll modes.
+        self.wake_hub = WakeHub(
+            self.scheduler,
+            poll_mode=os.environ.get("REPRO_POLL", "0") == "1",
+        )
+        #: Armed only inside :meth:`run`'s simulate phase: lets the last
+        #: core's quiescence halt the kernel at a bucket boundary
+        #: instead of polling ``stop_when`` every N events.  Kept off
+        #: during :meth:`run_cycles` / :meth:`drain_epochs` /
+        #: :meth:`scrub_memory`, which advance time unconditionally.
+        self._halt_on_quiesce = False
         self.stats = StatsRegistry()
         self.hooks = SystemHooks()
         self.cores: List[Core] = []
@@ -118,17 +132,21 @@ class System:
         with phases.phase("simulate"):
             for core in self.cores:
                 core.start()
-            cores = self.cores
-
-            def done() -> bool:
-                return all(core.quiescent for core in cores)
-
-            # stop_interval=64 keeps the old every-64th-event polling
-            # cadence but moves the skip counter into the kernel's
-            # event loop.
-            self.scheduler.run(
-                until=max_cycles, stop_when=done, stop_interval=64
-            )
+            # Event-driven stop: each core reports quiescence exactly
+            # once (via ``on_quiescent``); the last report halts the
+            # kernel at the current bucket boundary.  No per-event
+            # ``stop_when`` polling, and the stop cycle is identical in
+            # wakeup and poll modes.
+            self._halt_on_quiesce = True
+            try:
+                if all(core.quiescent for core in self.cores):
+                    # Already drained before this run (e.g. a second
+                    # ``run`` call): nothing will re-report, so halt
+                    # up front.
+                    self.scheduler.halt()
+                self.scheduler.run(until=max_cycles)
+            finally:
+                self._halt_on_quiesce = False
         with phases.phase("verify"):
             self.dvmc.finalize()
         with phases.phase("drain"):
@@ -152,6 +170,15 @@ class System:
                 f"cores {stuck} did not finish by cycle {self.scheduler.now}"
             )
         return result
+
+    def _core_quiesced(self) -> None:
+        """A core's program finished and fully drained (fired once per
+        core per run).  When every core is quiescent and a :meth:`run`
+        is in flight, stop the kernel at the current bucket boundary."""
+        if self._halt_on_quiesce and all(
+            core.quiescent for core in self.cores
+        ):
+            self.scheduler.halt()
 
     def run_cycles(self, cycles: int) -> None:
         """Advance the simulation by a bounded number of cycles."""
@@ -355,7 +382,15 @@ def build_system(
             config,
             system.cache_controllers[n],
             program,
+            wake_hub=system.wake_hub,
         )
+        core.on_quiescent = system._core_quiesced
+        # Wake the core's blocked ordering checks whenever its cache
+        # controller completes a transition (install, upgrade,
+        # invalidate, writeback, MSHR completion).  Spurious notifies
+        # are architecturally safe: a woken check that still fails
+        # simply re-parks on the same retry grid as poll mode.
+        system.cache_controllers[n].wakes = core._ws_order
         if config.dvmc.enable_uniprocessor:
             uo = UniprocessorOrderingChecker(
                 n,
@@ -367,6 +402,7 @@ def build_system(
                 rmo_mode=not config.model.requires_load_order,
             )
             core.uo = uo
+            uo.wakes = core._ws_order
             if core.wb is not None:
                 core.wb.require_verified = True
             system.dvmc.uo_checkers.append(uo)

@@ -10,6 +10,18 @@ synchronisation code requires (Membar #StoreStore before the releasing
 store, #LoadLoad|#LoadStore after acquiring), so workloads are correct
 under every model — and the Allowable Reordering checker sees real
 Membar traffic.
+
+Wakeup-plane boundary: the spin loops below are *architectural* — every
+retry is a memory operation the simulated program really issues, so
+they are identical in wakeup and poll kernel modes and must never park
+on a :class:`~repro.common.waitsets.WaitSet` (parking them would change
+the machine being simulated, not just the simulator's event count).
+What the wake-on-change kernel does eliminate is the *simulator-level*
+retry polls underneath them: a spinning load that blocks in the core
+(cache miss, ordering gate) parks and is re-woken by the owning cache
+controller's transition notifies, so a lock release or sense flip
+reaches spinning cores through the coherence protocol's
+invalidate/install path with no 2-cycle re-post traffic.
 """
 
 from __future__ import annotations
