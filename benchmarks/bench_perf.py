@@ -39,7 +39,17 @@ through four measurement passes:
   basis is ``poll_equivalent_events_per_sec`` — the poll pass's event
   count over the wakeup pass's wall clock, i.e. how fast the wakeup
   kernel gets through the *same simulated work* — compared against the
-  poll pass's own ``poll_events_per_sec``.
+  poll pass's own ``poll_events_per_sec``;
+* **hops** (``REPRO_HOPS=1``): same specs with the express message
+  plane degraded to hop-by-hop relay events.  The architectural
+  payload must match the express-mode serial pass with only
+  ``events_processed`` allowed to differ (``express_hops_identical``);
+  the event delta is the relay traffic the express plane elides
+  (``hop_events_elided``).  As with the wakeup plane, express removes
+  events rather than speeding them up, so the gated basis is
+  ``express_equivalent_events_per_sec`` — the hops pass's event count
+  over the express pass's wall clock — compared against the hops
+  pass's own ``hops_events_per_sec``.
 
 Timing methodology: one untimed warmup sweep runs first, then the
 serial, eager and observed passes run *interleaved* — each of four
@@ -88,6 +98,7 @@ sys.path.insert(
 
 from repro.common.events import LegacyScheduler, Scheduler  # noqa: E402
 from repro.config import SystemConfig  # noqa: E402
+from repro.interconnect import message as message_pool  # noqa: E402
 from repro.parallel import (  # noqa: E402
     ResultCache,
     RunSpec,
@@ -193,6 +204,13 @@ def main(argv=None) -> int:
         help="write the observed pass's manifest.json / metrics.prom / "
         "snapshot.json under DIR (CI uploads them as artifacts)",
     )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=4,
+        help="interleaved timing reps per pass; each pass reports its "
+        "best rep, so more reps tightens the minimum on noisy hosts",
+    )
     args = parser.parse_args(argv)
 
     jobs = resolve_jobs(args.jobs, default=0)
@@ -241,9 +259,9 @@ def main(argv=None) -> int:
     # alike; each pass reports its best rep (minimum wall clock).  The
     # runs are deterministic, so the metrics are the same every rep —
     # only the wall clock varies.
-    serial = eager = observed = poll = None
-    serial_s = eager_s = obs_s = poll_s = float("inf")
-    for _ in range(4):
+    serial = eager = observed = poll = hops = None
+    serial_s = eager_s = obs_s = poll_s = hops_s = float("inf")
+    for _ in range(args.reps):
         serial, s = timed_sweep()
         serial_s = min(serial_s, s)
         eager, s = timed_sweep({"REPRO_EAGER_CHECK": "1"})
@@ -252,6 +270,8 @@ def main(argv=None) -> int:
         obs_s = min(obs_s, s)
         poll, s = timed_sweep({"REPRO_POLL": "1"})
         poll_s = min(poll_s, s)
+        hops, s = timed_sweep({"REPRO_HOPS": "1"})
+        hops_s = min(hops_s, s)
 
     t0 = time.perf_counter()
     parallel = run_points(specs, jobs=jobs)
@@ -298,6 +318,15 @@ def main(argv=None) -> int:
     poll_equivalent_events_per_sec = (
         poll_events / serial_s if serial_s else 0.0
     )
+
+    # Express-vs-hops identity: same reservation timetable, fewer
+    # events.  Same contract (and same gating shape) as wakeup/poll.
+    express_hops_identical = arch(serial) == arch(hops)
+    hops_events = sum(m.events_processed for m in hops)
+    hops_events_per_sec = hops_events / hops_s if hops_s else 0.0
+    express_equivalent_events_per_sec = (
+        hops_events / serial_s if serial_s else 0.0
+    )
     if not identical:
         rows = zip(serial, parallel, cached, eager, observed)
         for i, (a, b, c, e, o) in enumerate(rows):
@@ -314,6 +343,7 @@ def main(argv=None) -> int:
     # Allocation pass: tracemalloc snapshot delta over one run (slots on
     # hot record classes show up here as fewer blocks per event).
     alloc_spec = specs[0]
+    pool_before = message_pool.pool_stats()
     tracemalloc.start()
     before = tracemalloc.take_snapshot()
     alloc_metrics = execute_run_spec(alloc_spec)
@@ -324,6 +354,13 @@ def main(argv=None) -> int:
     alloc_blocks = sum(stat.count_diff for stat in diff)
     alloc_kib = sum(stat.size_diff for stat in diff) / 1024.0
     alloc_events = alloc_metrics.events_processed
+    pool_after = message_pool.pool_stats()
+    messages_allocated = pool_after["allocated"] - pool_before["allocated"]
+    messages_reused = pool_after["reused"] - pool_before["reused"]
+    pool_total = messages_allocated + messages_reused
+    msg_pool_reuse_pct = (
+        100.0 * messages_reused / pool_total if pool_total else 0.0
+    )
 
     events = sum(m.events_processed for m in serial)
     events_per_sec = events / serial_s if serial_s else 0.0
@@ -363,6 +400,15 @@ def main(argv=None) -> int:
         ),
         "spin_events_elided": poll_events - events,
         "wakeup_poll_identical": wakeup_poll_identical,
+        "hops_s": round(hops_s, 4),
+        "hops_events_per_sec": round(hops_events_per_sec, 1),
+        "express_equivalent_events_per_sec": round(
+            express_equivalent_events_per_sec, 1
+        ),
+        "hop_events_elided": hops_events - events,
+        "express_hops_identical": express_hops_identical,
+        "messages_allocated": messages_allocated,
+        "msg_pool_reuse_pct": round(msg_pool_reuse_pct, 1),
         "speedup": None if speedup is None else round(speedup, 3),
         "speedup_note": speedup_note,
         "events": events,
@@ -408,6 +454,14 @@ def main(argv=None) -> int:
         f"          poll-equivalent {poll_equivalent_events_per_sec:,.0f} "
         f"events/sec vs poll {poll_events_per_sec:,.0f}, "
         f"arch-identical: {wakeup_poll_identical})\n"
+        f"hops     {hops_s:8.2f} s   (REPRO_HOPS=1, "
+        f"{hops_events:,} events, {hops_events - events:,} hop events "
+        f"elided by express;\n"
+        f"          express-equivalent {express_equivalent_events_per_sec:,.0f} "
+        f"events/sec vs hops {hops_events_per_sec:,.0f}, "
+        f"arch-identical: {express_hops_identical})\n"
+        f"msgpool  {messages_allocated:,} records allocated, "
+        f"{msg_pool_reuse_pct:.1f}% of sends reused a pooled record\n"
         f"alloc    {alloc_blocks:,} blocks retained "
         f"({alloc_kib:,.0f} KiB, peak {peak_bytes / 1024.0:,.0f} KiB) "
         f"over {alloc_events:,} events\n"
@@ -417,7 +471,10 @@ def main(argv=None) -> int:
     )
     return (
         0
-        if identical and wakeup_poll_identical and cache_hits == len(specs)
+        if identical
+        and wakeup_poll_identical
+        and express_hops_identical
+        and cache_hits == len(specs)
         else 1
     )
 

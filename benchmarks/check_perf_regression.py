@@ -19,6 +19,17 @@ wakeup-pass wall clock, the apples-to-apples basis when wake mode
 ``poll_events_per_sec``.  That floor asserts the wakeup kernel
 actually beats polling, not merely matches it.
 
+The express message plane adds two more: the express and
+``REPRO_HOPS=1`` passes must be architecturally identical
+(``express_hops_identical``), and serial ``events_per_sec`` must hold
+``--express-threshold`` (default 110%) of the *pinned* pre-express
+baseline (``--pr7-baseline``, the serial throughput committed before
+the express plane landed).  Unlike the rolling 80% floor this is a
+ratchet: it pins the express plane's absolute win so a later change
+cannot silently trade it away while still passing the loose
+self-relative check.  Skipped when the candidate predates the express
+fields.
+
 The threshold is deliberately loose: CI runners vary, and the guard is
 meant to catch order-of-magnitude mistakes (an accidentally quadratic
 loop, a lost fast path), not wall-clock noise.
@@ -72,6 +83,20 @@ def main(argv=None) -> int:
         help="minimum candidate poll_equivalent_events_per_sec over "
         "baseline poll_events_per_sec (wakeup kernel must beat polling)",
     )
+    parser.add_argument(
+        "--express-threshold",
+        type=float,
+        default=1.10,
+        help="minimum candidate events_per_sec over the pinned "
+        "pre-express baseline (the express plane's win is a ratchet)",
+    )
+    parser.add_argument(
+        "--pr7-baseline",
+        type=float,
+        default=138_207.9,
+        help="serial events_per_sec of the last committed baseline "
+        "before the express message plane landed",
+    )
     args = parser.parse_args(argv)
 
     with open(args.baseline) as fh:
@@ -88,6 +113,14 @@ def main(argv=None) -> int:
         print(
             "FAIL: wakeup and poll kernel modes disagreed on the "
             "architectural payload"
+        )
+        return 1
+    if "express_hops_identical" in candidate and not candidate[
+        "express_hops_identical"
+    ]:
+        print(
+            "FAIL: express and REPRO_HOPS=1 message planes disagreed on "
+            "the architectural payload"
         )
         return 1
 
@@ -131,6 +164,26 @@ def main(argv=None) -> int:
             print(
                 "FAIL: wakeup kernel does not beat the committed poll "
                 f"baseline by {args.wakeup_threshold:.0%}"
+            )
+            failed = True
+
+    express_cand = candidate.get("events_per_sec")
+    if "hop_events_elided" not in candidate or express_cand is None:
+        # Older candidates predate the express plane; nothing to ratchet.
+        print("perf check: express ratchet skipped (express fields missing)")
+    else:
+        pinned = args.pr7_baseline
+        ratio = express_cand / pinned if pinned else float("inf")
+        print(
+            f"perf check: express serial {express_cand:,.0f} ev/s vs pinned "
+            f"pre-express baseline {pinned:,.0f} ev/s "
+            f"(ratio {ratio:.2f}, floor {args.express_threshold:.2f})"
+        )
+        if express_cand < pinned * args.express_threshold:
+            print(
+                "FAIL: serial throughput fell below "
+                f"{args.express_threshold:.0%} of the pinned pre-express "
+                "baseline — the express plane's win has been traded away"
             )
             failed = True
 

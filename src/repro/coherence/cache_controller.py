@@ -42,7 +42,7 @@ class OpKind(enum.Enum):
 class CoreRequest:
     """One pending core request for a block."""
 
-    __slots__ = ("kind", "addr", "value", "on_done", "issued_at")
+    __slots__ = ("kind", "addr", "value", "on_done", "issued_at", "needs_write")
 
     def __init__(
         self,
@@ -57,10 +57,13 @@ class CoreRequest:
         self.value = value
         self.on_done = on_done
         self.issued_at = issued_at
-
-    @property
-    def needs_write(self) -> bool:
-        return self.kind in (OpKind.STORE, OpKind.ATOMIC, OpKind.PREFETCH)
+        # Stored, not a property: the service loop consults this once
+        # per queued request and the descriptor call shows up there.
+        self.needs_write = (
+            kind is OpKind.STORE
+            or kind is OpKind.ATOMIC
+            or kind is OpKind.PREFETCH
+        )
 
 
 class WritebackEntry:
@@ -110,8 +113,17 @@ class BaseCacheController:
         self._active: Dict[int, object] = {}  # block -> transaction record
         self._writebacks: Dict[int, WritebackEntry] = {}
         self._stat = f"l1.{node}"
-        self._stat_accesses = f"l1.{node}.accesses"
-        self._stat_replay_accesses = f"l1.{node}.replay_accesses"
+        # Preresolved int-slot counter handles for the per-request and
+        # per-miss increment sites (the old f-string-per-miss keys cost
+        # a string build plus dict hash per event).
+        self._h_accesses = stats.handle(f"l1.{node}.accesses")
+        self._h_replay_accesses = stats.handle(f"l1.{node}.replay_accesses")
+        self._h_misses = stats.handle(f"l1.{node}.misses")
+        self._h_replay_misses = stats.handle(f"l1.{node}.replay_misses")
+        self._h_evictions = stats.handle(f"l1.{node}.evictions")
+        self._h_writebacks = stats.handle(f"l1.{node}.writebacks")
+        self._h_writebacks_stale = stats.handle(f"l1.{node}.writebacks_stale")
+        self._values = stats.values
         self._hit_latency = config.l1.hit_latency
         # Interned bound method: _submit/_transaction_done post this once
         # per request, and a fresh bound-method object per post is pure
@@ -121,7 +133,14 @@ class BaseCacheController:
         # per request).
         self._post = scheduler.post
         self._incr = stats.incr
-        self._next_access_delay = l1.next_access_delay
+        # L1 array internals, interned for the inlined peek in
+        # _service_block (one request = one peek; the method call and
+        # its re-derived locals are measurable at that rate).  The
+        # ``_sets`` list object is mutated in place, never rebound.
+        self._l1_sets = l1._sets
+        self._l1_shift = l1._shift
+        self._l1_set_mask = l1._set_mask
+        self._l1_ports = l1.config.ports
         #: When False (snooping), the protocol subclass fires epoch
         #: hooks itself at serialization points; the shared helpers stay
         #: silent except for clean-eviction epoch ends (no serialization
@@ -167,10 +186,22 @@ class BaseCacheController:
     # ------------------------------------------------------------------
     def _submit(self, req: CoreRequest) -> None:
         if req.kind is OpKind.REPLAY:
-            self._incr(self._stat_replay_accesses)
+            self._values[self._h_replay_accesses] += 1
         else:
-            self._incr(self._stat_accesses)
-        delay = self._next_access_delay(self.scheduler.now) + self._hit_latency
+            self._values[self._h_accesses] += 1
+        # Port model (CacheArray.next_access_delay), inlined: one call
+        # per request and the common shape is "first access this cycle".
+        l1 = self.l1
+        now = self.scheduler.now
+        delay = self._hit_latency
+        if now > l1._port_cycle:
+            l1._port_cycle = now
+            l1._port_used = 1
+        else:  # now == l1._port_cycle: time never goes backwards
+            used = l1._port_used
+            if used >= self._l1_ports:
+                delay += used // self._l1_ports
+            l1._port_used = used + 1
         block = req.addr & ~63  # block_of, inlined
         queue = self._queues.get(block)
         if queue is None:
@@ -190,26 +221,26 @@ class BaseCacheController:
             return
         # The line (identity and state) cannot change synchronously while
         # we drain: on_done callbacks only enqueue work through _submit /
-        # the scheduler, so one peek serves the whole loop.
-        line = self.l1.peek(block)
-        if line is None:
+        # the scheduler, so one peek serves the whole loop.  The peek is
+        # CacheArray.peek inlined over the interned set list (``block``
+        # is already block-aligned): an I-state line counts as absent,
+        # exactly like peek returning None.
+        set_mask = self._l1_set_mask
+        cache_set = self._l1_sets[
+            (block >> self._l1_shift) & set_mask
+            if set_mask is not None
+            else self.l1._set_index(block)
+        ]
+        line = cache_set.get(block) if cache_set is not None else None
+        if line is None or line.state is CoherenceState.I:
+            line = None
             can_read = can_write = False
         else:
-            state = line.state
-            can_read = state is not CoherenceState.I
-            can_write = state is CoherenceState.M
+            can_read = True  # any valid state is readable
+            can_write = line.state is CoherenceState.M
         while queue:
             req = queue[0]
-            kind = req.kind
-            if (
-                can_write
-                if (
-                    kind is OpKind.STORE
-                    or kind is OpKind.ATOMIC
-                    or kind is OpKind.PREFETCH
-                )
-                else can_read
-            ):
+            if can_write if req.needs_write else can_read:
                 queue.popleft()
                 self._perform(req, line)
                 continue
@@ -221,21 +252,13 @@ class BaseCacheController:
             return
         del self._queues[block]
 
-    @staticmethod
-    def _satisfiable(req: CoreRequest, line: Optional[CacheLine]) -> bool:
-        if line is None:
-            return False
-        if req.needs_write:
-            return line.state.can_write()
-        return line.state.can_read()
-
     def _begin_miss(self, req: CoreRequest, block: int, line: Optional[CacheLine]) -> None:
         """Evict if necessary (blocking), then start the transaction."""
         want_m = req.needs_write
         if req.kind is OpKind.REPLAY:
-            self.stats.incr(f"{self._stat}.replay_misses")
+            self._values[self._h_replay_misses] += 1
         else:
-            self.stats.incr(f"{self._stat}.misses")
+            self._values[self._h_misses] += 1
         if line is None:
             victim = self.l1.victim_for(block, pinned=self._pinned)
             if victim is not None and self._evict(victim, then_block=block):
@@ -246,7 +269,7 @@ class BaseCacheController:
         """Evict ``victim``.  Returns True if the caller must wait for a
         blocking writeback before proceeding with ``then_block``."""
         addr = victim.addr
-        self.stats.incr(f"{self._stat}.evictions")
+        self._values[self._h_evictions] += 1
         if (self.manage_epochs or not victim.is_dirty()) and self.hooks.sub_epoch_end:
             self.hooks.epoch_end(self.node, addr, list(victim.data))
         if self.hooks.sub_invalidation:
@@ -270,7 +293,11 @@ class BaseCacheController:
     # Performing accesses
     # ------------------------------------------------------------------
     def _perform(self, req: CoreRequest, line: CacheLine) -> None:
-        self.l1.touch(line)  # refresh LRU without a second set lookup
+        # CacheArray.touch inlined: refresh LRU recency without a second
+        # set lookup (or a method call — one per performed access).
+        l1 = self.l1
+        l1._use_clock = clock = l1._use_clock + 1
+        line.last_used = clock
         kind = req.kind
         hooks = self.hooks
         addr = req.addr
@@ -377,9 +404,9 @@ class BaseCacheController:
         if entry is None:
             self.stats.incr(f"{self._stat}.unexpected_wb_ack")
             return
-        self.stats.incr(
-            f"{self._stat}.writebacks_stale" if stale else f"{self._stat}.writebacks"
-        )
+        self._values[
+            self._h_writebacks_stale if stale else self._h_writebacks
+        ] += 1
         entry.on_done()
         if self.wakes is not None:
             self.wakes.notify()

@@ -18,7 +18,13 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import CoherenceState, EpochType, block_of
 from repro.config import SystemConfig
 from repro.interconnect.base import Network
-from repro.interconnect.message import Message
+from repro.interconnect.message import (
+    FLAG_DATA_COMING,
+    FLAG_HAVE_LINE,
+    Message,
+    acquire,
+    release,
+)
 from repro.memory.cache import CacheArray
 from repro.memory.memory import MainMemory
 
@@ -82,23 +88,22 @@ class DirectoryCacheController(BaseCacheController):
         self._cb_handle = self._handle
 
     # -- outbound ---------------------------------------------------------
-    def _send(self, dst: int, kind: Coh, addr: int, **meta) -> None:
+    def _send(
+        self,
+        dst: int,
+        kind: Coh,
+        addr: int,
+        data=None,
+        req: int = -1,
+        flags: int = 0,
+    ) -> None:
         size = (
             self.config.network.data_message_bytes
-            if meta.get("data") is not None
+            if data is not None
             else self.config.network.control_message_bytes
         )
-        data = meta.pop("data", None)
         self.network.send(
-            Message(
-                src=self.node,
-                dst=dst,
-                kind=kind,
-                addr=addr,
-                data=data,
-                meta=meta,
-                size_bytes=size,
-            )
+            acquire(self.node, dst, kind, addr, data, size, req=req, flags=flags)
         )
 
     def _start_transaction(self, block: int, want_m: bool) -> None:
@@ -113,7 +118,7 @@ class DirectoryCacheController(BaseCacheController):
             home,
             Coh.GETM if want_m else Coh.GETS,
             block,
-            have_line=line is not None,
+            flags=FLAG_HAVE_LINE if line is not None else 0,
         )
 
     def _start_writeback(self, entry: WritebackEntry) -> None:
@@ -144,6 +149,9 @@ class DirectoryCacheController(BaseCacheController):
             self._writeback_done(msg.addr, stale=True)
         else:
             self.unexpected(f"kind_{kind}")
+            return
+        # Sole consumer of this record; payload copies were taken above.
+        release(msg)
 
     # Transaction replies -------------------------------------------------
     def _txn(self, addr: int) -> Optional[_DirTransaction]:
@@ -162,8 +170,8 @@ class DirectoryCacheController(BaseCacheController):
         if txn is None or not txn.want_m:
             self.unexpected("ackcount_no_txn")
             return
-        txn.acks_expected = msg.meta["acks"]
-        txn.data_coming = msg.meta["data_coming"]
+        txn.acks_expected = msg.acks
+        txn.data_coming = bool(msg.flags & FLAG_DATA_COMING)
         self._maybe_finish(txn)
 
     def _on_inv_ack(self, msg: Message) -> None:
@@ -215,7 +223,7 @@ class DirectoryCacheController(BaseCacheController):
 
     # Remote-initiated actions ---------------------------------------------
     def _on_fwd_gets(self, msg: Message) -> None:
-        requestor = msg.meta["requestor"]
+        requestor = msg.req
         block = block_of(msg.addr)
         line = self.l1.peek(block)
         if line is not None and line.state.is_owner():
@@ -230,7 +238,7 @@ class DirectoryCacheController(BaseCacheController):
         self.unexpected("fwd_gets_no_copy")
 
     def _on_fwd_getm(self, msg: Message) -> None:
-        requestor = msg.meta["requestor"]
+        requestor = msg.req
         block = block_of(msg.addr)
         line = self.l1.peek(block)
         if line is not None and line.state.is_owner():
@@ -245,7 +253,7 @@ class DirectoryCacheController(BaseCacheController):
         self.unexpected("fwd_getm_no_copy")
 
     def _on_inv(self, msg: Message) -> None:
-        requestor = msg.meta["requestor"]
+        requestor = msg.req
         block = block_of(msg.addr)
         line = self.l1.peek(block)
         if line is not None:
@@ -308,15 +316,16 @@ class DirectoryMemoryController:
         self._busy: Set[int] = set()
         self._queue: Dict[int, Deque[Message]] = {}
         self._stat = f"dir.{node}"
-        self._stat_gets = f"dir.{node}.gets"
-        self._stat_getm = f"dir.{node}.getm"
-        self._stat_putm = f"dir.{node}.putm"
-        self._stat_unexpected = f"dir.{node}.unexpected"
+        # Preresolved int-slot counter handles (hot increment sites).
+        self._h_gets = stats.handle(f"dir.{node}.gets")
+        self._h_getm = stats.handle(f"dir.{node}.getm")
+        self._h_putm = stats.handle(f"dir.{node}.putm")
+        self._h_unexpected = stats.handle(f"dir.{node}.unexpected")
+        self._values = stats.values
         self._cb_handle = self._handle
         # Interned hot-path targets; every coherence transaction funnels
         # several messages through this controller.
         self._post = scheduler.post
-        self._incr = stats.incr
         self._cb_supply = self._supply
         self._mem_latency = config.memory.latency
 
@@ -334,22 +343,25 @@ class DirectoryMemoryController:
         return ent
 
     # -- outbound ---------------------------------------------------------
-    def _send(self, dst: int, kind: Coh, addr: int, **meta) -> None:
-        data = meta.pop("data", None)
+    def _send(
+        self,
+        dst: int,
+        kind: Coh,
+        addr: int,
+        data=None,
+        req: int = -1,
+        acks: int = -1,
+        flags: int = 0,
+    ) -> None:
         size = (
             self.config.network.data_message_bytes
             if data is not None
             else self.config.network.control_message_bytes
         )
         self.network.send(
-            Message(
-                src=self.node,
-                dst=dst,
-                kind=kind,
-                addr=addr,
-                data=data,
-                meta=meta,
-                size_bytes=size,
+            acquire(
+                self.node, dst, kind, addr, data, size,
+                req=req, acks=acks, flags=flags,
             )
         )
 
@@ -361,6 +373,7 @@ class DirectoryMemoryController:
         block = msg.addr & ~63  # block_of, inlined
         if msg.kind is Coh.UNBLOCK:
             self._on_unblock(block)
+            release(msg)
             return
         if block in self._busy:
             queue = self._queue.get(block)
@@ -374,11 +387,15 @@ class DirectoryMemoryController:
         if msg.kind is Coh.GETS:
             self._on_gets(msg.src, block)
         elif msg.kind is Coh.GETM:
-            self._on_getm(msg.src, block, msg.meta.get("have_line", False))
+            self._on_getm(msg.src, block, bool(msg.flags & FLAG_HAVE_LINE))
         elif msg.kind is Coh.PUTM:
             self._on_putm(msg, block)
         else:
-            self._incr(self._stat_unexpected)
+            self._values[self._h_unexpected] += 1
+            return
+        # Done with the record (queued requests release here, when the
+        # unblock drain finally processes them).
+        release(msg)
 
     def _supply(self, requestor: int, block: int, data: List[int]) -> None:
         """Memory-sourced Data reply (posted after the memory latency)."""
@@ -386,20 +403,20 @@ class DirectoryMemoryController:
 
     def _on_gets(self, requestor: int, block: int) -> None:
         self._busy.add(block)
-        self._incr(self._stat_gets)
+        self._values[self._h_gets] += 1
         self.hooks.home_request(self.node, block)
         owner = self._owner.get(block)
         if owner is None:
             data = self.memory.read_block(block)
             self._post(self._mem_latency, self._cb_supply, (requestor, block, data))
         else:
-            self._send(owner, Coh.FWD_GETS, block, requestor=requestor)
+            self._send(owner, Coh.FWD_GETS, block, req=requestor)
         self._sharers[block] = self._sharers.get(block, 0) | (1 << requestor)
         # Owner (if any) retains ownership in O state.
 
     def _on_getm(self, requestor: int, block: int, have_line: bool = False) -> None:
         self._busy.add(block)
-        self._incr(self._stat_getm)
+        self._values[self._h_getm] += 1
         self.hooks.home_request(self.node, block)
         owner = self._owner.get(block)
         rbit = 1 << requestor
@@ -407,7 +424,7 @@ class DirectoryMemoryController:
         inv_mask = sharer_mask & ~rbit
         data_coming = not (owner == requestor or (sharer_mask & rbit and have_line))
         if owner is not None and owner != requestor:
-            self._send(owner, Coh.FWD_GETM, block, requestor=requestor)
+            self._send(owner, Coh.FWD_GETM, block, req=requestor)
             data_coming = True
             inv_mask &= ~(1 << owner)
         elif owner is None and data_coming:
@@ -418,19 +435,19 @@ class DirectoryMemoryController:
             Coh.ACK_COUNT,
             block,
             acks=inv_mask.bit_count(),
-            data_coming=data_coming,
+            flags=FLAG_DATA_COMING if data_coming else 0,
         )
         # Ascending bit order matches the old sorted(invalidatees) sweep.
         mask = inv_mask
         while mask:
             low = mask & -mask
-            self._send(low.bit_length() - 1, Coh.INV, block, requestor=requestor)
+            self._send(low.bit_length() - 1, Coh.INV, block, req=requestor)
             mask ^= low
         self._owner[block] = requestor
         self._sharers[block] = 0
 
     def _on_putm(self, msg: Message, block: int) -> None:
-        self._incr(self._stat_putm)
+        self._values[self._h_putm] += 1
         if self._owner.get(block) == msg.src:
             if msg.data is None:
                 raise SimulationError("PutM without data")

@@ -22,7 +22,7 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import CoherenceState, EpochType, block_of, word_index
 from repro.config import SystemConfig
 from repro.interconnect.base import Network
-from repro.interconnect.message import Message
+from repro.interconnect.message import Message, acquire, release
 from repro.memory.cache import CacheArray
 from repro.memory.memory import MainMemory
 
@@ -89,6 +89,9 @@ class SnoopingCacheController(BaseCacheController):
 
     # -- outbound ---------------------------------------------------------
     def _broadcast(self, kind: Snoop, addr: int) -> None:
+        # Snoop broadcasts fan out to two consumers per node (cache and
+        # memory controller) and are therefore never pooled: plain
+        # construction, no release.
         self.address_net.send(
             Message(
                 src=self.node,
@@ -101,13 +104,13 @@ class SnoopingCacheController(BaseCacheController):
 
     def _send_data(self, dst: int, kind: Coh, addr: int, data: List[int]) -> None:
         self.data_net.send(
-            Message(
-                src=self.node,
-                dst=dst,
-                kind=kind,
-                addr=addr,
-                data=list(data),
-                size_bytes=self.config.network.data_message_bytes,
+            acquire(
+                self.node,
+                dst,
+                kind,
+                addr,
+                list(data),
+                self.config.network.data_message_bytes,
             )
         )
 
@@ -269,11 +272,13 @@ class SnoopingCacheController(BaseCacheController):
             # against the still-present CET entry).
             self._complete_killed(txn, list(msg.data))
             self.hooks.epoch_data(self.node, block, list(msg.data))
+            release(msg)
             return
         self.hooks.epoch_data(self.node, block, list(msg.data))
         state = CoherenceState.M if txn.want_m else CoherenceState.S
         self._install_block(block, state, list(msg.data))
         self._complete(txn)
+        release(msg)
 
     # -- completion -----------------------------------------------------------
     def _complete(self, txn: _SnoopTransaction) -> None:
@@ -336,9 +341,11 @@ class SnoopingMemoryController:
         self._owner: Dict[int, Optional[int]] = {}
         self._pending_wb: Dict[int, int] = {}
         self._stat = f"snoopmem.{node}"
-        self._stat_gets = f"snoopmem.{node}.gets"
-        self._stat_getm = f"snoopmem.{node}.getm"
-        self._stat_putm = f"snoopmem.{node}.putm"
+        # Preresolved int-slot counter handles (hot increment sites).
+        self._h_gets = stats.handle(f"snoopmem.{node}.gets")
+        self._h_getm = stats.handle(f"snoopmem.{node}.getm")
+        self._h_putm = stats.handle(f"snoopmem.{node}.putm")
+        self._values = stats.values
         self._cb_snoop = self._snoop
         self._cb_wb_data = self._wb_data
 
@@ -353,18 +360,18 @@ class SnoopingMemoryController:
         kind = msg.kind
         if kind is Snoop.GETS:
             self.hooks.home_request(self.node, block)
-            self.stats.incr(self._stat_gets)
+            self._values[self._h_gets] += 1
             if owner is None:
                 self._supply(msg.src, block)
         elif kind is Snoop.GETM:
             self.hooks.home_request(self.node, block)
-            self.stats.incr(self._stat_getm)
+            self._values[self._h_getm] += 1
             if owner is None and owner != msg.src:
                 self._supply(msg.src, block)
             if owner != msg.src:
                 self._owner[block] = msg.src
         elif kind is Snoop.PUTM:
-            self.stats.incr(self._stat_putm)
+            self._values[self._h_putm] += 1
             if owner == msg.src:
                 self._owner[block] = None
                 self._pending_wb[block] = msg.src
@@ -374,13 +381,13 @@ class SnoopingMemoryController:
         self.scheduler.post(
             self.config.memory.latency,
             self.data_net.send,
-            (Message(
-                src=self.node,
-                dst=requestor,
-                kind=Coh.DATA,
-                addr=block,
-                data=data,
-                size_bytes=self.config.network.data_message_bytes,
+            (acquire(
+                self.node,
+                requestor,
+                Coh.DATA,
+                block,
+                data,
+                self.config.network.data_message_bytes,
             ),),
         )
 
@@ -396,5 +403,7 @@ class SnoopingMemoryController:
                 self.node, block, self.memory.read_block(block), msg.data
             )
             self.memory.write_block(block, msg.data)
+            release(msg)
         else:
             self.stats.incr(f"{self._stat}.stale_wb_data")
+            release(msg)

@@ -61,13 +61,28 @@ class StatsRegistry:
     Keys are dotted paths, conventionally ``component.node.metric``
     (e.g. ``"l1.3.replay_misses"``); :meth:`sum` aggregates over glob-like
     prefixes.
+
+    Two counter planes share the same key space:
+
+    * the string-keyed dict behind :meth:`incr` (cold/compat path);
+    * preresolved **handles** — :meth:`handle` maps a key to an index
+      into the flat :attr:`values` list once, and hot sites bump
+      ``registry.values[h] += n`` with no hashing or string work at
+      all.  Handle-backed keys surface through every read API
+      (:meth:`counter`, :meth:`sum`, :meth:`counters`, ...) only when
+      nonzero, preserving the old "a key exists iff it was
+      incremented" reporting contract byte for byte.
     """
 
-    __slots__ = ("_counters", "_histograms")
+    __slots__ = ("_counters", "_histograms", "values", "_handles", "_handle_keys")
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._histograms: Dict[str, Histogram] = {}
+        #: Flat handle-backed counter slots; hot sites index directly.
+        self.values: List[int] = []
+        self._handles: Dict[str, int] = {}
+        self._handle_keys: List[str] = []
 
     # Counters -----------------------------------------------------------
     def incr(self, key: str, amount: int = 1) -> None:
@@ -83,15 +98,54 @@ class StatsRegistry:
         except KeyError:
             self._counters[key] = amount
 
+    def handle(self, key: str) -> int:
+        """Preresolve ``key`` to an int index into :attr:`values`.
+
+        Idempotent: the same key always maps to the same slot.  The
+        slot starts at 0 and is invisible to the read APIs until the
+        first increment lands.
+        """
+        idx = self._handles.get(key)
+        if idx is None:
+            idx = self._handles[key] = len(self._handle_keys)
+            self._handle_keys.append(key)
+            self.values.append(0)
+        return idx
+
+    def incr_handle(self, handle: int, amount: int = 1) -> None:
+        """Increment a preresolved handle (hot sites inline this)."""
+        self.values[handle] += amount
+
     def set_counter(self, key: str, value: int) -> None:
-        self._counters[key] = value
+        idx = self._handles.get(key)
+        if idx is not None:
+            self.values[idx] = value
+            self._counters.pop(key, None)
+        else:
+            self._counters[key] = value
 
     def counter(self, key: str) -> int:
-        return self._counters.get(key, 0)
+        total = self._counters.get(key, 0)
+        idx = self._handles.get(key)
+        if idx is not None:
+            total += self.values[idx]
+        return total
+
+    def _merged(self) -> Dict[str, int]:
+        """String + handle planes folded together (nonzero handles only)."""
+        out = dict(self._counters)
+        values = self.values
+        for key, idx in self._handles.items():
+            v = values[idx]
+            if v:
+                out[key] = out.get(key, 0) + v
+        return out
 
     def sum(self, prefix: str) -> int:
         """Sum of all counters whose key starts with ``prefix``."""
-        return sum(v for k, v in self._counters.items() if k.startswith(prefix))
+        return sum(
+            v for k, v in self._merged().items() if k.startswith(prefix)
+        )
 
     def max_over(self, prefix: str) -> Tuple[str, int]:
         """(key, value) of the largest counter under ``prefix``.
@@ -100,7 +154,7 @@ class StatsRegistry:
         Returns ``("", 0)`` when no counter matches.
         """
         best_key, best = "", 0
-        for k, v in self._counters.items():
+        for k, v in self._merged().items():
             if k.startswith(prefix) and v > best:
                 best_key, best = k, v
         return best_key, best
@@ -121,14 +175,16 @@ class StatsRegistry:
     # Reporting ----------------------------------------------------------
     def counters(self) -> Dict[str, int]:
         """Snapshot of every counter (plain data, safe to pickle)."""
-        return dict(self._counters)
+        return self._merged()
 
     def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
-        return {k: v for k, v in self._counters.items() if k.startswith(prefix)}
+        return {
+            k: v for k, v in self._merged().items() if k.startswith(prefix)
+        }
 
     def as_dict(self) -> Dict[str, float]:
         """Flatten everything into a plain dict (counters + histogram means)."""
-        out: Dict[str, float] = dict(self._counters)
+        out: Dict[str, float] = self._merged()
         for key, hist in self._histograms.items():
             out[f"{key}.mean"] = hist.mean
             out[f"{key}.count"] = hist.count

@@ -46,7 +46,7 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import BLOCK_SIZE, EpochType, ViolationReport, block_of
 from repro.config import SystemConfig
 from repro.dvmc.interval_index import IntervalIndex
-from repro.interconnect.message import Message
+from repro.interconnect.message import Message, acquire, release
 
 from repro.coherence.messages import Dvcc
 
@@ -207,6 +207,17 @@ class CoherenceChecker:
             f"dvcc.{n}.pq_forced_drains" for n in range(num)
         ]
         self._stat_violations = [f"dvcc.{n}.violations" for n in range(num)]
+        # Int-slot handles for the per-inform/per-epoch increments; the
+        # string lists above stay as the obs_snapshot read keys (the
+        # registry merges both planes).
+        self._h_epochs_begun = [stats.handle(k) for k in self._stat_epochs_begun]
+        self._h_informs_sent = [stats.handle(k) for k in self._stat_informs_sent]
+        self._h_informs_processed = [
+            stats.handle(k) for k in self._stat_informs_processed
+        ]
+        self._h_pq_forced = [stats.handle(k) for k in self._stat_pq_forced]
+        self._h_violations = [stats.handle(k) for k in self._stat_violations]
+        self._values = stats.values
         # Observability (repro.obs): per-bank probe and overlap-check
         # counters, maintained only when attached.  Informs are orders
         # of magnitude rarer than scheduler events, so a guarded int
@@ -308,7 +319,7 @@ class CoherenceChecker:
         self._scrub_fifo[node].append((block, entry.begin))
         if len(self._scrub_fifo[node]) > self.config.dvmc.scrub_fifo_entries:
             self._scrub_check(node)
-        self.stats.incr(self._stat_epochs_begun[node])
+        self._values[self._h_epochs_begun[node]] += 1
 
     def epoch_data(self, node: int, addr: int, data: list) -> None:
         block = block_of(addr)
@@ -359,21 +370,22 @@ class CoherenceChecker:
                 home,
                 Dvcc.INFORM_CLOSED_EPOCH,
                 block,
-                {"etype": entry.etype, "end": entry.end},
+                entry.etype,
+                end=entry.end,
             )
         else:
+            bh = entry.begin_hash
+            eh = entry.end_hash
             self._send_inform(
                 node,
                 home,
                 Dvcc.INFORM_EPOCH,
                 block,
-                {
-                    "etype": entry.etype,
-                    "begin": entry.begin,
-                    "end": entry.end,
-                    "begin_hash": entry.begin_hash,
-                    "end_hash": entry.end_hash,
-                },
+                entry.etype,
+                begin=entry.begin,
+                end=entry.end,
+                begin_hash=-1 if bh is None else bh,
+                end_hash=-1 if eh is None else eh,
             )
 
     def check_access(self, node: int, addr: int, is_store: bool) -> None:
@@ -414,16 +426,15 @@ class CoherenceChecker:
                 continue  # epoch already over (or renumbered, or informed)
             if now - begin >= self._wrap_horizon:
                 entry.open_informed = True
+                bh = entry.begin_hash
                 self._send_inform(
                     node,
                     self.home_of(block),
                     Dvcc.INFORM_OPEN_EPOCH,
                     block,
-                    {
-                        "etype": entry.etype,
-                        "begin": entry.begin,
-                        "begin_hash": entry.begin_hash,
-                    },
+                    entry.etype,
+                    begin=entry.begin,
+                    begin_hash=-1 if bh is None else bh,
                 )
                 self.stats.incr(self._stat_open_informs[node])
             else:
@@ -434,19 +445,36 @@ class CoherenceChecker:
     # Inform transport
     # ------------------------------------------------------------------
     def _send_inform(
-        self, src: int, dst: int, kind: Dvcc, block: int, meta: dict
+        self,
+        src: int,
+        dst: int,
+        kind: Dvcc,
+        block: int,
+        etype: EpochType,
+        begin: int = -1,
+        end: int = -1,
+        begin_hash: int = -1,
+        end_hash: int = -1,
     ) -> None:
-        self.stats.incr(self._stat_informs_sent[src])
-        self.send(
-            Message(
-                src=src,
-                dst=dst,
-                kind=kind,
-                addr=block,
-                meta=meta,
-                size_bytes=self.config.network.inform_epoch_bytes,
-            )
+        """Build an inform on pooled int slots (no meta dict).
+
+        ``-1`` marks an absent time/hash, matching the flat MET record
+        encoding.
+        """
+        self._values[self._h_informs_sent[src]] += 1
+        msg = acquire(
+            src,
+            dst,
+            kind,
+            addr=block,
+            size_bytes=self.config.network.inform_epoch_bytes,
         )
+        msg.etype = 1 if etype is EpochType.READ_WRITE else 0
+        msg.t_begin = begin
+        msg.t_end = end
+        msg.h_begin = begin_hash
+        msg.h_end = end_hash
+        self.send(msg)
 
     def handle_message(self, msg: Message) -> None:
         """One inform arriving at a home memory controller's MET."""
@@ -478,14 +506,15 @@ class CoherenceChecker:
         begin_hash, end_hash)`` with -1 for absent hashes/times.
         """
         home = msg.dst
-        meta = msg.meta
         kind = msg.kind
         block = block_of(msg.addr)
-        etype_code = 1 if meta["etype"] is EpochType.READ_WRITE else 0
+        etype_code = msg.etype
+        if etype_code < 0:
+            etype_code = 0
         if kind is Dvcc.INFORM_EPOCH:
-            begin = meta.get("begin", 0)
-            bh = meta.get("begin_hash")
-            eh = meta.get("end_hash")
+            begin = msg.t_begin
+            if begin < 0:
+                begin = 0
             record = (
                 begin,
                 next(self._pq_seq),
@@ -494,13 +523,14 @@ class CoherenceChecker:
                 block,
                 etype_code,
                 begin,
-                meta["end"],
-                -1 if bh is None else bh,
-                -1 if eh is None else eh,
+                msg.t_end,
+                msg.h_begin,
+                msg.h_end,
             )
         elif kind is Dvcc.INFORM_OPEN_EPOCH:
-            begin = meta.get("begin", 0)
-            bh = meta.get("begin_hash")
+            begin = msg.t_begin
+            if begin < 0:
+                begin = 0
             record = (
                 begin,
                 next(self._pq_seq),
@@ -510,11 +540,11 @@ class CoherenceChecker:
                 etype_code,
                 begin,
                 -1,
-                -1 if bh is None else bh,
+                msg.h_begin,
                 -1,
             )
         else:  # INFORM_CLOSED_EPOCH sorts by its end time
-            end = meta["end"]
+            end = msg.t_end
             record = (
                 end,
                 next(self._pq_seq),
@@ -527,6 +557,9 @@ class CoherenceChecker:
                 -1,
                 -1,
             )
+        # The record carries everything the MET needs; the checker is
+        # the inform's sole consumer, so the wire record recycles here.
+        release(msg)
         bank = (block >> _BANK_SHIFT) & _BANK_MASK
         if self._obs_on:
             self._obs_bank_pushes[bank] += 1
@@ -535,7 +568,7 @@ class CoherenceChecker:
         if self._pq_len[home] > self.config.dvmc.priority_queue_entries:
             # Hardware's bounded queue: evict (process) the oldest
             # entry immediately rather than grow without bound.
-            self.stats.incr(self._stat_pq_forced[home])
+            self._values[self._h_pq_forced[home]] += 1
             self._drain(home, force_one=True)
         return home
 
@@ -656,7 +689,7 @@ class CoherenceChecker:
                 self._process_inform(home, best)
 
     def _process_inform(self, home: int, record: tuple) -> None:
-        self.stats.incr(self._stat_informs_processed[home])
+        self._values[self._h_informs_processed[home]] += 1
         (
             _key,
             _seq,
@@ -812,7 +845,7 @@ class CoherenceChecker:
         self.scheduler.post(SWEEP_PERIOD, self._sweep)
 
     def _violate(self, node: int, kind: str, detail: str) -> None:
-        self.stats.incr(self._stat_violations[node])
+        self._values[self._h_violations[node]] += 1
         self.violations(
             ViolationReport("CC", self.scheduler.now, node, kind, detail)
         )

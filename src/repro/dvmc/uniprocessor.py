@@ -89,6 +89,12 @@ class UniprocessorOrderingChecker:
         self._stat_vc_hits = f"uo.{node}.replay_vc_hits"
         self._stat_stale = f"uo.{node}.replay_stale_entries"
         self._stat_cache_reads = f"uo.{node}.replay_cache_reads"
+        # Handle plane for the per-operation increments; the string
+        # keys above remain the obs_snapshot read keys.
+        self._h_store_allocs = stats.handle(self._stat_store_allocs)
+        self._h_vc_hits = stats.handle(self._stat_vc_hits)
+        self._h_cache_reads = stats.handle(self._stat_cache_reads)
+        self._values = stats.values
         self._scan_interval = config.dvmc.membar_injection_interval
         scheduler.post(self._scan_interval, self._scan_stale)
 
@@ -113,7 +119,7 @@ class UniprocessorOrderingChecker:
         entry.count += 1
         entry.last_used = now
         entry.load_seq = None
-        self.stats.incr(self._stat_store_allocs)
+        self._values[self._h_store_allocs] += 1
         return True
 
     def commit_stores(self, records) -> int:
@@ -146,7 +152,7 @@ class UniprocessorOrderingChecker:
             entry.load_seq = None
             done += 1
         if done:
-            self.stats.incr(self._stat_store_allocs, done)
+            self._values[self._h_store_allocs] += done
         return done
 
     def store_performed(self, seq: int, addr: int, value_written: int) -> None:
@@ -230,10 +236,10 @@ class UniprocessorOrderingChecker:
                 self.stats.incr(self._stat_stale)
                 done(False, original_value if original_value is not None else 0)
                 return
-            self.stats.incr(self._stat_vc_hits)
+            self._values[self._h_vc_hits] += 1
             done(entry.value != original_value, entry.value)
             return
-        self.stats.incr(self._stat_cache_reads)
+        self._values[self._h_cache_reads] += 1
         self.controller.replay_load(
             addr, lambda value: done(value != original_value, value)
         )

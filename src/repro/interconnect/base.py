@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from repro.common.errors import ConfigError, SimulationError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 
+from . import message as message_pool
 from .message import Message
 
 
@@ -42,19 +43,21 @@ class Network(ABC):
         self.stats = stats
         self._handlers: Dict[int, Callable[[Message], None]] = {}
         self._batch_handlers: Dict[int, Callable[[List[Message]], None]] = {}
-        #: In-flight coalesced deliveries: (dst, arrival cycle) -> the
-        #: message list captured by the already-scheduled callback.
-        self._pending_batches: Dict[Tuple[int, int], List[Message]] = {}
+        #: In-flight coalesced deliveries, keyed ``cycle << 16 | dst``
+        #: (one int hash instead of a tuple allocation per delivery) ->
+        #: the message list captured by the already-scheduled callback.
+        self._pending_batches: Dict[int, List[Message]] = {}
         self._fault_hook: Optional[FaultHook] = None
         self.messages_sent = 0
         self.deliveries_coalesced = 0
-        self._coalesce_key = f"net.{name}.coalesced_deliveries"
+        self._h_coalesce = stats.handle(f"net.{name}.coalesced_deliveries")
         # Interned hot-path targets: every message delivery goes through
         # deliver_at, and subclasses charge per-link byte counters per
-        # hop.
+        # hop via preresolved handles into the flat values list.
         self._post = scheduler.post
         self._post_at = scheduler.post_at
         self._incr = stats.incr
+        self._values = stats.values
         self._cb_deliver_batch = self._deliver_batch
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
@@ -89,16 +92,25 @@ class Network(ABC):
         return len(self._handlers)
 
     def _apply_fault_hook(self, message: Message) -> "list[Message]":
-        """Run the hook; return the list of messages to actually route."""
+        """Run the hook; return the list of messages to actually route.
+
+        Every message a hook saw is pinned (``no_recycle``): the
+        injector (or a test asserting on the fault) may hold a
+        reference past delivery, so the record must never be recycled
+        under it.
+        """
         if self._fault_hook is None:
             return [message]
+        message.no_recycle = True
         action, misroute_to = self._fault_hook(message)
         if action is FaultAction.DROP:
             self.stats.incr(f"net.{self.name}.faults.dropped")
             return []
         if action is FaultAction.DUPLICATE:
             self.stats.incr(f"net.{self.name}.faults.duplicated")
-            return [message, message.copy_for_duplicate()]
+            dup = message.copy_for_duplicate()
+            dup.no_recycle = True
+            return [message, dup]
         if action is FaultAction.MISROUTE:
             self.stats.incr(f"net.{self.name}.faults.misrouted")
             if misroute_to is None:
@@ -125,22 +137,22 @@ class Network(ABC):
         batch, messages keep their scheduling order — the order the old
         one-event-per-message scheme would have delivered them in.
         """
-        key = (message.dst, time)
+        key = time << 16 | message.dst
         batch = self._pending_batches.get(key)
         if batch is not None:
             batch.append(message)
             self.deliveries_coalesced += 1
-            self._incr(self._coalesce_key)
+            self._values[self._h_coalesce] += 1
             return
         self._pending_batches[key] = batch = [message]
         self._post_at(time, self._cb_deliver_batch, (key, batch))
 
-    def _deliver_batch(self, key: Tuple[int, int], batch: List[Message]) -> None:
+    def _deliver_batch(self, key: int, batch: List[Message]) -> None:
         del self._pending_batches[key]
         if len(batch) == 1:
             self._deliver(batch[0])
             return
-        node = key[0]
+        node = key & 0xFFFF
         batch_handler = self._batch_handlers.get(node)
         if batch_handler is not None:
             batch_handler(batch)
@@ -175,6 +187,7 @@ class Network(ABC):
         links = self.stats.counters_with_prefix(link_prefix)
         sent = self.messages_sent
         coalesced = self.deliveries_coalesced
+        pool = message_pool.pool_stats()
         return {
             "messages_sent": sent,
             "deliveries_coalesced": coalesced,
@@ -183,4 +196,9 @@ class Network(ABC):
             "links": len(links),
             "total_bytes": sum(links.values()),
             "max_link_bytes": max(links.values(), default=0),
+            # Message-record freelist (process-wide, shared by every
+            # network; repeated per layer for dashboard convenience).
+            "msg_pool_depth": pool["depth"],
+            "msg_pool_allocated": pool["allocated"],
+            "msg_pool_reused": pool["reused"],
         }

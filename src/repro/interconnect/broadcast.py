@@ -46,23 +46,46 @@ class BroadcastTreeNetwork(Network):
         self._num_nodes = num_nodes
         self._root_free_at = 0
         self.order_count = 0  # total broadcasts ordered so far
+        self._ser_memo = {}
+        #: Per-source up-link byte-counter handles, resolved on first use.
+        self._up_handles = {}
+        #: (sorted nodes, their handlers, down-link handles), rebuilt
+        #: lazily after registration changes.
+        self._fanout = None
+
+    def register(self, node, handler):
+        super().register(node, handler)
+        self._fanout = None
 
     def send(self, message: Message) -> None:
         """Arbitrate at the root, then broadcast in total order."""
         self.messages_sent += 1
-        for msg in self._apply_fault_hook(message):
-            ser = self.config.serialization_cycles(msg.size_bytes)
-            start = max(
-                self.scheduler.now + self.config.link_latency, self._root_free_at
-            )
+        if self._fault_hook is not None:
+            msgs = self._apply_fault_hook(message)
+        else:
+            msgs = (message,)
+        values = self._values
+        link_latency = self.config.link_latency
+        for msg in msgs:
+            size = msg.size_bytes
+            ser = self._ser_memo.get(size)
+            if ser is None:
+                ser = self._ser_memo[size] = self.config.serialization_cycles(
+                    size
+                )
+            start = self.scheduler.now + link_latency
+            if self._root_free_at > start:
+                start = self._root_free_at
             self._root_free_at = start + ser
-            self.stats.incr(
-                f"net.{self.name}.link.{msg.src}-root", msg.size_bytes
-            )
+            hidx = self._up_handles.get(msg.src)
+            if hidx is None:
+                hidx = self._up_handles[msg.src] = self.stats.handle(
+                    f"net.{self.name}.link.{msg.src}-root"
+                )
+            values[hidx] += size
             order_index = self.order_count
             self.order_count += 1
-            arrival = start + ser + self.config.link_latency
-            self.scheduler.post_at(arrival, self._broadcast, (msg, order_index))
+            self._post_at(start + ser + link_latency, self._broadcast, (msg, order_index))
 
     def _broadcast(self, msg: Message, order_index: int) -> None:
         # One scheduled event fans out to every node synchronously, so
@@ -70,14 +93,26 @@ class BroadcastTreeNetwork(Network):
         # is nothing for ``deliver_at`` to coalesce (root serialisation
         # keeps distinct broadcasts on distinct cycles).  Each node's
         # single message goes straight to its plain handler.
-        for node in sorted(self._handlers):
-            self.stats.incr(
-                f"net.{self.name}.link.root-{node}", msg.size_bytes
-            )
-            delivered = msg if node == msg.src else self._clone_for(msg, node)
+        fanout = self._fanout
+        if fanout is None:
+            nodes = sorted(self._handlers)
+            fanout = self._fanout = [
+                (
+                    node,
+                    self._handlers[node],
+                    self.stats.handle(f"net.{self.name}.link.root-{node}"),
+                )
+                for node in nodes
+            ]
+        values = self._values
+        size = msg.size_bytes
+        src = msg.src
+        for node, handler, hidx in fanout:
+            values[hidx] += size
+            delivered = msg if node == src else self._clone_for(msg, node)
             delivered.dst = node
-            delivered.meta["snoop_order"] = order_index
-            self._deliver(delivered)
+            delivered.order = order_index
+            handler(delivered)
 
     def obs_snapshot(self) -> dict:
         """Broadcast-tree view: ordered-broadcast accounting."""

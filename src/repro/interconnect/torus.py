@@ -1,16 +1,44 @@
-"""2D torus with XY (dimension-order) routing.
+"""2D torus with XY (dimension-order) routing — the express message plane.
 
 The paper's data network (both protocols) and the directory system's
-only network: a 2D torus of 2.5 GB/s links (Table 6).  Messages are
-routed hop by hop; each directed link serialises one message at a time
-at the configured bytes/cycle, and per-link byte counters feed the
-Figure 7 bandwidth analysis.
+only network: a 2D torus of 2.5 GB/s links (Table 6).  Each directed
+link serialises one message at a time at the configured bytes/cycle,
+and per-link byte counters feed the Figure 7 bandwidth analysis.
+
+**Whole-path link reservation.**  A message's entire route is a pure
+function of (src, dst) under XY routing, so ``send()`` walks the
+memoized link path once and reserves every directed link *at send
+time* with the recurrence::
+
+    t_0     = now
+    start_k = max(free_at_k, t_k)
+    free_at_k <- start_k + ser          # ser = serialization cycles
+    t_{k+1} = start_k + ser + hop_fixed # hop_fixed = link + switch latency
+
+Per-link byte counters are charged during the same walk, and the final
+delivery event is posted at send time — in **both** regimes, so the
+delivery's position in its cycle's tie-break order depends only on
+architectural history.  The *express* regime (default) posts nothing
+else; the *hop-by-hop* regime (``REPRO_HOPS=1``, or ``express=False``)
+additionally posts one **inert** relay event per intermediate node
+along the precomputed timetable, reproducing per-hop simulation's
+event structure without touching state.  The two regimes are therefore
+identical in every architectural observable — delivery cycles, per-link
+bytes, violations, memory/cache images — and differ only in raw event
+counts (``hop_events_elided``), exactly the contract the wake-on-change
+kernel established for ``REPRO_POLL``.
+
+Reservation order is global **send order** (the paper's torus is
+unordered between src/dst pairs; per-link FIFO now follows send order
+rather than hop-arrival order — see EXPERIMENTS.md, "Express message
+plane").
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+import os
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.events import Scheduler
@@ -35,11 +63,16 @@ def grid_shape(num_nodes: int) -> Tuple[int, int]:
 class _Link:
     """One directed link: serialisation + occupancy tracking."""
 
-    __slots__ = ("free_at", "key")
+    __slots__ = ("free_at", "key", "hidx", "high_water")
 
-    def __init__(self, key: str):
+    def __init__(self, key: str, hidx: int):
         self.free_at = 0
         self.key = key
+        #: Preresolved stats handle for the per-link byte counter.
+        self.hidx = hidx
+        #: Largest reservation backlog seen (cycles the link was already
+        #: booked ahead when a new reservation landed).
+        self.high_water = 0
 
 
 class TorusNetwork(Network):
@@ -47,7 +80,11 @@ class TorusNetwork(Network):
 
     Delivery order between different source-destination pairs is not
     globally ordered (the paper's torus is "unordered"); per-link
-    transmission is FIFO.
+    transmission is FIFO in send order.
+
+    ``express=None`` (default) reads ``REPRO_HOPS`` from the
+    environment at construction: set ``REPRO_HOPS=1`` to retain the
+    hop-by-hop relay-event regime.  Tests pass ``express`` explicitly.
     """
 
     def __init__(
@@ -57,6 +94,7 @@ class TorusNetwork(Network):
         stats: StatsRegistry,
         num_nodes: int,
         config: NetworkConfig,
+        express: Optional[bool] = None,
     ):
         super().__init__(name, scheduler, stats)
         if num_nodes < 1:
@@ -65,21 +103,28 @@ class TorusNetwork(Network):
         self.rows, self.cols = grid_shape(num_nodes)
         self._num_nodes = num_nodes
         self._links: Dict[Tuple[int, int], _Link] = {}
-        #: Next-hop memo: XY routing is a pure function of (cur, dst)
-        #: and ``_step_toward`` runs once per hop of every message, so
-        #: the wraparound arithmetic is worth caching (the table is at
-        #: most num_nodes**2 entries).  Keyed by ``cur * n + dst`` so
-        #: the per-hop lookup needs no tuple allocation.
+        #: Next-hop memo: XY routing is a pure function of (cur, dst),
+        #: keyed ``cur * n + dst`` so lookups need no tuple allocation.
         self._next_hop: Dict[int, int] = {}
-        #: Links and serialization cycles by the same int-key trick;
-        #: message sizes take only a handful of distinct values.
-        self._links_fast: Dict[int, _Link] = {}
+        #: Whole-path memos, same int key: the node sequence (route())
+        #: and the directed-link sequence send() walks for reservation.
+        self._node_paths: Dict[int, Tuple[int, ...]] = {}
+        self._link_paths: Dict[int, Tuple[_Link, ...]] = {}
+        #: Serialization cycles by message size; sizes take only a
+        #: handful of distinct (interned small-int) values.
         self._ser_memo: Dict[int, int] = {}
         self._hop_fixed = config.link_latency + config.switch_latency
-        # Interned bound method: multi-hop messages re-post _hop once
-        # per intermediate hop, and binding it fresh each time costs an
-        # allocation on the hot path.
-        self._cb_hop = self._hop
+        self._switch_latency = config.switch_latency
+        if express is None:
+            express = os.environ.get("REPRO_HOPS", "0") != "1"
+        self.express = express
+        #: Event-plane accounting (plain attributes, not stats counters,
+        #: so express and hop-by-hop runs stay metric-identical).
+        self.hop_events_elided = 0
+        self.express_sends = 0
+        self.fallback_sends = 0
+        # Interned bound method for the hop-by-hop relay chain.
+        self._cb_relay = self._relay
 
     # Topology helpers ---------------------------------------------------
     def _coords(self, node: int) -> Tuple[int, int]:
@@ -109,8 +154,8 @@ class TorusNetwork(Network):
         step = 1 if fwd <= back else -1
         return self._node_at(crow + step, ccol)
 
-    def route(self, src: int, dst: int) -> List[int]:
-        """Full node path from ``src`` to ``dst`` (inclusive)."""
+    def _node_path(self, key: int, src: int, dst: int) -> Tuple[int, ...]:
+        """Memoized full node sequence from ``src`` to ``dst``."""
         path = [src]
         cur = src
         guard = self.rows + self.cols + 2
@@ -119,68 +164,143 @@ class TorusNetwork(Network):
             path.append(cur)
             if len(path) > guard:  # pragma: no cover - defensive
                 raise ConfigError("routing loop in torus")
-        return path
+        memo = tuple(path)
+        self._node_paths[key] = memo
+        return memo
+
+    def route(self, src: int, dst: int) -> List[int]:
+        """Full node path from ``src`` to ``dst`` (inclusive).
+
+        Served from the same path memo ``send()`` reserves over, so
+        repeated route queries cost one dict lookup.
+        """
+        key = src * self._num_nodes + dst
+        path = self._node_paths.get(key)
+        if path is None:
+            path = self._node_path(key, src, dst)
+        return list(path)
 
     def _link(self, a: int, b: int) -> _Link:
         link = self._links.get((a, b))
         if link is None:
-            link = _Link(f"net.{self.name}.link.{a}-{b}")
+            key = f"net.{self.name}.link.{a}-{b}"
+            link = _Link(key, self.stats.handle(key))
             self._links[(a, b)] = link
         return link
 
+    def _link_path(self, key: int, src: int, dst: int) -> Tuple[_Link, ...]:
+        """Memoized directed-link sequence along the XY route."""
+        nodes = self._node_paths.get(key)
+        if nodes is None:
+            nodes = self._node_path(key, src, dst)
+        links = tuple(
+            self._link(nodes[i], nodes[i + 1]) for i in range(len(nodes) - 1)
+        )
+        self._link_paths[key] = links
+        return links
+
     # Sending ------------------------------------------------------------
     def send(self, message: Message) -> None:
-        """Inject ``message``; it traverses links hop by hop."""
+        """Inject ``message``: reserve its whole path, then deliver."""
         self.messages_sent += 1
-        for msg in self._apply_fault_hook(message):
-            if msg.dst == msg.src:
+        if self._fault_hook is not None:
+            msgs = self._apply_fault_hook(message)
+        else:
+            msgs = (message,)
+        n = self._num_nodes
+        values = self._values
+        hop_fixed = self._hop_fixed
+        express = self.express
+        for msg in msgs:
+            dst = msg.dst
+            src = msg.src
+            now = self.scheduler.now
+            if dst == src:
                 # Local delivery (e.g. home node is the requestor):
                 # bypasses the network after the switch latency.
-                self.deliver_at(
-                    self.scheduler.now + self.config.switch_latency, msg
-                )
+                self.deliver_at(now + self._switch_latency, msg)
                 continue
-            self._hop(msg, msg.src)
+            key = src * n + dst
+            path = self._link_paths.get(key)
+            if path is None:
+                path = self._link_path(key, src, dst)
+            size = msg.size_bytes
+            ser = self._ser_memo.get(size)
+            if ser is None:
+                ser = self._ser_memo[size] = self.config.serialization_cycles(
+                    size
+                )
+            if express:
+                self.express_sends += 1
+                t = now
+                for link in path:
+                    free = link.free_at
+                    if free > t:
+                        backlog = free - t
+                        if backlog > link.high_water:
+                            link.high_water = backlog
+                        link.free_at = free + ser
+                        t = free + ser + hop_fixed
+                    else:
+                        link.free_at = t + ser
+                        t = t + ser + hop_fixed
+                    values[link.hidx] += size
+                self.hop_events_elided += len(path) - 1
+                self.deliver_at(t, msg)
+            else:
+                self.fallback_sends += 1
+                t = now
+                times = []
+                for link in path:
+                    free = link.free_at
+                    if free > t:
+                        backlog = free - t
+                        if backlog > link.high_water:
+                            link.high_water = backlog
+                        link.free_at = free + ser
+                        t = free + ser + hop_fixed
+                    else:
+                        link.free_at = t + ser
+                        t = t + ser + hop_fixed
+                    values[link.hidx] += size
+                    times.append(t)
+                if len(times) > 1:
+                    self._post_at(times[0], self._cb_relay, (times, 0))
+                self.deliver_at(t, msg)
 
-    def _hop(self, msg: Message, at_node: int) -> None:
-        n = self._num_nodes
-        dst = msg.dst
-        key = at_node * n + dst
-        nxt = self._next_hop.get(key)
-        if nxt is None:
-            nxt = self._next_hop[key] = self._compute_step(at_node, dst)
-        link_key = at_node * n + nxt
-        link = self._links_fast.get(link_key)
-        if link is None:
-            link = self._link(at_node, nxt)
-            self._links_fast[link_key] = link
-        size = msg.size_bytes
-        ser = self._ser_memo.get(size)
-        if ser is None:
-            ser = self._ser_memo[size] = self.config.serialization_cycles(size)
-        now = self.scheduler.now
-        start = link.free_at
-        if start < now:
-            start = now
-        link.free_at = start + ser
-        self._incr(link.key, size)
-        arrival_delay = (start - now) + ser + self._hop_fixed
-        if nxt == dst:
-            # Final hop: coalesce with other same-cycle arrivals at the
-            # destination so each (node, cycle) costs one event.
-            self.deliver_at(now + arrival_delay, msg)
-        else:
-            self._post(arrival_delay, self._cb_hop, (msg, nxt))
+    def _relay(self, times: List[int], k: int) -> None:
+        """Hop-by-hop regime: inert relay along the reserved timetable.
+
+        Fires at ``times[k]`` — the arrival at intermediate node k+1 of
+        the route — and chains the next relay, reproducing the
+        one-event-per-hop structure of per-hop simulation.  All
+        architectural effects (reservation, byte counters, the final
+        delivery event) were already posted at send time, identically
+        in both regimes, so a relay touches no state: the two regimes
+        differ *only* in raw event count.
+        """
+        nxt = k + 1
+        if nxt < len(times) - 1:
+            self._post_at(times[nxt], self._cb_relay, (times, nxt))
 
     # Introspection ------------------------------------------------------
     def obs_snapshot(self) -> dict:
-        """Torus view: base traffic numbers plus topology/memo state."""
+        """Torus view: base traffic numbers plus express-plane state."""
         snap = super().obs_snapshot()
         snap.update(
             {
                 "topology": f"torus-{self.rows}x{self.cols}",
                 "links_active": len(self._links),
                 "next_hop_memo_entries": len(self._next_hop),
+                "path_memo_entries": len(self._link_paths),
+                "express": self.express,
+                "express_sends": self.express_sends,
+                "fallback_sends": self.fallback_sends,
+                "hop_events_elided": self.hop_events_elided,
+                "reservation_queue_high_water": max(
+                    (link.high_water for link in self._links.values()),
+                    default=0,
+                ),
             }
         )
         return snap

@@ -144,10 +144,22 @@ class Core:
         self.uo = uo_checker
         self.ar = ar_checker
         self.model = model or config.model
+        #: ``model.requires_load_order`` cached as a plain attribute —
+        #: the property is consulted on every load's execute/bind/verify
+        #: path and the descriptor dispatch is measurable there.
+        self._load_ordered = self.model.requires_load_order
         self.table: OrderingTable = table_for(self.model)
         self._store_row, self._store_si = self.table.op_role(
             OpType.STORE, MembarMask.ALL
         )
+        #: Decode-time role memo: every kind except MEMBAR carries the
+        #: ALL mask, so its (row, index) is a pure function of the kind
+        #: — one identity-hash dict hit replaces ``op_role``'s tuple
+        #: build + hash per decoded op.  Rebuilt on model switch.
+        self._role_of = {
+            t: self.table.op_role(t, MembarMask.ALL)
+            for t in (OpType.LOAD, OpType.STORE, OpType.ATOMIC, OpType.STBAR)
+        }
 
         self._inflight: Deque[OpRec] = deque()
         # Committed entries form a strict prefix of ``_inflight`` (commit
@@ -166,9 +178,10 @@ class Core:
         self._stat = f"core.{node}"
         # Per-event stat keys, precomputed: f-string assembly (and enum
         # ``.value`` descriptor access) is measurable at this call rate.
-        self._ops_stat = {t: f"core.{node}.ops.{t.value}" for t in OpType}
-        self._stat_retired = f"core.{node}.retired"
-        self._stat_compute = f"core.{node}.compute_cycles"
+        self._ops_h = {t: stats.handle(f"core.{node}.ops.{t.value}") for t in OpType}
+        self._h_retired = stats.handle(f"core.{node}.retired")
+        self._h_compute = stats.handle(f"core.{node}.compute_cycles")
+        self._values = stats.values
         self.last_progress_cycle = 0
         # Hoisted config scalars for the decode/poll hot paths.
         self._rob_size = config.processor.rob_size
@@ -272,7 +285,7 @@ class Core:
         # wrapper list.
         if isinstance(yielded, (Compute, SetModel, Batch)):
             if isinstance(yielded, Compute):
-                self._incr(self._stat_compute, yielded.cycles)
+                self._values[self._h_compute] += yielded.cycles
                 self._post(
                     max(1, yielded.cycles), self._cb_advance, (None,)
                 )
@@ -307,10 +320,15 @@ class Core:
             self._post(4, self._switch_model, (model,))
             return
         self.model = model
+        self._load_ordered = model.requires_load_order
         self.table = table_for(model)
         self._store_row, self._store_si = self.table.op_role(
             OpType.STORE, MembarMask.ALL
         )
+        self._role_of = {
+            t: self.table.op_role(t, MembarMask.ALL)
+            for t in (OpType.LOAD, OpType.STORE, OpType.ATOMIC, OpType.STBAR)
+        }
         if model is ConsistencyModel.SC:
             self.wb = None
         else:
@@ -343,14 +361,17 @@ class Core:
         rec = OpRec(self._next_seq, op)
         self._next_seq += 1
         kind = rec.op_type
-        rec.ord_row, rec.ord_si = self.table.op_role(kind, rec.mask)
+        if kind is OpType.MEMBAR:
+            rec.ord_row, rec.ord_si = self.table.op_role(kind, rec.mask)
+        else:
+            rec.ord_row, rec.ord_si = self._role_of[kind]
         rec.wb_veto = (
             kind is OpType.LOAD
             or kind is OpType.MEMBAR
             or kind is OpType.STBAR
         ) and rec.ord_row[self._store_si]
         self._inflight.append(rec)
-        self._incr(self._ops_stat[kind])
+        self._values[self._ops_h[kind]] += 1
         rec.release = self._release_single
         self._post(self._decode_delay_single, self._cb_execute, rec.poll_args)
 
@@ -361,12 +382,17 @@ class Core:
             return
         recs = []
         table = self.table
-        ops_stat = self._ops_stat
+        role_of = self._role_of
+        ops_h = self._ops_h
+        values = self._values
         for op in ops:
             rec = OpRec(self._next_seq, op)
             self._next_seq += 1
             kind = rec.op_type
-            rec.ord_row, rec.ord_si = table.op_role(kind, rec.mask)
+            if kind is OpType.MEMBAR:
+                rec.ord_row, rec.ord_si = table.op_role(kind, rec.mask)
+            else:
+                rec.ord_row, rec.ord_si = role_of[kind]
             rec.wb_veto = (
                 kind is OpType.LOAD
                 or kind is OpType.MEMBAR
@@ -374,7 +400,7 @@ class Core:
             ) and rec.ord_row[self._store_si]
             self._inflight.append(rec)
             recs.append(rec)
-            self._incr(ops_stat[kind])
+            values[ops_h[kind]] += 1
 
         if not is_batch and len(recs) == 1:
             # Singleton group (the overwhelmingly common shape): the
@@ -453,7 +479,7 @@ class Core:
             rec.bound_value = forwarded
             if self.uo is not None:
                 self.uo.note_load_executed(rec.addr, forwarded, rec.seq)
-            if self.model.requires_load_order:
+            if self._load_ordered:
                 # The forwarded value is still speculative until the
                 # load verifies; remote writes in between mean squash.
                 self._spec_loads.setdefault(block_of(rec.addr), []).append(rec)
@@ -462,7 +488,7 @@ class Core:
             self._release(rec, forwarded)
             self._kick()
             return
-        if self.model.requires_load_order:
+        if self._load_ordered:
             # Speculative issue; squash tracking via invalidations.
             self._spec_loads.setdefault(block_of(rec.addr), []).append(rec)
             self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
@@ -484,7 +510,7 @@ class Core:
             self._incr(f"{self._stat}.injected_load_faults")
         rec.executed = True
         rec.bound_value = value
-        if not self.model.requires_load_order:
+        if not self._load_ordered:
             self._mark_performed(rec)
             self._release(rec, value)
         # Load-ordered models: the bound value is speculative until the
@@ -593,7 +619,7 @@ class Core:
         loads and barriers in load-ordered models."""
         rec.verified = True
         kind = rec.op_type
-        if kind is OpType.LOAD and self.model.requires_load_order:
+        if kind is OpType.LOAD and self._load_ordered:
             self._perform_load_when_final(rec)
         elif kind in (OpType.MEMBAR, OpType.STBAR):
             self._perform_barrier_when_ready(rec)
@@ -704,7 +730,7 @@ class Core:
 
     def _verify_one(self, rec: OpRec) -> bool:
         kind = rec.op_type
-        if kind is OpType.LOAD and self.model.requires_load_order:
+        if kind is OpType.LOAD and self._load_ordered:
             # The load performs here; its ordering constraints must hold.
             if not self._can_perform(rec):
                 self._schedule_verify_retry()
@@ -766,7 +792,7 @@ class Core:
                 else:
                     self.uo.report_mismatch(rec.addr, rec.bound_value, replay_value)
             rec.verified = True
-            if self.model.requires_load_order:
+            if self._load_ordered:
                 self._resolve_speculation(rec)
                 self._mark_performed(rec)
                 # Perform point: deliver the (possibly squash-corrected)
@@ -905,10 +931,34 @@ class Core:
     # ------------------------------------------------------------------
     # Retirement and the pump
     # ------------------------------------------------------------------
-    def _try_retire(self) -> None:
+    def _kick(self) -> None:
+        if self._pump_scheduled:
+            return
+        self._pump_scheduled = True
+        delay = self._stall_until - self.scheduler.now
+        if delay < 1:
+            delay = 1
+        self._post(delay, self._cb_pump)
+
+    def _pump(self) -> None:
+        self._pump_scheduled = False
+        # Stage calls are guarded by their own early-out conditions so
+        # an idle stage costs one inline check, not a call: commit has
+        # work only past the committed prefix, verify only with a
+        # queued record (``_verify_q`` stays empty when ``uo`` is
+        # None), retire only with something in flight.
         inflight = self._inflight
+        if self._ncommitted < len(inflight):
+            self._try_commit()
+        if self._verify_q:
+            self._pump_verify()
+        wb = self.wb
+        if wb is not None and wb._entries:
+            wb.drain(self._cb_may_drain)
+        # Retire stage, inlined (one caller, ~one call per event): pop
+        # the head run of completed records off the ROB.
         needs_verify = self.uo is not None
-        sc_stores = self.wb is None
+        sc_stores = wb is None
         retired = 0
         while inflight:
             rec = inflight[0]
@@ -923,29 +973,10 @@ class Core:
             retired += 1
         if retired:
             self._ncommitted -= retired
-            self._incr(self._stat_retired, retired)
+            self._values[self._h_retired] += retired
             self.last_progress_cycle = self.scheduler.now
             # ROB entries freed: parked decodes may proceed.
             self._ws_rob.notify()
-
-    def _kick(self) -> None:
-        if self._pump_scheduled:
-            return
-        self._pump_scheduled = True
-        delay = self._stall_until - self.scheduler.now
-        if delay < 1:
-            delay = 1
-        self._post(delay, self._cb_pump)
-
-    def _pump(self) -> None:
-        self._pump_scheduled = False
-        self._try_commit()
-        if self.uo is not None:
-            self._pump_verify()
-        wb = self.wb
-        if wb is not None and wb._entries:
-            wb.drain(self._cb_may_drain)
-        self._try_retire()
         # Every transition that can complete the program funnels
         # through a kick, so this is the one place quiescence needs
         # checking.  The report lets the System halt the scheduler once

@@ -83,10 +83,11 @@ class WriteBuffer:
         self._stat = f"wb.{node}"
         # Precomputed per-event stat keys (f-string assembly is
         # measurable at insert/forward/issue call rates).
-        self._stat_inserts = f"wb.{node}.inserts"
-        self._stat_forwards = f"wb.{node}.forwards"
-        self._stat_issues = f"wb.{node}.issues"
-        self._stat_performs = f"wb.{node}.performs"
+        self._h_inserts = stats.handle(f"wb.{node}.inserts")
+        self._h_forwards = stats.handle(f"wb.{node}.forwards")
+        self._h_issues = stats.handle(f"wb.{node}.issues")
+        self._h_performs = stats.handle(f"wb.{node}.performs")
+        self._values = stats.values
 
     # -- occupancy ---------------------------------------------------------
     def __len__(self) -> int:
@@ -118,7 +119,7 @@ class WriteBuffer:
         """Append a committed store.  Caller must check :attr:`full`."""
         entry = WBEntry(seq, addr, value, self._generation)
         self._entries.append(entry)
-        self.stats.incr(self._stat_inserts)
+        self._values[self._h_inserts] += 1
         return entry
 
     def fence(self) -> None:
@@ -142,7 +143,7 @@ class WriteBuffer:
             if word_of(entry.addr) == word:
                 value = entry.value
         if value is not None:
-            self.stats.incr(self._stat_forwards)
+            self._values[self._h_forwards] += 1
         return value
 
     # -- draining -----------------------------------------------------------
@@ -210,7 +211,7 @@ class WriteBuffer:
                 return
             head.issued = True
             self._outstanding += 1
-            self.stats.incr(self._stat_issues)
+            self._values[self._h_issues] += 1
             self._issue(head, lambda old, e=head: self._performed(e, old))
             return
         while self._outstanding < self.max_outstanding:
@@ -232,13 +233,13 @@ class WriteBuffer:
             entry = max(candidates, key=lambda e: (block_weight(e), -e.seq))
             entry.issued = True
             self._outstanding += 1
-            self.stats.incr(self._stat_issues)
+            self._values[self._h_issues] += 1
             self._issue(entry, lambda old, e=entry: self._performed(e, old))
 
     def _performed(self, entry: WBEntry, old_value: int) -> None:
         self._outstanding -= 1
         self._entries.remove(entry)
-        self.stats.incr(self._stat_performs)
+        self._values[self._h_performs] += 1
         self._on_perform(entry, old_value)
         # After on_perform so waiters re-check against the fully
         # updated state (checker + ROB bookkeeping included).  Covers

@@ -27,7 +27,7 @@ from repro.common.errors import RecoveryError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.config import SystemConfig
-from repro.interconnect.message import Message
+from repro.interconnect.message import acquire
 
 from repro.coherence.messages import Sn
 
@@ -60,6 +60,8 @@ class SafetyNet:
         self.config = config.safetynet
         self.num_nodes = config.num_nodes
         self.network_config = config.network
+        self._h_log_entries = stats.handle("sn.log_entries")
+        self._values = stats.values
         self._send = send  # optional: callable(Message) for ckpt traffic
         self._checkpoints: Deque[Checkpoint] = deque()
         self._next_index = 0
@@ -74,7 +76,7 @@ class SafetyNet:
         ckpt = self._checkpoints[-1]
         if block not in ckpt.undo:
             ckpt.undo[block] = list(old_data)
-            self.stats.incr("sn.log_entries")
+            self._values[self._h_log_entries] += 1
 
     # -- checkpoint lifecycle -------------------------------------------------
     def _open_checkpoint(self) -> None:
@@ -95,10 +97,10 @@ class SafetyNet:
         if self._send is not None:
             for node in range(1, self.num_nodes):
                 self._send(
-                    Message(
-                        src=node,
-                        dst=0,
-                        kind=Sn.CKPT_VALIDATE,
+                    acquire(
+                        node,
+                        0,
+                        Sn.CKPT_VALIDATE,
                         size_bytes=self.network_config.control_message_bytes,
                     )
                 )

@@ -41,7 +41,7 @@ from repro.dvmc.framework import DVMC
 from repro.dvmc.reordering import AllowableReorderingChecker
 from repro.dvmc.uniprocessor import UniprocessorOrderingChecker
 from repro.interconnect.broadcast import BroadcastTreeNetwork
-from repro.interconnect.message import Message
+from repro.interconnect.message import Message, release as release_message
 from repro.interconnect.torus import TorusNetwork
 from repro.memory.cache import CacheArray
 from repro.memory.memory import MainMemory
@@ -435,46 +435,56 @@ def _wire_routers(system: System) -> None:
     """Register per-node dispatchers on the network(s)."""
     config = system.config
     directory = config.protocol is ProtocolKind.DIRECTORY
+    checker = system.dvmc.coherence_checker
 
     for n in range(config.num_nodes):
         cache_ctrl = system.cache_controllers[n]
         mem_ctrl = system.memory_controllers[n]
 
-        def torus_handler(msg: Message, n=n, cache_ctrl=cache_ctrl, mem_ctrl=mem_ctrl):
-            kind = msg.kind
-            cls = kind.__class__
-            if cls is Dvcc:
-                checker = system.dvmc.coherence_checker
-                if checker is not None:
-                    checker.handle_message(msg)
-                return
-            if cls is Sn:
-                return  # checkpoint coordination sink
-            if directory:
-                if kind in (Coh.GETS, Coh.GETM, Coh.PUTM, Coh.UNBLOCK):
-                    mem_ctrl.handle_message(msg)
-                else:
-                    cache_ctrl.handle_message(msg)
-            else:
-                if kind is Coh.PUTM:
-                    mem_ctrl.handle_data(msg)
-                else:
-                    cache_ctrl.handle_data(msg)
+        # Precomputed kind -> bound-handler table: one identity-hash
+        # dict hit per delivery replaces the old class-check plus
+        # membership chain.  The Sn sink (and the Dvcc sink when no
+        # checker is attached) recycles the record straight back to the
+        # freelist — it is the message's sole consumer.
+        dispatch = {}
+        dvcc_sink = (
+            checker.handle_message if checker is not None else release_message
+        )
+        for kind in Dvcc:
+            dispatch[kind] = dvcc_sink
+        for kind in Sn:
+            dispatch[kind] = release_message  # checkpoint coordination sink
+        if directory:
+            home_kinds = (Coh.GETS, Coh.GETM, Coh.PUTM, Coh.UNBLOCK)
+            for kind in Coh:
+                dispatch[kind] = (
+                    mem_ctrl.handle_message
+                    if kind in home_kinds
+                    else cache_ctrl.handle_message
+                )
+        else:
+            for kind in Coh:
+                dispatch[kind] = (
+                    mem_ctrl.handle_data
+                    if kind is Coh.PUTM
+                    else cache_ctrl.handle_data
+                )
 
-        def torus_batch_handler(batch, handler=torus_handler):
+        def torus_handler(msg: Message, dispatch=dispatch):
+            dispatch[msg.kind](msg)
+
+        def torus_batch_handler(batch, dispatch=dispatch, checker=checker):
             # Coalesced same-cycle arrivals: coherence traffic is
             # dispatched per message in arrival order, while DVCC
             # informs are grouped into one MET push+drain pass.
-            checker = system.dvmc.coherence_checker
             informs = None
             for msg in batch:
-                if msg.kind.__class__ is Dvcc:
-                    if checker is not None:
-                        if informs is None:
-                            informs = []
-                        informs.append(msg)
+                if msg.kind.__class__ is Dvcc and checker is not None:
+                    if informs is None:
+                        informs = []
+                    informs.append(msg)
                     continue
-                handler(msg)
+                dispatch[msg.kind](msg)
             if informs is not None:
                 checker.handle_batch(informs)
 

@@ -37,6 +37,7 @@ def make_checker(num_nodes=2, timestamp_bits=16):
     sent = []
 
     def send(msg):
+        msg.no_recycle = True  # the test list keeps the record alive
         sent.append(msg)
         # Loop informs straight back into the MET (zero-latency net).
         checker.handle_message(msg)
@@ -62,10 +63,10 @@ class TestCETLifecycle:
         clock.set_all(5)
         checker.epoch_end(1, BLOCK, data(0))
         assert len(sent) == 1
-        meta = sent[0].meta
-        assert meta["etype"] is EpochType.READ_ONLY
-        assert meta["begin"] == 0 and meta["end"] == 5
-        assert meta["begin_hash"] == meta["end_hash"] == hash_block(data(0))
+        m = sent[0]
+        assert m.etype == 0  # READ_ONLY code
+        assert m.t_begin == 0 and m.t_end == 5
+        assert m.h_begin == m.h_end == hash_block(data(0))
 
     def test_data_ready_bit(self):
         """An epoch can begin before its data arrives (snooping)."""
@@ -76,8 +77,8 @@ class TestCETLifecycle:
         checker.epoch_data(1, BLOCK, data(0))
         clock.set_all(9)
         checker.epoch_end(1, BLOCK, data(0))
-        assert sent[0].meta["begin"] == 0
-        assert sent[0].meta["begin_hash"] == hash_block(data(0))
+        assert sent[0].t_begin == 0
+        assert sent[0].h_begin == hash_block(data(0))
 
     def test_degenerate_epoch_ends_before_data(self):
         checker, log, clock, sent, _ = make_checker()

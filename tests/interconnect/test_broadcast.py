@@ -28,7 +28,7 @@ class TestBroadcastDelivery:
         sched, _, net = make_net(4)
         got = {n: [] for n in range(4)}
         for n in range(4):
-            net.register(n, lambda m, n=n: got[n].append(m.meta["snoop_order"]))
+            net.register(n, lambda m, n=n: got[n].append(m.order))
         # Two senders race; the root serialises them.
         net.send(Message(src=0, dst=-1, kind="req", addr=0x40))
         net.send(Message(src=3, dst=-1, kind="req", addr=0x80))

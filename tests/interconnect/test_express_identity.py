@@ -1,0 +1,184 @@
+"""Express vs hop-by-hop message plane: same machine, fewer events.
+
+The express torus (``repro.interconnect.torus``) reserves a message's
+whole link path at ``send()`` time and posts one final-delivery event;
+``REPRO_HOPS=1`` (or ``express=False``) replays the same reserved
+timetable with one relay event per intermediate node.  The two regimes
+must simulate the *identical machine*: same delivery cycles, same
+per-link byte counters, same link utilisation, same violations, same
+final memory image, and the same value for every stats counter.  Only
+the raw event count may differ — eliding a relay hop removes a
+simulator event, never an architectural one — exactly the contract
+``REPRO_POLL`` established for the wake-on-change kernel.
+"""
+
+import dataclasses
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.events import Scheduler
+from repro.common.stats import StatsRegistry
+from repro.config import NetworkConfig, ProtocolKind, SystemConfig
+from repro.interconnect.base import FaultAction
+from repro.interconnect.message import Message
+from repro.interconnect.torus import TorusNetwork
+from repro.parallel import RunSpec, execute_run_spec
+from repro.workloads import WORKLOAD_NAMES
+
+
+def run_traffic(num_nodes, ops, express, with_hook=False):
+    """Drive one torus with a fixed traffic program; return observables.
+
+    ``ops`` is a list of (time, src, dst, size) sends, injected from
+    scheduled events so timing matches real controller usage.  The
+    returned observables are everything architectural: delivery
+    (cycle, node, tag) triples in handler order, the per-link byte
+    counters, and the link-utilisation map.
+    """
+    sched = Scheduler()
+    stats = StatsRegistry()
+    net = TorusNetwork(
+        "t", sched, stats, num_nodes, NetworkConfig(), express=express
+    )
+    deliveries = []
+    for n in range(num_nodes):
+        net.register(n, lambda m, n=n: deliveries.append((sched.now, n, m.addr)))
+    if with_hook:
+        counter = itertools.count()
+
+        def hook(m):
+            i = next(counter)
+            if i % 7 == 3:
+                return (FaultAction.DROP, None)
+            if i % 7 == 5:
+                return (FaultAction.DUPLICATE, None)
+            if i % 11 == 10:
+                return (FaultAction.MISROUTE, (m.dst + 1) % num_nodes)
+            return (FaultAction.DELIVER, None)
+
+        net.set_fault_hook(hook)
+
+    def inject(tag, src, dst, size):
+        net.send(Message(src=src, dst=dst, kind="x", addr=tag, size_bytes=size))
+
+    for i, (t, src, dst, size) in enumerate(ops):
+        sched.post_at(t, inject, (i, src, dst, size))
+    sched.run()
+    links = dict(
+        sorted(stats.counters_with_prefix("net.t.link.").items())
+    )
+    util = net.link_utilization(max(sched.now, 1))
+    return deliveries, links, util, net
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # bursty: narrow time range
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),  # includes self-sends
+        st.sampled_from([8, 16, 72]),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestTorusExpressIdentity:
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(ops=ops_strategy)
+    def test_random_traffic_identical(self, ops):
+        express = run_traffic(8, ops, express=True)
+        hops = run_traffic(8, ops, express=False)
+        assert express[0] == hops[0]  # delivery (cycle, node, tag) triples
+        assert express[1] == hops[1]  # per-link byte counters
+        assert express[2] == hops[2]  # link utilisation
+        # The point of the change: express elides the relay events.
+        assert hops[3].hop_events_elided == 0
+        assert express[3].express_sends == hops[3].fallback_sends
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        derandomize=True,
+    )
+    @given(ops=ops_strategy)
+    def test_random_traffic_identical_with_armed_fault_hook(self, ops):
+        """Faults (drop / duplicate / misroute) fire at send time in
+        both regimes, so injected-fault runs stay identical too."""
+        express = run_traffic(8, ops, express=True, with_hook=True)
+        hops = run_traffic(8, ops, express=False, with_hook=True)
+        assert express[0] == hops[0]
+        assert express[1] == hops[1]
+        assert express[2] == hops[2]
+
+    def test_contended_link_reservation_order(self):
+        """Three same-cycle senders share link 0-1: per-link FIFO
+        follows global send order, in both regimes."""
+        ops = [(5, 0, 1, 72), (5, 0, 1, 72), (5, 0, 1, 72)]
+        express = run_traffic(4, ops, express=True)
+        hops = run_traffic(4, ops, express=False)
+        assert express[0] == hops[0]
+        times = [t for t, _, _ in express[0]]
+        tags = [tag for _, _, tag in express[0]]
+        assert tags == [0, 1, 2]  # send order
+        assert times[0] < times[1] < times[2]  # serialised, not parallel
+
+    def test_self_send_bypasses_links(self):
+        for express in (True, False):
+            deliveries, links, _, net = run_traffic(
+                4, [(0, 2, 2, 72)], express=express
+            )
+            assert [n for _, n, _ in deliveries] == [2]
+            assert links == {}
+
+    def test_express_env_gate(self, monkeypatch):
+        sched, stats = Scheduler(), StatsRegistry()
+        monkeypatch.setenv("REPRO_HOPS", "1")
+        net = TorusNetwork("t", sched, stats, 4, NetworkConfig())
+        assert not net.express
+        monkeypatch.delenv("REPRO_HOPS", raising=False)
+        net = TorusNetwork("t", sched, stats, 4, NetworkConfig())
+        assert net.express
+
+
+def stripped(metrics):
+    """RunMetrics minus the fields express mode is allowed to change."""
+    return dataclasses.replace(metrics, events_processed=0, obs=None)
+
+
+def run_mode(spec, monkeypatch, hops: bool, poll: bool):
+    if hops:
+        monkeypatch.setenv("REPRO_HOPS", "1")
+    else:
+        monkeypatch.delenv("REPRO_HOPS", raising=False)
+    if poll:
+        monkeypatch.setenv("REPRO_POLL", "1")
+    else:
+        monkeypatch.delenv("REPRO_POLL", raising=False)
+    return execute_run_spec(spec)
+
+
+class TestExpressSystemIdentity:
+    """Full-system matrix: every workload x protocol x kernel mode."""
+
+    @pytest.mark.parametrize("poll", [False, True], ids=["wake", "poll"])
+    @pytest.mark.parametrize("protocol", list(ProtocolKind))
+    @pytest.mark.parametrize("workload", sorted(WORKLOAD_NAMES))
+    def test_runmetrics_identical(self, workload, protocol, poll, monkeypatch):
+        spec = RunSpec(
+            SystemConfig.protected(protocol=protocol, num_nodes=4).with_seed(
+                13
+            ),
+            workload,
+            40,
+        )
+        express = run_mode(spec, monkeypatch, hops=False, poll=poll)
+        hops = run_mode(spec, monkeypatch, hops=True, poll=poll)
+        assert stripped(express) == stripped(hops)
+        assert express.counters == hops.counters
+        assert express.completed and hops.completed
+        # Relay elision only ever removes simulator events.
+        assert express.events_processed <= hops.events_processed

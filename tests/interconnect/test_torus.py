@@ -57,6 +57,27 @@ class TestRouting:
         # 0 -> 3 should wrap (1 hop) rather than go 0-1-2-3.
         assert len(net.route(0, 3)) == 2
 
+    def test_prime_node_count_degenerates_to_ring(self):
+        _, _, net = make_torus(7)  # grid_shape(7) == (1, 7)
+        assert (net.rows, net.cols) == (1, 7)
+        # 0 -> 5: wrapping backwards (2 hops) beats 5 forward hops.
+        assert net.route(0, 5) == [0, 6, 5]
+        # 0 -> 3: forward is shortest.
+        assert net.route(0, 3) == [0, 1, 2, 3]
+
+    def test_route_serves_fresh_copies_from_one_memo(self):
+        sched, _, net = make_torus(8)
+        first = net.route(0, 5)
+        second = net.route(0, 5)
+        assert first == second
+        assert first is not second  # caller-safe copy, shared memo
+        for n in range(8):
+            net.register(n, lambda m: None)
+        net.send(Message(src=0, dst=5, kind="x"))
+        sched.run()
+        # send() walked the same memoised path route() built.
+        assert net.obs_snapshot()["path_memo_entries"] == 1
+
 
 class TestDelivery:
     def test_message_arrives_once(self):
