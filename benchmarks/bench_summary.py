@@ -96,16 +96,71 @@ def render(baseline: dict, candidate: dict) -> str:
     return "\n".join(lines)
 
 
+def render_fuzz(report: dict) -> str:
+    """Markdown section for a differential fuzz campaign stats file
+    (the ``--stats-out`` JSON of ``python -m repro.cli fuzz``)."""
+    summary = report.get("summary", {})
+    lines = [
+        "## differential fuzz: DVMC online vs offline oracle",
+        "",
+        "| outcome | cases |",
+        "|---|---:|",
+    ]
+    for key in (
+        "cases",
+        "agree_clean",
+        "agree_violation",
+        "online_only",
+        "missed_violation",
+        "undecided",
+    ):
+        lines.append(f"| `{key}` | {_fmt(summary.get(key, 0))} |")
+    lines.append("")
+    mismatches = report.get("mismatches", [])
+    new = [m for m in mismatches if not m.get("known")]
+    lines.append(
+        f"**Mismatches**: {len(mismatches)} total, {len(new)} new "
+        f"(corpus holds {_fmt(report.get('corpus_size', 0))} known "
+        f"reproducers); campaign took "
+        f"{report.get('elapsed_seconds', 0)} s"
+    )
+    lines.append("")
+    for entry in mismatches:
+        tag = "known" if entry.get("known") else "**NEW**"
+        lines.append(
+            f"- {tag} `{entry.get('outcome')}`: "
+            f"`{json.dumps(entry.get('case', {}))}`"
+        )
+    if mismatches:
+        lines.append("")
+    return "\n".join(lines)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True)
-    parser.add_argument("--candidate", required=True)
+    parser.add_argument("--baseline")
+    parser.add_argument("--candidate")
+    parser.add_argument(
+        "--fuzz",
+        metavar="FILE",
+        help="also (or only) render a fuzz campaign stats JSON",
+    )
     args = parser.parse_args(argv)
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.candidate) as fh:
-        candidate = json.load(fh)
-    print(render(baseline, candidate))
+    if bool(args.baseline) != bool(args.candidate):
+        parser.error("--baseline and --candidate go together")
+    if not args.baseline and not args.fuzz:
+        parser.error("nothing to render: pass --baseline/--candidate and/or --fuzz")
+    sections = []
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        with open(args.candidate) as fh:
+            candidate = json.load(fh)
+        sections.append(render(baseline, candidate))
+    if args.fuzz:
+        with open(args.fuzz) as fh:
+            sections.append(render_fuzz(json.load(fh)))
+    print("\n".join(sections))
     return 0
 
 

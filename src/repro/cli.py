@@ -6,6 +6,8 @@ Examples::
     python -m repro.cli compare --workload slash --ops 150
     python -m repro.cli inject --fault wb-value-flip --at 4000
     python -m repro.cli campaign --workload slash --trials 2
+    python -m repro.cli fuzz --litmus 100 --faults 10 --stats-out fuzz.json
+    python -m repro.cli oracle trace.jsonl --model TSO
 """
 
 from __future__ import annotations
@@ -149,6 +151,70 @@ def cmd_campaign(args) -> int:
     return 1 if hangs_missed else 0
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import plan_campaign, replay_corpus, run_fuzz_campaign
+
+    if args.replay_corpus:
+        failures = 0
+        for path, result in replay_corpus(args.corpus):
+            status = "FATAL" if result.fatal else result.outcome
+            print(f"{status:16s} {os.path.basename(path)}  {result.case.describe()}")
+            if result.fatal:
+                failures += 1
+        print(f"corpus replay: {failures} regressions")
+        return 1 if failures else 0
+
+    cases = plan_campaign(
+        litmus_count=args.litmus,
+        fault_runs=args.faults,
+        random_runs=args.randoms,
+        seed=args.seed,
+    )
+    report = run_fuzz_campaign(
+        cases,
+        jobs=args.jobs,
+        corpus_dir=args.corpus,
+        reproducer_dir=args.reproducers,
+    )
+    summary = report.summary
+    print(
+        f"cases: {summary['cases']}  agree_clean: {summary['agree_clean']}  "
+        f"agree_violation: {summary['agree_violation']}  "
+        f"online_only: {summary['online_only']}  "
+        f"missed_violation: {summary['missed_violation']}  "
+        f"undecided: {summary['undecided']}"
+    )
+    for entry in report.mismatches:
+        tag = "known" if entry.get("known") else "NEW"
+        print(f"MISMATCH [{tag}] {entry['outcome']}: {json.dumps(entry['case'])}")
+        print(f"  {entry['detail']}")
+    for path in report.reproducers:
+        print(f"reproducer written: {path}")
+    if args.stats_out:
+        with open(args.stats_out, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        print(f"stats written: {args.stats_out}")
+    print(f"elapsed: {report.elapsed_seconds}s")
+    return 1 if report.new_mismatches else 0
+
+
+def cmd_oracle(args) -> int:
+    from repro.oracle import verify_file
+
+    verdict = verify_file(args.trace, ConsistencyModel[args.model])
+    stats = " ".join(f"{k}={v}" for k, v in sorted(verdict.stats.items()))
+    if not verdict.decided:
+        print(f"UNDECIDED (branch budget exhausted)  {stats}")
+        return 2
+    if verdict.admissible:
+        print(f"ADMISSIBLE under {args.model}  {stats}")
+        return 0
+    print(f"INADMISSIBLE under {args.model}  {stats}")
+    for violation in verdict.violations:
+        print(f"  [{violation.rule}] {violation.detail}")
+    return 1
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", choices=WORKLOAD_NAMES, default="oltp")
     parser.add_argument(
@@ -223,6 +289,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(campaign)
     campaign.add_argument("--trials", type=int, default=2)
     campaign.set_defaults(fn=cmd_campaign)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzz: DVMC online vs offline oracle"
+    )
+    fuzz.add_argument("--litmus", type=int, default=100, metavar="N",
+                      help="generated litmus specs (each runs once per model)")
+    fuzz.add_argument("--faults", type=int, default=10, metavar="N",
+                      help="fault-injected random workload runs")
+    fuzz.add_argument("--randoms", type=int, default=10, metavar="N",
+                      help="fault-free random workload runs")
+    fuzz.add_argument("--seed", type=int, default=2006)
+    fuzz.add_argument("--jobs", type=int, default=None)
+    fuzz.add_argument("--corpus", default="tests/corpus", metavar="DIR",
+                      help="committed reproducer corpus (known-mismatch match)")
+    fuzz.add_argument("--reproducers", default=None, metavar="DIR",
+                      help="write shrunk mismatch reproducers under DIR")
+    fuzz.add_argument("--stats-out", default=None, metavar="FILE",
+                      help="write the campaign report as JSON")
+    fuzz.add_argument("--replay-corpus", action="store_true",
+                      help="re-run every committed reproducer instead of fuzzing")
+    fuzz.set_defaults(fn=cmd_fuzz)
+
+    oracle = sub.add_parser(
+        "oracle", help="offline admissibility check of a JSONL trace"
+    )
+    oracle.add_argument("trace", help="trace file (verify.trace JSONL codec)")
+    oracle.add_argument(
+        "--model", choices=[m.name for m in ConsistencyModel], default="TSO"
+    )
+    oracle.set_defaults(fn=cmd_oracle)
 
     return parser
 

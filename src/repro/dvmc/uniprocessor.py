@@ -43,6 +43,7 @@ class VCEntry:
         "oldest_commit_cycle",
         "last_used",
         "load_seq",
+        "store_seq",
         "reported",
     )
 
@@ -52,6 +53,13 @@ class VCEntry:
         self.oldest_commit_cycle = cycle
         self.last_used = cycle
         self.load_seq = load_seq
+        #: Program-order seq of the newest committed store held in
+        #: ``value``.  An older load's replay can be delayed past a
+        #: younger store's commit (the verify pump keeps running while
+        #: the replay's stage latency elapses); the seq makes such a
+        #: replay skip its vacuous compare instead of flagging the
+        #: younger value as a mismatch.
+        self.store_seq: Optional[int] = None
         self.reported = False  # store-lost already reported at least once
 
 
@@ -119,6 +127,7 @@ class UniprocessorOrderingChecker:
         entry.count += 1
         entry.last_used = now
         entry.load_seq = None
+        entry.store_seq = seq
         self._values[self._h_store_allocs] += 1
         return True
 
@@ -136,7 +145,7 @@ class UniprocessorOrderingChecker:
         now = self.scheduler.now
         capacity = self._capacity
         done = 0
-        for _seq, addr, value in records:
+        for seq, addr, value in records:
             word = addr & ~0x3  # word_of, inlined
             entry = vc.get(word)
             if entry is None:
@@ -150,6 +159,7 @@ class UniprocessorOrderingChecker:
             entry.count += 1
             entry.last_used = now
             entry.load_seq = None
+            entry.store_seq = seq
             done += 1
         if done:
             self._values[self._h_store_allocs] += done
@@ -233,6 +243,19 @@ class UniprocessorOrderingChecker:
                 # words may legally differ (a remote store intervened
                 # between the two loads under RMO); the compare would be
                 # vacuous, so skip it.
+                self.stats.incr(self._stat_stale)
+                done(False, original_value if original_value is not None else 0)
+                return
+            if (
+                seq is not None
+                and entry.store_seq is not None
+                and entry.store_seq > seq
+            ):
+                # The VC value was committed by a store *younger* than
+                # the replaying load (the pump raced ahead while this
+                # replay's stage latency elapsed); the value the load
+                # should compare against is gone, so the compare is
+                # vacuous.
                 self.stats.incr(self._stat_stale)
                 done(False, original_value if original_value is not None else 0)
                 return

@@ -1,0 +1,39 @@
+"""Offline memory-consistency oracle (differential-testing backstop).
+
+DVMC verifies consistency *online* with bounded hardware; its verdicts
+have no independent ground truth inside the simulator.  This package is
+that ground truth: a standalone polynomial-time trace verifier in the
+style of Roy et al.'s TSO checker, generalised over the paper's
+ordering tables so one engine decides SC/TSO/PSO/RMO admissibility.
+
+It consumes the traces captured by :mod:`repro.verify.trace` (the same
+JSONL codecs the observability plane uses) and builds a constraint
+graph over the recorded accesses: preserved program order comes from
+the active ordering table (fences and ``SetModel`` drains included),
+reads-from / from-reads / coherence edges are inferred iteratively, and
+transitive closure is maintained incrementally with per-node bitsets —
+no interleaving enumeration anywhere.  Value-ambiguous reads (two
+stores wrote the same value to the same word) fall back to a bounded
+branching search; an exhausted budget yields an explicitly *undecided*
+verdict rather than a wrong one.
+
+The fuzz rig (:mod:`repro.fuzz`) cross-checks every captured trace
+against this oracle and treats oracle-inadmissible + DVMC-clean as a
+fatal mismatch.
+"""
+
+from .verifier import (
+    OfflineVerifier,
+    OracleVerdict,
+    OracleViolation,
+    check_trace,
+    verify_file,
+)
+
+__all__ = [
+    "OfflineVerifier",
+    "OracleVerdict",
+    "OracleViolation",
+    "check_trace",
+    "verify_file",
+]

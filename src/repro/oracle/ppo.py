@@ -1,0 +1,98 @@
+"""Preserved program order from ordering tables, fences and switches.
+
+One core's recorded event stream (accesses, Membars/Stbars, SetModel
+drains, in program order) plus the run's base consistency model
+determine which pairs of events must *perform* in program order.  This
+module computes the per-thread transitive closure of that relation as
+bitsets over stream positions, evaluating each direct pair through the
+model's :class:`~repro.consistency.ordering_table.OrderingTable` —
+exactly the specification the online Allowable Reordering checker
+enforces, so online and offline verdicts share one definition of the
+models.
+
+``SetModel`` events both switch the active table for the operations
+that follow *and* act as a full fence: the core drains its pipeline and
+write buffer before switching (paper Section 5), so every earlier
+operation performs before every later one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.common.types import MembarMask, OpType
+from repro.consistency.models import ConsistencyModel
+from repro.consistency.tables import table_for
+from repro.verify.trace import MODEL_FROM_CODE, TraceEvent
+
+#: TraceEvent.kind -> the OpType the ordering tables reason about.
+KIND_TO_OPTYPE = {
+    "load": OpType.LOAD,
+    "store": OpType.STORE,
+    "atomic": OpType.ATOMIC,
+    "membar": OpType.MEMBAR,
+    "stbar": OpType.STBAR,
+}
+
+
+def _roles(
+    events: Sequence[TraceEvent], base_model: ConsistencyModel
+) -> List[Tuple[object, OpType, MembarMask, bool]]:
+    """Per event: (active table, op type, instruction mask, is_switch).
+
+    The table attached to an event is the one active *at that point* in
+    the stream; a ``stbar`` is rewritten to ``Membar #SS`` when the
+    active table carries no STBAR rows (Stbar is valid under every
+    model; only PSO's table spells it out).
+    """
+    table = table_for(base_model)
+    out = []
+    for event in events:
+        if event.kind == "setmodel":
+            table = table_for(MODEL_FROM_CODE[event.value])
+            out.append((table, OpType.MEMBAR, MembarMask.ALL, True))
+            continue
+        op_type = KIND_TO_OPTYPE[event.kind]
+        mask = MembarMask.ALL
+        if op_type is OpType.MEMBAR:
+            mask = MembarMask(event.mask)
+        elif op_type is OpType.STBAR and OpType.STBAR not in table.op_types:
+            op_type = OpType.MEMBAR
+            mask = MembarMask(event.mask or MembarMask.STORESTORE)
+        out.append((table, op_type, mask, False))
+    return out
+
+
+def thread_order_bits(
+    events: Sequence[TraceEvent], base_model: ConsistencyModel
+) -> List[int]:
+    """Closure of "must perform before" over one thread's stream.
+
+    Returns ``succ`` where bit ``j`` of ``succ[i]`` is set iff the
+    event at stream position ``i`` must perform before the event at
+    position ``j > i`` — directly by a table cell, or through any chain
+    of fences / model switches.  O(n^2) direct-pair evaluations with a
+    closure-subsumption prune; direct pairs straddling a ``SetModel``
+    are ordered unconditionally (the drain).
+    """
+    n = len(events)
+    roles = _roles(events, base_model)
+    succ = [0] * n
+    for i in range(n - 1, -1, -1):
+        table_i, type_i, mask_i, switch_i = roles[i]
+        bits = 0
+        for j in range(i + 1, n):
+            bit = 1 << j
+            if bits & bit:
+                continue  # already reachable: succ[j] is a subset too
+            table_j, type_j, mask_j, switch_j = roles[j]
+            if switch_i or switch_j or table_i is not table_j:
+                # A SetModel at i, at j, or strictly between them (the
+                # active table changed): the drain orders the pair.
+                ordered = True
+            else:
+                ordered = table_i.ordered(type_i, type_j, mask_i, mask_j)
+            if ordered:
+                bits |= bit | succ[j]
+        succ[i] = bits
+    return succ

@@ -160,6 +160,12 @@ class Core:
             t: self.table.op_role(t, MembarMask.ALL)
             for t in (OpType.LOAD, OpType.STORE, OpType.ATOMIC, OpType.STBAR)
         }
+        #: Store->Load ordered (SC): a value forwarded from a not-yet-
+        #: performed store is speculative until the load performs — a
+        #: remote store may legally slot in between, and the load must
+        #: then observe it.  Under TSO/PSO the early forwarded value is
+        #: the architecturally final one (store-buffer bypass).
+        self._fwd_speculative = self._store_row[self._role_of[OpType.LOAD][1]]
 
         self._inflight: Deque[OpRec] = deque()
         # Committed entries form a strict prefix of ``_inflight`` (commit
@@ -202,6 +208,7 @@ class Core:
         self._cb_execute_load = self._execute_load
         self._cb_execute_atomic = self._execute_atomic
         self._cb_perform_load = self._perform_load_when_final
+        self._cb_perform_forwarded = self._perform_forwarded_when_ready
         self._cb_sc_issue_store = self._sc_issue_store
         self._cb_barrier = self._perform_barrier_when_ready
         self._cb_replay_load = self._replay_load
@@ -329,6 +336,7 @@ class Core:
             t: self.table.op_role(t, MembarMask.ALL)
             for t in (OpType.LOAD, OpType.STORE, OpType.ATOMIC, OpType.STBAR)
         }
+        self._fwd_speculative = self._store_row[self._role_of[OpType.LOAD][1]]
         if model is ConsistencyModel.SC:
             self.wb = None
         else:
@@ -483,8 +491,26 @@ class Core:
                 # The forwarded value is still speculative until the
                 # load verifies; remote writes in between mean squash.
                 self._spec_loads.setdefault(block_of(rec.addr), []).append(rec)
-            else:
+                if self._fwd_speculative:
+                    # Store->Load ordered (SC): the forwarded value must
+                    # not reach the program yet — a remote store may
+                    # perform before this load does, in which case the
+                    # perform point re-reads (squash) and delivers the
+                    # fresh value instead.  Same delivery discipline as
+                    # the non-forwarded speculative load below.
+                    self._kick()
+                    return
+            elif self._can_perform(rec):
                 self._mark_performed(rec)
+            else:
+                # The forwarded value is final (a local store's value
+                # cannot change), but the load must not *perform* past
+                # an older barrier still draining the write buffer —
+                # the AR checker would rightly flag it.  Effectively
+                # the load performs with its source store, which is
+                # after the barrier; park the perform point until the
+                # ordering table agrees.
+                self._ws_order.park(self._cb_perform_forwarded, rec.poll_args)
             self._release(rec, forwarded)
             self._kick()
             return
@@ -796,11 +822,22 @@ class Core:
                 self._resolve_speculation(rec)
                 self._mark_performed(rec)
                 # Perform point: deliver the (possibly squash-corrected)
-                # value to the program.  No-op for forwarded loads,
-                # which released their final value at execute.
+                # value to the program.  No-op for forwarded loads under
+                # TSO/PSO, which released their final value at execute.
                 self._release(rec, rec.bound_value)
             self._kick()
 
+        if rec.squashed and rec.release is not None:
+            # Mis-speculated load whose value has not been delivered
+            # yet: a real core re-executes it.  The VC compare is
+            # meaningless for a squashed load (paper 4.1) — and may be
+            # skipped as vacuous when a younger store has since
+            # committed — so read the cache directly for the value the
+            # load performs with.
+            self.controller.replay_load(
+                rec.addr, lambda value: done(value != rec.bound_value, value)
+            )
+            return
         self.uo.replay_load(rec.addr, rec.bound_value, done, seq=rec.seq)
 
     # ------------------------------------------------------------------
@@ -813,6 +850,17 @@ class Core:
             self._mark_performed(rec)
         else:
             self._ws_order.park(self._cb_barrier, rec.poll_args)
+
+    def _perform_forwarded_when_ready(self, rec: OpRec) -> None:
+        """Deferred perform point for a forwarded load in a model
+        without load ordering: the value was released at execute, the
+        perform marking waits out older barriers."""
+        if rec.performed:
+            return
+        if self._can_perform(rec):
+            self._mark_performed(rec)
+        else:
+            self._ws_order.park(self._cb_perform_forwarded, rec.poll_args)
 
     def _mark_performed(self, rec: OpRec) -> None:
         if rec.performed:

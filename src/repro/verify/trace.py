@@ -26,19 +26,58 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.common.types import word_of
-from repro.processor.operations import Atomic, Batch, Load, Store
+from repro.consistency.models import ConsistencyModel
+from repro.processor.operations import (
+    Atomic,
+    Batch,
+    Load,
+    Membar,
+    SetModel,
+    Stbar,
+    Store,
+)
+
+#: Event kinds that read or write memory (value-carrying accesses).
+ACCESS_KINDS = ("load", "store", "atomic")
+
+#: Event kinds that shape ordering but carry no data: SPARC fences and
+#: the PSTATE.MM consistency-model switch (which drains the pipeline
+#: and write buffer, i.e. acts as a full fence).
+ORDERING_KINDS = ("membar", "stbar", "setmodel")
+
+#: Stable integer codes for ``setmodel`` events (``value`` field).
+MODEL_CODES: Dict[str, int] = {
+    model.name: code for code, model in enumerate(ConsistencyModel)
+}
+MODEL_FROM_CODE: Dict[int, ConsistencyModel] = {
+    code: ConsistencyModel[name] for name, code in MODEL_CODES.items()
+}
 
 
 @dataclass(slots=True)
 class TraceEvent:
-    """One recorded memory operation."""
+    """One recorded operation.
+
+    Access events (``load``/``store``/``atomic``) carry an address and
+    value; an atomic additionally carries ``old_value`` (its swapped-out
+    result), which keeps the RMW read/write halves paired in a single
+    event — offline replay must never split them.  Ordering events
+    carry their fence metadata instead: a ``membar`` stores its
+    instruction mask in ``mask``, a ``stbar`` stores the #SS mask it is
+    equivalent to, and a ``setmodel`` stores the target model's
+    :data:`MODEL_CODES` entry in ``value``.
+    """
 
     core: int
     index: int  # program-order index within the core
-    kind: str  # "load" | "store" | "atomic"
+    kind: str  # see ACCESS_KINDS / ORDERING_KINDS
     addr: int
     value: int  # load result / stored value / atomic's new value
     old_value: Optional[int] = None  # atomic's returned (swapped-out) value
+    mask: int = 0  # membar/stbar instruction mask bits
+
+    def is_access(self) -> bool:
+        return self.kind in ACCESS_KINDS
 
 
 # -- JSONL codec -----------------------------------------------------------
@@ -46,7 +85,7 @@ class TraceEvent:
 # event trace (repro.obs.otrace): one JSON object per line, stable key
 # order, round-trip exact (the obs tests assert load(dump(t)) == t).
 
-_EVENT_FIELDS = ("core", "index", "kind", "addr", "value", "old_value")
+_EVENT_FIELDS = ("core", "index", "kind", "addr", "value", "old_value", "mask")
 
 
 def event_to_dict(event: "TraceEvent") -> Dict:
@@ -55,8 +94,16 @@ def event_to_dict(event: "TraceEvent") -> Dict:
 
 
 def event_from_dict(data: Dict) -> "TraceEvent":
-    """Inverse of :func:`event_to_dict` (unknown keys rejected)."""
-    return TraceEvent(**{name: data[name] for name in _EVENT_FIELDS})
+    """Inverse of :func:`event_to_dict`.
+
+    ``mask`` is optional so traces written before fence metadata was
+    recorded still load (their fence events simply were not captured).
+    """
+    return TraceEvent(
+        **{name: data[name] for name in _EVENT_FIELDS[:-2]},
+        old_value=data.get("old_value"),
+        mask=data.get("mask", 0),
+    )
 
 
 def dump_jsonl(events: Iterable["TraceEvent"], path: str) -> int:
@@ -96,7 +143,11 @@ class Trace:
         return out
 
     def words_touched(self) -> Set[int]:
-        return {word_of(e.addr) for e in self.events}
+        return {word_of(e.addr) for e in self.events if e.is_access()}
+
+    def accesses(self) -> List[TraceEvent]:
+        """Only the value-carrying memory accesses, in recorded order."""
+        return [e for e in self.events if e.is_access()]
 
 
 def record_program(core_id: int, program, trace: Trace):
@@ -133,6 +184,29 @@ def record_program(core_id: int, program, trace: Trace):
                         sub_op.addr,
                         sub_op.value,
                         old_value=sub_result,
+                    )
+                )
+            elif isinstance(sub_op, Membar):
+                trace.events.append(
+                    TraceEvent(
+                        core_id, index, "membar", 0, 0, mask=int(sub_op.mask)
+                    )
+                )
+            elif isinstance(sub_op, Stbar):
+                # Stbar == Membar #SS (paper Table 3 note); record the
+                # equivalent mask so offline replay needs no PSO special
+                # case when the active table has no STBAR rows.
+                trace.events.append(
+                    TraceEvent(core_id, index, "stbar", 0, 0, mask=0x8)
+                )
+            elif isinstance(sub_op, SetModel):
+                trace.events.append(
+                    TraceEvent(
+                        core_id,
+                        index,
+                        "setmodel",
+                        0,
+                        MODEL_CODES[sub_op.model.name],
                     )
                 )
             index += 1
@@ -172,6 +246,8 @@ class TraceChecker:
         written = self._written_values()
         violations = []
         for event in self.trace.events:
+            if not event.is_access():
+                continue
             word = word_of(event.addr)
             observed = (
                 event.value if event.kind == "load" else event.old_value
@@ -203,6 +279,8 @@ class TraceChecker:
         for core, stream in self.trace.per_core().items():
             last_local: Dict[int, int] = {}
             for event in stream:
+                if not event.is_access():
+                    continue
                 word = word_of(event.addr)
                 if event.kind in ("store", "atomic"):
                     last_local[word] = event.value

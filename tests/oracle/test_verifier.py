@@ -1,0 +1,240 @@
+"""Offline oracle unit tests: classic litmus outcomes per model.
+
+Each trace is hand-built at the codec level (no simulator involved) and
+checked against the expected admissibility verdict under every memory
+model.  The expectations follow the SPARC v9 definitions the ordering
+tables encode: SB needs Store->Load, MP needs Store->Store +
+Load->Load, LB needs Load->Store, and IRIW needs store atomicity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consistency.models import ConsistencyModel
+from repro.oracle import check_trace
+from repro.verify.trace import MODEL_CODES, Trace, TraceEvent
+
+X, Y = 0x100, 0x140
+
+SC = ConsistencyModel.SC
+TSO = ConsistencyModel.TSO
+PSO = ConsistencyModel.PSO
+RMO = ConsistencyModel.RMO
+ALL = (SC, TSO, PSO, RMO)
+
+
+def T(core, index, kind, addr, value, old=None, mask=0):
+    return TraceEvent(core, index, kind, addr, value, old_value=old, mask=mask)
+
+
+def trace(*events):
+    t = Trace()
+    t.events.extend(events)
+    return t
+
+
+# (name, events, {model: admissible})
+CASES = [
+    (
+        "sb-both-zero",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "load", Y, 0),
+            T(1, 0, "store", Y, 1),
+            T(1, 1, "load", X, 0),
+        ),
+        {SC: False, TSO: True, PSO: True, RMO: True},
+    ),
+    (
+        "sb-full-fences",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "membar", 0, 0, mask=0xF),
+            T(0, 2, "load", Y, 0),
+            T(1, 0, "store", Y, 1),
+            T(1, 1, "membar", 0, 0, mask=0xF),
+            T(1, 2, "load", X, 0),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: False},
+    ),
+    (
+        "mp-stale-data",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "store", Y, 1),
+            T(1, 0, "load", Y, 1),
+            T(1, 1, "load", X, 0),
+        ),
+        {SC: False, TSO: False, PSO: True, RMO: True},
+    ),
+    (
+        "mp-stbar-membar",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "stbar", 0, 0, mask=0x8),
+            T(0, 2, "store", Y, 1),
+            T(1, 0, "load", Y, 1),
+            T(1, 1, "membar", 0, 0, mask=0x1),
+            T(1, 2, "load", X, 0),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: False},
+    ),
+    (
+        "lb-both-one",
+        (
+            T(0, 0, "load", X, 1),
+            T(0, 1, "store", Y, 1),
+            T(1, 0, "load", Y, 1),
+            T(1, 1, "store", X, 1),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: True},
+    ),
+    (
+        "iriw-fenced",
+        (
+            T(0, 0, "store", X, 1),
+            T(1, 0, "store", Y, 1),
+            T(2, 0, "load", X, 1),
+            T(2, 1, "membar", 0, 0, mask=0xF),
+            T(2, 2, "load", Y, 0),
+            T(3, 0, "load", Y, 1),
+            T(3, 1, "membar", 0, 0, mask=0xF),
+            T(3, 2, "load", X, 0),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: False},
+    ),
+    (
+        "uniproc-stale-self",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "load", X, 0),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: False},
+    ),
+    (
+        "sb-store-forwarding",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "load", X, 1),
+            T(0, 2, "load", Y, 0),
+            T(1, 0, "store", Y, 1),
+            T(1, 1, "load", Y, 1),
+            T(1, 2, "load", X, 0),
+        ),
+        {SC: False, TSO: True, PSO: True, RMO: True},
+    ),
+    (
+        "corr-oscillation",
+        (
+            T(0, 0, "store", X, 1),
+            T(1, 0, "load", X, 1),
+            T(1, 1, "load", X, 0),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: False},
+    ),
+    (
+        "atomic-duplicate-old",
+        (
+            T(0, 0, "atomic", X, 1, old=0),
+            T(1, 0, "atomic", X, 2, old=0),
+        ),
+        {SC: False, TSO: False, PSO: False, RMO: False},
+    ),
+    (
+        "atomic-chain",
+        (
+            T(0, 0, "atomic", X, 1, old=0),
+            T(1, 0, "atomic", X, 2, old=1),
+        ),
+        {SC: True, TSO: True, PSO: True, RMO: True},
+    ),
+    (
+        "setmodel-drains",
+        (
+            T(0, 0, "store", X, 1),
+            T(0, 1, "setmodel", 0, MODEL_CODES["SC"]),
+            T(0, 2, "store", Y, 1),
+            T(1, 0, "load", Y, 1),
+            T(1, 1, "membar", 0, 0, mask=0x1),
+            T(1, 2, "load", X, 0),
+        ),
+        {RMO: False},
+    ),
+    (
+        "sequential-clean",
+        (
+            T(0, 0, "store", X, 5),
+            T(0, 1, "load", X, 5),
+            T(1, 0, "load", X, 5),
+        ),
+        {SC: True, TSO: True, PSO: True, RMO: True},
+    ),
+]
+
+PARAMS = [
+    pytest.param(events, model, want, id=f"{name}-{model.name}")
+    for name, events, expectations in CASES
+    for model, want in expectations.items()
+]
+
+
+@pytest.mark.parametrize("events,model,want", PARAMS)
+def test_litmus_verdict(events, model, want):
+    verdict = check_trace(trace(*events), model)
+    assert verdict.decided, "branch budget must suffice for litmus traces"
+    assert verdict.admissible == want, [v.detail for v in verdict.violations]
+    if not want:
+        assert verdict.violations
+
+
+def test_verdict_is_boolean():
+    ok = check_trace(trace(T(0, 0, "store", X, 1)), TSO)
+    bad = check_trace(
+        trace(T(0, 0, "store", X, 1), T(0, 1, "load", X, 0)), TSO
+    )
+    assert bool(ok) and not bool(bad)
+
+
+def test_load_with_no_matching_writer_is_inadmissible():
+    verdict = check_trace(trace(T(0, 0, "load", X, 7)), SC)
+    assert not verdict.admissible
+    assert any(v.rule == "no-writer" for v in verdict.violations)
+
+
+def test_initial_value_parameter():
+    assert check_trace(trace(T(0, 0, "load", X, 7)), SC, initial=7).admissible
+
+
+# -- stability under inter-thread event reordering ---------------------------
+#
+# The oracle consumes one global event list but must depend only on the
+# per-thread subsequences (program order) plus event payloads: any
+# interleaving of complete threads is the same execution.
+
+STABILITY_CASES = [case for case in CASES if case[0] != "setmodel-drains"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    data=st.data(),
+    case=st.sampled_from(STABILITY_CASES),
+    model=st.sampled_from(ALL),
+)
+def test_verdict_stable_under_interleaving(data, case, model):
+    name, events, expectations = case
+    if model not in expectations:
+        model = next(iter(expectations))
+    want = expectations[model]
+    per_thread = {}
+    for event in events:
+        per_thread.setdefault(event.core, []).append(event)
+    queues = list(per_thread.values())
+    shuffled = []
+    while any(queues):
+        alive = [q for q in queues if q]
+        pick = data.draw(st.integers(min_value=0, max_value=len(alive) - 1))
+        shuffled.append(alive[pick].pop(0))
+    verdict = check_trace(trace(*shuffled), model)
+    assert verdict.decided
+    assert verdict.admissible == want

@@ -180,3 +180,67 @@ class TestGoldenChecks:
         result = system.run(max_cycles=5_000_000)
         assert result.completed and not result.violations
         assert TraceChecker(trace).check() == []
+
+
+class TestCodecRoundTrip:
+    """JSONL round-trips must preserve ordering metadata: fence kinds
+    and masks, RMW old-value pairing, and model switches — the offline
+    oracle's verdict depends on all of them."""
+
+    def _fault_injected_trace(self, tmp_path):
+        from repro.faults.injector import FaultInjector, FaultKind, FaultPlan
+        from repro.fuzz import case_programs, FuzzCase
+
+        trace = Trace()
+        case = FuzzCase(model="RMO", seed=77, nodes=3, ops=30)
+        programs = [
+            record_program(i, p, trace)
+            for i, p in enumerate(case_programs(case))
+        ]
+        config = (
+            SystemConfig.protected(model=ConsistencyModel.RMO)
+            .with_nodes(3)
+            .with_seed(case.seed)
+        )
+        system = build_system(config, programs=programs)
+        injector = FaultInjector(system, seed=case.seed)
+        injector.arm(FaultPlan(FaultKind.WB_REORDER, 4_000))
+        system.run(max_cycles=2_000_000, allow_incomplete=True)
+        return trace
+
+    def test_fault_injected_run_round_trips_exactly(self, tmp_path):
+        from repro.verify.trace import dump_jsonl, load_jsonl
+
+        trace = self._fault_injected_trace(tmp_path)
+        assert trace.events, "the run must have produced events"
+        path = str(tmp_path / "trace.jsonl")
+        dump_jsonl(trace.events, path)
+        again = load_jsonl(path)
+        assert len(again.events) == len(trace.events)
+        for a, b in zip(trace.events, again.events):
+            assert a == b, (a, b)
+        # Ordering metadata specifically survives.
+        kinds = {e.kind for e in trace.events}
+        masked = [e for e in again.events if e.kind in ("membar", "stbar")]
+        if masked:
+            originals = [
+                e for e in trace.events if e.kind in ("membar", "stbar")
+            ]
+            assert [e.mask for e in masked] == [e.mask for e in originals]
+        atomics = [e for e in again.events if e.kind == "atomic"]
+        for event in atomics:
+            assert event.old_value is not None, "RMW pairing lost in codec"
+        assert "load" in kinds and "store" in kinds
+
+    def test_oracle_verdict_survives_round_trip(self, tmp_path):
+        from repro.oracle import check_trace
+        from repro.verify.trace import dump_jsonl, load_jsonl
+
+        trace = self._fault_injected_trace(tmp_path)
+        path = str(tmp_path / "trace.jsonl")
+        dump_jsonl(trace.events, path)
+        again = load_jsonl(path)
+        before = check_trace(trace, ConsistencyModel.RMO)
+        after = check_trace(again, ConsistencyModel.RMO)
+        assert before.decided == after.decided
+        assert before.admissible == after.admissible
