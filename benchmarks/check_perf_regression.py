@@ -6,8 +6,9 @@ at the repo root.  Fails when the candidate's serial ``events_per_sec``
 or raw-kernel ``kernel_events_per_sec`` drops below ``threshold``
 (default 80%) of the baseline's, when the candidate's
 serial/parallel/cached/eager/observed metrics were not identical, or
-when the observability plane's ``obs_overhead_pct`` exceeds its
-ceiling (default 3%).
+when the observability plane's ``obs_overhead_pct`` — or the flight
+recorder's ``span_overhead_pct`` (with ``spans_identical`` asserted) —
+exceeds its ceiling (default 3% each).
 
 The wake-on-change kernel is gated on two further conditions: the
 wakeup and poll passes must be architecturally identical
@@ -75,6 +76,14 @@ def main(argv=None) -> int:
         default=3.0,
         help="maximum obs_overhead_pct (REPRO_OBS=1 wall-clock cost, "
         "percent over the unobserved serial pass)",
+    )
+    parser.add_argument(
+        "--spans-threshold",
+        type=float,
+        default=3.0,
+        help="maximum span_overhead_pct (REPRO_OBS_SPANS=1 flight-recorder "
+        "wall-clock cost at the default sampling stride, percent over "
+        "the unrecorded serial pass)",
     )
     parser.add_argument(
         "--wakeup-threshold",
@@ -184,6 +193,28 @@ def main(argv=None) -> int:
                 "FAIL: serial throughput fell below "
                 f"{args.express_threshold:.0%} of the pinned pre-express "
                 "baseline — the express plane's win has been traded away"
+            )
+            failed = True
+
+    if "spans_identical" in candidate and not candidate["spans_identical"]:
+        print(
+            "FAIL: the flight recorder (REPRO_OBS_SPANS=1) changed the "
+            "deterministic payload — recorder-on must be bit-identical"
+        )
+        return 1
+    span_overhead = candidate.get("span_overhead_pct")
+    if span_overhead is None:
+        # Older candidates predate the flight recorder; nothing to gate.
+        print("perf check: span overhead skipped (span_overhead_pct missing)")
+    else:
+        print(
+            f"perf check: span overhead {span_overhead:+.1f}% "
+            f"(ceiling {args.spans_threshold:.1f}%)"
+        )
+        if span_overhead > args.spans_threshold:
+            print(
+                "FAIL: REPRO_OBS_SPANS=1 wall-clock overhead exceeds "
+                f"{args.spans_threshold:.1f}% of the unrecorded serial pass"
             )
             failed = True
 

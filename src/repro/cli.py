@@ -198,6 +198,33 @@ def cmd_fuzz(args) -> int:
     return 1 if report.new_mismatches else 0
 
 
+def cmd_explain(args) -> int:
+    """Violation forensics: recorded replay of a committed reproducer."""
+    from repro.fuzz import FuzzCase, run_case_recorded
+    from repro.obs.forensics import post_mortem
+
+    with open(args.reproducer) as fh:
+        data = json.load(fh)
+    case = FuzzCase.from_json(data.get("case", data))
+    print(f"replaying {case.describe()} with the flight recorder on...")
+    result, recorder = run_case_recorded(case)
+    print(f"outcome: {result.outcome}")
+    print()
+    print(
+        post_mortem(
+            recorder,
+            detail=result.detail or data.get("detail", ""),
+            window=args.window,
+        )
+    )
+    if args.trace_out:
+        from repro.obs.chrome_trace import write_chrome_trace
+
+        write_chrome_trace(args.trace_out, recorder)
+        print(f"chrome trace written: {args.trace_out} (open in Perfetto)")
+    return 0
+
+
 def cmd_oracle(args) -> int:
     from repro.oracle import verify_file
 
@@ -310,6 +337,26 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--replay-corpus", action="store_true",
                       help="re-run every committed reproducer instead of fuzzing")
     fuzz.set_defaults(fn=cmd_fuzz)
+
+    explain = sub.add_parser(
+        "explain",
+        help="violation forensics: replay a reproducer with the flight "
+        "recorder and print the causal post-mortem",
+    )
+    explain.add_argument(
+        "reproducer",
+        help="committed reproducer JSON (tests/corpus/ format: a FuzzCase "
+        "under 'case' plus the mismatch 'detail' string)",
+    )
+    explain.add_argument(
+        "--window", type=int, default=50_000, metavar="CYCLES",
+        help="how far back the same-block causal sweep reaches",
+    )
+    explain.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="also export the recorded run as a Chrome/Perfetto trace",
+    )
+    explain.set_defaults(fn=cmd_explain)
 
     oracle = sub.add_parser(
         "oracle", help="offline admissibility check of a JSONL trace"

@@ -25,8 +25,13 @@ from repro.common.stats import StatsRegistry
 from repro.common.types import WORD_MASK, CoherenceState, EpochType
 from repro.config import SystemConfig
 from repro.memory.cache import CacheArray, CacheLine
+from repro.obs.spans import K_MSHR, K_OWNER
 
 from .hooks import SystemHooks
+
+#: Flight-recorder codes for cache-line state transitions (the ``b``
+#: column of cache-side K_OWNER instants, offset by +1 so 0 = absent).
+_STATE_CODE = {state: index for index, state in enumerate(CoherenceState)}
 
 
 class OpKind(enum.Enum):
@@ -42,7 +47,15 @@ class OpKind(enum.Enum):
 class CoreRequest:
     """One pending core request for a block."""
 
-    __slots__ = ("kind", "addr", "value", "on_done", "issued_at", "needs_write")
+    __slots__ = (
+        "kind",
+        "addr",
+        "value",
+        "on_done",
+        "issued_at",
+        "needs_write",
+        "tid",
+    )
 
     def __init__(
         self,
@@ -57,6 +70,7 @@ class CoreRequest:
         self.value = value
         self.on_done = on_done
         self.issued_at = issued_at
+        self.tid = 0  # flight-recorder trace id (0 = untraced)
         # Stored, not a property: the service loop consults this once
         # per queued request and the descriptor call shows up there.
         self.needs_write = (
@@ -151,6 +165,19 @@ class BaseCacheController:
         #: ordering WaitSet by the system builder.  Spurious notifies
         #: are safe: parked checks just re-evaluate and re-park.
         self.wakes = None
+        #: Transaction flight recorder (None = disabled; wired by the
+        #: builder via :meth:`attach_spans`).
+        self.spans = None
+        self._span_track = 0
+        #: Trace id of the miss being started (read by the protocol
+        #: subclass when stamping its request messages).
+        self._miss_tid = 0
+        self._mshr_tokens: Dict[int, int] = {}
+
+    def attach_spans(self, spans) -> None:
+        """Wire the flight recorder (never changes simulation results)."""
+        self.spans = spans
+        self._span_track = spans.track(f"cache.{self.node}")
 
     # ------------------------------------------------------------------
     # Core-facing API
@@ -185,6 +212,10 @@ class BaseCacheController:
     # Request scheduling
     # ------------------------------------------------------------------
     def _submit(self, req: CoreRequest) -> None:
+        s = self.spans
+        if s is not None:
+            # The core sets the side channel just before calling in.
+            req.tid = s.cur
         if req.kind is OpKind.REPLAY:
             self._values[self._h_replay_accesses] += 1
         else:
@@ -259,6 +290,14 @@ class BaseCacheController:
             self._values[self._h_replay_misses] += 1
         else:
             self._values[self._h_misses] += 1
+        self._miss_tid = req.tid
+        s = self.spans
+        if s is not None and req.tid:
+            # MSHR lifetime: miss start -> _transaction_done.
+            self._mshr_tokens[block] = s.open(
+                req.tid, self._span_track, K_MSHR,
+                self.scheduler.now, block, 1 if want_m else 0, self.node,
+            )
         if line is None:
             victim = self.l1.victim_for(block, pinned=self._pinned)
             if victim is not None and self._evict(victim, then_block=block):
@@ -343,6 +382,12 @@ class BaseCacheController:
             # buffer and the install proceeds).
             self._evict(victim)
         line = self.l1.install(block, state, data)
+        s = self.spans
+        if s is not None and (self._miss_tid or s.trace_infra):
+            s.instant(
+                self._miss_tid, self._span_track, K_OWNER,
+                self.scheduler.now, block, _STATE_CODE[state] + 1, self.node,
+            )
         if self.manage_epochs and self.hooks.sub_epoch_begin:
             etype = (
                 EpochType.READ_WRITE
@@ -362,6 +407,13 @@ class BaseCacheController:
         if self.manage_epochs and self.hooks.sub_epoch_end:
             self.hooks.epoch_end(self.node, block, list(line.data))
         line.state = CoherenceState.M
+        s = self.spans
+        if s is not None and (self._miss_tid or s.trace_infra):
+            s.instant(
+                self._miss_tid, self._span_track, K_OWNER,
+                self.scheduler.now, block,
+                _STATE_CODE[CoherenceState.M] + 1, self.node,
+            )
         if self.manage_epochs and self.hooks.sub_epoch_begin:
             self.hooks.epoch_begin(
                 self.node, block, EpochType.READ_WRITE, list(line.data)
@@ -379,6 +431,13 @@ class BaseCacheController:
             if self.manage_epochs and self.hooks.sub_epoch_end:
                 self.hooks.epoch_end(self.node, block, list(line.data))
             line.state = CoherenceState.O
+            s = self.spans
+            if s is not None and s.trace_infra:
+                s.instant(
+                    0, self._span_track, K_OWNER,
+                    self.scheduler.now, block,
+                    _STATE_CODE[CoherenceState.O] + 1, self.node,
+                )
             if self.manage_epochs and self.hooks.sub_epoch_begin:
                 self.hooks.epoch_begin(
                     self.node, block, EpochType.READ_ONLY, list(line.data)
@@ -395,6 +454,13 @@ class BaseCacheController:
             self.hooks.epoch_end(self.node, block, data)
         self.hooks.invalidation(self.node, block)
         self.l1.remove(block)
+        s = self.spans
+        if s is not None and s.trace_infra:
+            # Invalidation: the line leaves this cache (state code 0).
+            s.instant(
+                0, self._span_track, K_OWNER,
+                self.scheduler.now, block, 0, self.node,
+            )
         if self.wakes is not None:
             self.wakes.notify()
         return data
@@ -423,6 +489,11 @@ class BaseCacheController:
     def _transaction_done(self, block: int) -> None:
         """Subclasses call this once permissions are in place."""
         self._active.pop(block, None)
+        s = self.spans
+        if s is not None and self._mshr_tokens:
+            token = self._mshr_tokens.pop(block, 0)
+            if token:
+                s.close(token, self.scheduler.now)
         self.scheduler.post(1, self._cb_service, (block,))
         if self.wakes is not None:
             self.wakes.notify()

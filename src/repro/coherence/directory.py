@@ -27,6 +27,7 @@ from repro.interconnect.message import (
 )
 from repro.memory.cache import CacheArray
 from repro.memory.memory import MainMemory
+from repro.obs.spans import K_OWNER
 
 from .cache_controller import BaseCacheController, WritebackEntry
 from .hooks import SystemHooks
@@ -47,6 +48,7 @@ class _DirTransaction:
         "acks_expected",
         "acks_received",
         "data_coming",
+        "tid",
     )
 
     def __init__(self, block: int, want_m: bool, had_line: bool):
@@ -57,6 +59,7 @@ class _DirTransaction:
         self.acks_expected: Optional[int] = None
         self.acks_received = 0
         self.data_coming: Optional[bool] = None
+        self.tid = 0  # flight-recorder trace id (0 = untraced)
 
     def complete(self) -> bool:
         if not self.want_m:
@@ -96,19 +99,22 @@ class DirectoryCacheController(BaseCacheController):
         data=None,
         req: int = -1,
         flags: int = 0,
+        tid: int = 0,
     ) -> None:
         size = (
             self.config.network.data_message_bytes
             if data is not None
             else self.config.network.control_message_bytes
         )
-        self.network.send(
-            acquire(self.node, dst, kind, addr, data, size, req=req, flags=flags)
-        )
+        msg = acquire(self.node, dst, kind, addr, data, size, req=req, flags=flags)
+        if tid:
+            msg.tid = tid
+        self.network.send(msg)
 
     def _start_transaction(self, block: int, want_m: bool) -> None:
         line = self.l1.peek(block)
         txn = _DirTransaction(block, want_m, had_line=line is not None)
+        txn.tid = self._miss_tid
         self._active[block] = txn
         home = self.home_of(block)
         # have_line tells the home whether an upgrade really holds data;
@@ -119,6 +125,7 @@ class DirectoryCacheController(BaseCacheController):
             Coh.GETM if want_m else Coh.GETS,
             block,
             flags=FLAG_HAVE_LINE if line is not None else 0,
+            tid=txn.tid,
         )
 
     def _start_writeback(self, entry: WritebackEntry) -> None:
@@ -218,7 +225,7 @@ class DirectoryCacheController(BaseCacheController):
                 self._active.pop(block, None)
                 return
             self._install_block(block, CoherenceState.S, txn.data)
-        self._send(self.home_of(block), Coh.UNBLOCK, block)
+        self._send(self.home_of(block), Coh.UNBLOCK, block, tid=txn.tid)
         self._transaction_done(block)
 
     # Remote-initiated actions ---------------------------------------------
@@ -228,12 +235,12 @@ class DirectoryCacheController(BaseCacheController):
         line = self.l1.peek(block)
         if line is not None and line.state.is_owner():
             self._downgrade_to_o(block)
-            self._send(requestor, Coh.DATA, block, data=list(line.data))
+            self._send(requestor, Coh.DATA, block, data=list(line.data), tid=msg.tid)
             return
         wb = self._writebacks.get(block)
         if wb is not None:
             wb.responded = True
-            self._send(requestor, Coh.DATA, block, data=list(wb.data))
+            self._send(requestor, Coh.DATA, block, data=list(wb.data), tid=msg.tid)
             return
         self.unexpected("fwd_gets_no_copy")
 
@@ -243,12 +250,12 @@ class DirectoryCacheController(BaseCacheController):
         line = self.l1.peek(block)
         if line is not None and line.state.is_owner():
             data = self._invalidate_block(block)
-            self._send(requestor, Coh.DATA, block, data=data)
+            self._send(requestor, Coh.DATA, block, data=data, tid=msg.tid)
             return
         wb = self._writebacks.get(block)
         if wb is not None:
             wb.responded = True
-            self._send(requestor, Coh.DATA, block, data=list(wb.data))
+            self._send(requestor, Coh.DATA, block, data=list(wb.data), tid=msg.tid)
             return
         self.unexpected("fwd_getm_no_copy")
 
@@ -262,7 +269,7 @@ class DirectoryCacheController(BaseCacheController):
                 self.unexpected("inv_on_owner")
             self._invalidate_block(block)
         # Always ack, even when the copy was silently evicted earlier.
-        self._send(requestor, Coh.INV_ACK, block)
+        self._send(requestor, Coh.INV_ACK, block, tid=msg.tid)
 
 
 class _DirEntry:
@@ -328,6 +335,14 @@ class DirectoryMemoryController:
         self._post = scheduler.post
         self._cb_supply = self._supply
         self._mem_latency = config.memory.latency
+        #: Flight recorder (None unless REPRO_OBS_SPANS; see obs.spans).
+        self.spans = None
+        self._span_track = 0
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; one track per home node."""
+        self.spans = spans
+        self._span_track = spans.track(f"dir.{self.node}")
 
     def entry(self, block: int) -> _DirEntry:
         """Materialise the old per-block entry shape (cold path)."""
@@ -352,18 +367,20 @@ class DirectoryMemoryController:
         req: int = -1,
         acks: int = -1,
         flags: int = 0,
+        tid: int = 0,
     ) -> None:
         size = (
             self.config.network.data_message_bytes
             if data is not None
             else self.config.network.control_message_bytes
         )
-        self.network.send(
-            acquire(
-                self.node, dst, kind, addr, data, size,
-                req=req, acks=acks, flags=flags,
-            )
+        msg = acquire(
+            self.node, dst, kind, addr, data, size,
+            req=req, acks=acks, flags=flags,
         )
+        if tid:
+            msg.tid = tid
+        self.network.send(msg)
 
     # -- inbound ------------------------------------------------------------
     def handle_message(self, msg: Message) -> None:
@@ -385,9 +402,11 @@ class DirectoryMemoryController:
 
     def _process(self, msg: Message, block: int) -> None:
         if msg.kind is Coh.GETS:
-            self._on_gets(msg.src, block)
+            self._on_gets(msg.src, block, msg.tid)
         elif msg.kind is Coh.GETM:
-            self._on_getm(msg.src, block, bool(msg.flags & FLAG_HAVE_LINE))
+            self._on_getm(
+                msg.src, block, bool(msg.flags & FLAG_HAVE_LINE), msg.tid
+            )
         elif msg.kind is Coh.PUTM:
             self._on_putm(msg, block)
         else:
@@ -397,24 +416,34 @@ class DirectoryMemoryController:
         # unblock drain finally processes them).
         release(msg)
 
-    def _supply(self, requestor: int, block: int, data: List[int]) -> None:
+    def _supply(
+        self, requestor: int, block: int, data: List[int], tid: int
+    ) -> None:
         """Memory-sourced Data reply (posted after the memory latency)."""
-        self._send(requestor, Coh.DATA, block, data=data)
+        self._send(requestor, Coh.DATA, block, data=data, tid=tid)
 
-    def _on_gets(self, requestor: int, block: int) -> None:
+    def _on_gets(self, requestor: int, block: int, tid: int = 0) -> None:
         self._busy.add(block)
         self._values[self._h_gets] += 1
         self.hooks.home_request(self.node, block)
         owner = self._owner.get(block)
         if owner is None:
             data = self.memory.read_block(block)
-            self._post(self._mem_latency, self._cb_supply, (requestor, block, data))
+            self._post(
+                self._mem_latency, self._cb_supply, (requestor, block, data, tid)
+            )
         else:
-            self._send(owner, Coh.FWD_GETS, block, req=requestor)
+            self._send(owner, Coh.FWD_GETS, block, req=requestor, tid=tid)
         self._sharers[block] = self._sharers.get(block, 0) | (1 << requestor)
         # Owner (if any) retains ownership in O state.
 
-    def _on_getm(self, requestor: int, block: int, have_line: bool = False) -> None:
+    def _on_getm(
+        self,
+        requestor: int,
+        block: int,
+        have_line: bool = False,
+        tid: int = 0,
+    ) -> None:
         self._busy.add(block)
         self._values[self._h_getm] += 1
         self.hooks.home_request(self.node, block)
@@ -424,27 +453,37 @@ class DirectoryMemoryController:
         inv_mask = sharer_mask & ~rbit
         data_coming = not (owner == requestor or (sharer_mask & rbit and have_line))
         if owner is not None and owner != requestor:
-            self._send(owner, Coh.FWD_GETM, block, req=requestor)
+            self._send(owner, Coh.FWD_GETM, block, req=requestor, tid=tid)
             data_coming = True
             inv_mask &= ~(1 << owner)
         elif owner is None and data_coming:
             data = self.memory.read_block(block)
-            self._post(self._mem_latency, self._cb_supply, (requestor, block, data))
+            self._post(
+                self._mem_latency, self._cb_supply, (requestor, block, data, tid)
+            )
         self._send(
             requestor,
             Coh.ACK_COUNT,
             block,
             acks=inv_mask.bit_count(),
             flags=FLAG_DATA_COMING if data_coming else 0,
+            tid=tid,
         )
         # Ascending bit order matches the old sorted(invalidatees) sweep.
         mask = inv_mask
         while mask:
             low = mask & -mask
-            self._send(low.bit_length() - 1, Coh.INV, block, req=requestor)
+            self._send(low.bit_length() - 1, Coh.INV, block, req=requestor, tid=tid)
             mask ^= low
         self._owner[block] = requestor
         self._sharers[block] = 0
+        s = self.spans
+        if s is not None and (tid or s.trace_infra):
+            # Directory's view: ownership moved to the requestor.
+            s.instant(
+                tid, self._span_track, K_OWNER, self.scheduler.now,
+                block, requestor + 1, self.node,
+            )
 
     def _on_putm(self, msg: Message, block: int) -> None:
         self._values[self._h_putm] += 1
@@ -456,9 +495,16 @@ class DirectoryMemoryController:
             )
             self.memory.write_block(block, msg.data)
             del self._owner[block]
-            self._send(msg.src, Coh.WB_ACK, block)
+            self._send(msg.src, Coh.WB_ACK, block, tid=msg.tid)
+            s = self.spans
+            if s is not None and (msg.tid or s.trace_infra):
+                # Ownership returned to memory (owner code 0).
+                s.instant(
+                    msg.tid, self._span_track, K_OWNER, self.scheduler.now,
+                    block, 0, self.node,
+                )
         else:
-            self._send(msg.src, Coh.WB_STALE, block)
+            self._send(msg.src, Coh.WB_STALE, block, tid=msg.tid)
 
     def _on_unblock(self, block: int) -> None:
         busy = self._busy

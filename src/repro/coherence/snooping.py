@@ -25,6 +25,7 @@ from repro.interconnect.base import Network
 from repro.interconnect.message import Message, acquire, release
 from repro.memory.cache import CacheArray
 from repro.memory.memory import MainMemory
+from repro.obs.spans import K_OWNER
 
 from .cache_controller import BaseCacheController, WritebackEntry
 from .hooks import SystemHooks
@@ -44,6 +45,7 @@ class _SnoopTransaction:
         "killed",
         "obligations",
         "lost_to",
+        "tid",
     )
 
     def __init__(self, block: int, want_m: bool):
@@ -52,7 +54,8 @@ class _SnoopTransaction:
         self.serialized = False
         self.await_data = False
         self.killed = False  # a later GetM took the block before our data came
-        self.obligations: List[Tuple[Snoop, int, Optional[int]]] = []
+        self.obligations: List[Tuple[Snoop, int, Optional[int], int]] = []
+        self.tid = 0  # flight-recorder trace id (0 = untraced)
         #: Node whose GetM was serialized after ours took future
         #: ownership; once set, later snoops are that node's problem.
         self.lost_to: Optional[int] = None
@@ -88,35 +91,41 @@ class SnoopingCacheController(BaseCacheController):
         return None if self.logical_time is None else self.logical_time.now(self.node)
 
     # -- outbound ---------------------------------------------------------
-    def _broadcast(self, kind: Snoop, addr: int) -> None:
+    def _broadcast(self, kind: Snoop, addr: int, tid: int = 0) -> None:
         # Snoop broadcasts fan out to two consumers per node (cache and
         # memory controller) and are therefore never pooled: plain
         # construction, no release.
-        self.address_net.send(
-            Message(
-                src=self.node,
-                dst=-1,  # rewritten per delivery by the broadcast net
-                kind=kind,
-                addr=addr,
-                size_bytes=self.config.network.control_message_bytes,
-            )
+        msg = Message(
+            src=self.node,
+            dst=-1,  # rewritten per delivery by the broadcast net
+            kind=kind,
+            addr=addr,
+            size_bytes=self.config.network.control_message_bytes,
         )
+        if tid:
+            msg.tid = tid
+        self.address_net.send(msg)
 
-    def _send_data(self, dst: int, kind: Coh, addr: int, data: List[int]) -> None:
-        self.data_net.send(
-            acquire(
-                self.node,
-                dst,
-                kind,
-                addr,
-                list(data),
-                self.config.network.data_message_bytes,
-            )
+    def _send_data(
+        self, dst: int, kind: Coh, addr: int, data: List[int], tid: int = 0
+    ) -> None:
+        msg = acquire(
+            self.node,
+            dst,
+            kind,
+            addr,
+            list(data),
+            self.config.network.data_message_bytes,
         )
+        if tid:
+            msg.tid = tid
+        self.data_net.send(msg)
 
     def _start_transaction(self, block: int, want_m: bool) -> None:
-        self._active[block] = _SnoopTransaction(block, want_m)
-        self._broadcast(Snoop.GETM if want_m else Snoop.GETS, block)
+        txn = _SnoopTransaction(block, want_m)
+        txn.tid = self._miss_tid
+        self._active[block] = txn
+        self._broadcast(Snoop.GETM if want_m else Snoop.GETS, block, tid=txn.tid)
 
     def _start_writeback(self, entry: WritebackEntry) -> None:
         self._broadcast(Snoop.PUTM, entry.addr)
@@ -184,12 +193,18 @@ class SnoopingCacheController(BaseCacheController):
     # Another node's request ------------------------------------------------
     def _other_snoop(self, msg: Message, block: int) -> None:
         if msg.kind is Snoop.GETS:
-            self._other_gets(msg.src, block)
+            self._other_gets(msg.src, block, tid=msg.tid)
         elif msg.kind is Snoop.GETM:
-            self._other_getm(msg.src, block)
+            self._other_getm(msg.src, block, tid=msg.tid)
         # PUTM by others: caches are not involved.
 
-    def _other_gets(self, requestor: int, block: int, at_lt: Optional[int] = None) -> None:
+    def _other_gets(
+        self,
+        requestor: int,
+        block: int,
+        at_lt: Optional[int] = None,
+        tid: int = 0,
+    ) -> None:
         at = self._now() if at_lt is None else at_lt
         line = self.l1.peek(block)
         if line is not None and line.state.is_owner():
@@ -201,7 +216,7 @@ class SnoopingCacheController(BaseCacheController):
                 )
                 if self.wakes is not None:
                     self.wakes.notify()
-            self._send_data(requestor, Coh.DATA, block, line.data)
+            self._send_data(requestor, Coh.DATA, block, line.data, tid=tid)
             return
         wb = self._writebacks.get(block)
         if wb is not None and not wb.responded:
@@ -213,7 +228,7 @@ class SnoopingCacheController(BaseCacheController):
                 self.hooks.epoch_begin(
                     self.node, block, EpochType.READ_ONLY, list(wb.data), at
                 )
-            self._send_data(requestor, Coh.DATA, block, wb.data)
+            self._send_data(requestor, Coh.DATA, block, wb.data, tid=tid)
             return
         txn = self._active.get(block)
         if (
@@ -222,14 +237,20 @@ class SnoopingCacheController(BaseCacheController):
             and txn.want_m
             and txn.lost_to is None
         ):
-            txn.obligations.append((Snoop.GETS, requestor, at))
+            txn.obligations.append((Snoop.GETS, requestor, at, tid))
 
-    def _other_getm(self, requestor: int, block: int, at_lt: Optional[int] = None) -> None:
+    def _other_getm(
+        self,
+        requestor: int,
+        block: int,
+        at_lt: Optional[int] = None,
+        tid: int = 0,
+    ) -> None:
         at = self._now() if at_lt is None else at_lt
         line = self.l1.peek(block)
         if line is not None:
             if line.state.is_owner():
-                self._send_data(requestor, Coh.DATA, block, line.data)
+                self._send_data(requestor, Coh.DATA, block, line.data, tid=tid)
             self.hooks.epoch_end(self.node, block, list(line.data), at)
             self.hooks.invalidation(self.node, block)
             self.l1.remove(block)
@@ -238,13 +259,13 @@ class SnoopingCacheController(BaseCacheController):
         if wb is not None and not wb.responded:
             wb.responded = True
             self.hooks.epoch_end(self.node, block, list(wb.data), at)
-            self._send_data(requestor, Coh.DATA, block, wb.data)
+            self._send_data(requestor, Coh.DATA, block, wb.data, tid=tid)
             return
         txn = self._active.get(block)
         if isinstance(txn, _SnoopTransaction) and txn.serialized:
             if txn.want_m:
                 if txn.lost_to is None:
-                    txn.obligations.append((Snoop.GETM, requestor, at))
+                    txn.obligations.append((Snoop.GETM, requestor, at, tid))
                     txn.lost_to = requestor
             elif not txn.killed:
                 # Our read was serialized first but the writer's GetM
@@ -288,11 +309,11 @@ class SnoopingCacheController(BaseCacheController):
         self._service_block(block)
         # ...then honour handoffs that serialized after our request,
         # stamped with the logical time of *their* serialization point.
-        for kind, requestor, at_lt in txn.obligations:
+        for kind, requestor, at_lt, tid in txn.obligations:
             if kind is Snoop.GETM:
-                self._other_getm(requestor, block, at_lt)
+                self._other_getm(requestor, block, at_lt, tid=tid)
             else:
-                self._other_gets(requestor, block, at_lt)
+                self._other_gets(requestor, block, at_lt, tid=tid)
         self.scheduler.post(1, self._cb_service, (block,))
         if self.wakes is not None:
             self.wakes.notify()
@@ -348,6 +369,14 @@ class SnoopingMemoryController:
         self._values = stats.values
         self._cb_snoop = self._snoop
         self._cb_wb_data = self._wb_data
+        #: Flight recorder (None unless REPRO_OBS_SPANS; see obs.spans).
+        self.spans = None
+        self._span_track = 0
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; one track per home node."""
+        self.spans = spans
+        self._span_track = spans.track(f"snoopmem.{self.node}")
 
     def handle_snoop(self, msg: Message) -> None:
         self.scheduler.post(_CTRL_LATENCY, self._cb_snoop, (msg,))
@@ -362,33 +391,50 @@ class SnoopingMemoryController:
             self.hooks.home_request(self.node, block)
             self._values[self._h_gets] += 1
             if owner is None:
-                self._supply(msg.src, block)
+                self._supply(msg.src, block, msg.tid)
         elif kind is Snoop.GETM:
             self.hooks.home_request(self.node, block)
             self._values[self._h_getm] += 1
             if owner is None and owner != msg.src:
-                self._supply(msg.src, block)
+                self._supply(msg.src, block, msg.tid)
             if owner != msg.src:
                 self._owner[block] = msg.src
+                s = self.spans
+                if s is not None and (msg.tid or s.trace_infra):
+                    # Home's exact-ownership view: block moved to msg.src.
+                    s.instant(
+                        msg.tid, self._span_track, K_OWNER,
+                        self.scheduler.now, block, msg.src + 1, self.node,
+                    )
         elif kind is Snoop.PUTM:
             self._values[self._h_putm] += 1
             if owner == msg.src:
                 self._owner[block] = None
                 self._pending_wb[block] = msg.src
+                s = self.spans
+                if s is not None and (msg.tid or s.trace_infra):
+                    # Ownership returned to memory (owner code 0).
+                    s.instant(
+                        msg.tid, self._span_track, K_OWNER,
+                        self.scheduler.now, block, 0, self.node,
+                    )
 
-    def _supply(self, requestor: int, block: int) -> None:
+    def _supply(self, requestor: int, block: int, tid: int = 0) -> None:
         data = self.memory.read_block(block)
+        msg = acquire(
+            self.node,
+            requestor,
+            Coh.DATA,
+            block,
+            data,
+            self.config.network.data_message_bytes,
+        )
+        if tid:
+            msg.tid = tid
         self.scheduler.post(
             self.config.memory.latency,
             self.data_net.send,
-            (acquire(
-                self.node,
-                requestor,
-                Coh.DATA,
-                block,
-                data,
-                self.config.network.data_message_bytes,
-            ),),
+            (msg,),
         )
 
     def handle_data(self, msg: Message) -> None:

@@ -47,6 +47,7 @@ from repro.common.types import BLOCK_SIZE, EpochType, ViolationReport, block_of
 from repro.config import SystemConfig
 from repro.dvmc.interval_index import IntervalIndex
 from repro.interconnect.message import Message, acquire, release
+from repro.obs.spans import K_EPOCH, K_MET
 
 from repro.coherence.messages import Dvcc
 
@@ -89,6 +90,7 @@ class CETEntry:
         "end",
         "end_hash",
         "open_informed",
+        "span_token",
     )
 
     def __init__(self, etype: EpochType, begin: int):
@@ -102,6 +104,7 @@ class CETEntry:
         #: An Inform-Open-Epoch was sent (wraparound scrubbing); the end
         #: must be reported with Inform-Closed-Epoch instead.
         self.open_informed = False
+        self.span_token = 0  # open flight-recorder span (0 = none)
 
 
 class METEntry:
@@ -226,7 +229,18 @@ class CoherenceChecker:
         self._obs_bank_pushes = [0] * MET_BANKS
         self._obs_met_probes = 0
         self._obs_overlap_checks = 0
+        #: Flight recorder (None unless REPRO_OBS_SPANS; see obs.spans).
+        self.spans = None
+        self._span_cet_tracks: List[int] = []
+        self._span_met_tracks: List[int] = []
         scheduler.post(SWEEP_PERIOD, self._sweep)
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; CET and MET tracks per node."""
+        self.spans = spans
+        num = self.config.num_nodes
+        self._span_cet_tracks = [spans.track(f"cc.{n}") for n in range(num)]
+        self._span_met_tracks = [spans.track(f"met.{n}") for n in range(num)]
 
     def attach_obs(self) -> None:
         """Start recording MET bank probes and overlap-check counts."""
@@ -310,12 +324,23 @@ class CoherenceChecker:
         if block in cet and not cet[block].ended:
             # The protocol opened an epoch over a live one: itself a
             # coherence anomaly worth flagging.
-            self._violate(node, "epoch-begin-over-open", f"block 0x{block:x}")
+            self._violate(
+                node, "epoch-begin-over-open", f"block 0x{block:x}", addr=block
+            )
         entry = CETEntry(etype, self.lt.now(node) if lt is None else lt)
         if data is not None:
             entry.begin_hash = self._hash_block(block, data)
             entry.data_ready = True
         cet[block] = entry
+        s = self.spans
+        if s is not None and s.trace_infra:
+            # Epochs belong to no single op (tid 0); forensics joins
+            # them to transactions by block address.
+            entry.span_token = s.open(
+                0, self._span_cet_tracks[node], K_EPOCH,
+                self.scheduler.now, block,
+                1 if etype is EpochType.READ_WRITE else 0, node,
+            )
         self._scrub_fifo[node].append((block, entry.begin))
         if len(self._scrub_fifo[node]) > self.config.dvmc.scrub_fifo_entries:
             self._scrub_check(node)
@@ -325,7 +350,9 @@ class CoherenceChecker:
         block = block_of(addr)
         entry = self._cet[node].get(block)
         if entry is None:
-            self._violate(node, "data-without-epoch", f"block 0x{block:x}")
+            self._violate(
+                node, "data-without-epoch", f"block 0x{block:x}", addr=block
+            )
             return
         if not entry.data_ready:
             entry.begin_hash = self._hash_block(block, data)
@@ -346,10 +373,14 @@ class CoherenceChecker:
         block = block_of(addr)
         entry = self._cet[node].get(block)
         if entry is None:
-            self._violate(node, "end-without-epoch", f"block 0x{block:x}")
+            self._violate(
+                node, "end-without-epoch", f"block 0x{block:x}", addr=block
+            )
             return
         if entry.ended:
-            self._violate(node, "double-epoch-end", f"block 0x{block:x}")
+            self._violate(
+                node, "double-epoch-end", f"block 0x{block:x}", addr=block
+            )
             return
         entry.ended = True
         entry.end = self.lt.now(node) if lt is None else lt
@@ -363,6 +394,10 @@ class CoherenceChecker:
 
     def _finish_epoch(self, node: int, block: int, entry: CETEntry) -> None:
         del self._cet[node][block]
+        s = self.spans
+        if s is not None and entry.span_token:
+            s.close(entry.span_token, self.scheduler.now)
+            entry.span_token = 0
         home = self.home_of(block)
         if entry.open_informed:
             self._send_inform(
@@ -401,6 +436,7 @@ class CoherenceChecker:
                 node,
                 "access-without-epoch",
                 f"{'store' if is_store else 'load'} 0x{addr:x}",
+                addr=addr,
             )
             return
         if is_store:
@@ -408,7 +444,9 @@ class CoherenceChecker:
             # hash so the next epoch event re-hashes the new contents.
             self._hash_memo.pop(block_of(addr), None)
             if entry.etype is not EpochType.READ_WRITE or entry.ended:
-                self._violate(node, "store-outside-rw-epoch", f"0x{addr:x}")
+                self._violate(
+                    node, "store-outside-rw-epoch", f"0x{addr:x}", addr=addr
+                )
 
     def cet_occupancy(self, node: int) -> int:
         return len(self._cet[node])
@@ -607,6 +645,7 @@ class CoherenceChecker:
                 "data-propagation",
                 f"block 0x{block:x}: memory holds hash {old_hash:#06x} "
                 f"at writeback, last stored {entry.mem_hash:#06x}",
+                addr=block,
             )
         entry.mem_hash = self._hash_block(block, new_data)
 
@@ -627,6 +666,7 @@ class CoherenceChecker:
                             "data-propagation",
                             f"block 0x{block:x}: scrub reads hash "
                             f"{got:#06x}, last stored {entry.mem_hash:#06x}",
+                            addr=block,
                         )
 
     def _met_entry(self, home: int, block: int) -> METEntry:
@@ -702,6 +742,12 @@ class CoherenceChecker:
             begin_hash,
             end_hash,
         ) = record
+        s = self.spans
+        if s is not None and s.trace_infra:
+            s.instant(
+                0, self._span_met_tracks[home], K_MET,
+                self.scheduler.now, block, src, home,
+            )
         if kind == _K_CLOSED:
             self._met_close_open(home, block, src, etype_code, end)
             return
@@ -753,6 +799,7 @@ class CoherenceChecker:
                 "epoch-overlap",
                 f"block 0x{block:x}: {etype.value} epoch from node {src} "
                 f"begins at {begin} before a conflicting epoch ended at {limit}",
+                addr=block,
             )
         if entry.open_rw is not None and entry.open_rw != src:
             self._violate(
@@ -760,6 +807,7 @@ class CoherenceChecker:
                 "epoch-overlap-open",
                 f"block 0x{block:x}: epoch begins while node "
                 f"{entry.open_rw} holds an open RW epoch",
+                addr=block,
             )
         open_ro = entry.open_ro
         if is_rw and open_ro and (len(open_ro) > 1 or src not in open_ro):
@@ -767,6 +815,7 @@ class CoherenceChecker:
                 home,
                 "epoch-overlap-open",
                 f"block 0x{block:x}: RW epoch while RO epochs open",
+                addr=block,
             )
 
         # Rule 3: data propagates intact from the last RW epoch.
@@ -781,6 +830,7 @@ class CoherenceChecker:
                 f"block 0x{block:x}: epoch begins with hash "
                 f"{begin_hash:#06x}, last RW epoch ended with "
                 f"{entry.last_rw_end_hash:#06x}",
+                addr=block,
             )
 
         if kind == _K_OPEN:
@@ -806,6 +856,7 @@ class CoherenceChecker:
                     home,
                     "ro-epoch-data-changed",
                     f"block 0x{block:x} changed during a read-only epoch",
+                    addr=block,
                 )
             if end > entry.last_ro_end:
                 entry.last_ro_end = end
@@ -844,8 +895,15 @@ class CoherenceChecker:
             self._drain(node)
         self.scheduler.post(SWEEP_PERIOD, self._sweep)
 
-    def _violate(self, node: int, kind: str, detail: str) -> None:
+    def _violate(
+        self, node: int, kind: str, detail: str, addr: int = 0
+    ) -> None:
         self._values[self._h_violations[node]] += 1
+        s = self.spans
+        if s is not None:
+            s.violation(
+                "CC", node, self.scheduler.now, addr=addr, detail=detail
+            )
         self.violations(
             ViolationReport("CC", self.scheduler.now, node, kind, detail)
         )

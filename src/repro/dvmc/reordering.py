@@ -23,6 +23,7 @@ from repro.common.types import MembarMask, OpType, ViolationReport
 from repro.config import SystemConfig
 from repro.consistency.ordering_table import OrderingTable
 from repro.dvmc.streaming import OpLog, RECORD_WIDTH
+from repro.obs.spans import K_AR
 
 _MASK_BITS = (
     MembarMask.LOADLOAD,
@@ -96,7 +97,15 @@ class AllowableReorderingChecker:
         self._obs_drains = 0
         self._obs_drained_records = 0
         self._obs_drain_max = 0
+        #: Flight recorder (None unless REPRO_OBS_SPANS; see obs.spans).
+        self.spans = None
+        self._span_track = 0
         scheduler.post(self._interval, self._injected_membar_check)
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; AR verdicts share one track."""
+        self.spans = spans
+        self._span_track = spans.track("checker.ar")
 
     def attach_obs(self) -> None:
         """Start recording streaming-log drain depths."""
@@ -225,6 +234,15 @@ class AllowableReorderingChecker:
         cycle: int,
     ) -> None:
         self._outstanding.pop(seq, None)
+        s = self.spans
+        if s is not None:
+            tid = s.tid_for(self.node, seq)
+            if tid:
+                # The AR verdict point: this op's reorder window closed.
+                s.instant(
+                    tid, self._span_track, K_AR, cycle,
+                    _OP_CODE[op_type], seq, self.node,
+                )
         plan = self._plans.get((table, op_type, mask))
         if plan is None:
             plan = self._compile_plan(table, op_type, mask)
@@ -291,14 +309,20 @@ class AllowableReorderingChecker:
         for seq, op_type, cycle in stale:
             self._outstanding.pop(seq, None)
             self.stats.incr(self._stat_violations)
+            detail = (
+                f"{op_type.value} seq {seq} committed at cycle {cycle} "
+                f"never performed"
+            )
+            s = self.spans
+            if s is not None:
+                s.violation("AR", self.node, now, seq=seq, detail=detail)
             self.violations(
                 ViolationReport(
                     "AR",
                     now,
                     self.node,
                     "lost-operation",
-                    f"{op_type.value} seq {seq} committed at cycle {cycle} "
-                    f"never performed",
+                    detail,
                 )
             )
 
@@ -329,13 +353,17 @@ class AllowableReorderingChecker:
         stalled = self.scheduler.now - core.last_progress_cycle
         if stalled > 3 * self._interval:
             self.stats.incr(self._stat_violations)
+            detail = f"core {self.node} made no progress for {stalled} cycles"
+            s = self.spans
+            if s is not None:
+                s.violation("AR", self.node, self.scheduler.now, detail=detail)
             self.violations(
                 ViolationReport(
                     "AR",
                     self.scheduler.now,
                     self.node,
                     "lost-operation",
-                    f"core {self.node} made no progress for {stalled} cycles",
+                    detail,
                 )
             )
 
@@ -344,14 +372,20 @@ class AllowableReorderingChecker:
         self, first: OpType, second: OpType, seq: int, cycle: int
     ) -> None:
         self.stats.incr(self._stat_violations)
+        detail = (
+            f"{first.value} seq {seq} performed after a younger "
+            f"{second.value} it is ordered before"
+        )
+        s = self.spans
+        if s is not None:
+            s.violation("AR", self.node, cycle, seq=seq, detail=detail)
         self.violations(
             ViolationReport(
                 "AR",
                 cycle,
                 self.node,
                 "illegal-reordering",
-                f"{first.value} seq {seq} performed after a younger "
-                f"{second.value} it is ordered before",
+                detail,
             )
         )
 

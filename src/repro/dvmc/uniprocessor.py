@@ -25,6 +25,7 @@ from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.common.types import ViolationReport, word_of
 from repro.config import SystemConfig
+from repro.obs.spans import K_REPLAY, K_UO
 
 
 class VCEntry:
@@ -104,7 +105,15 @@ class UniprocessorOrderingChecker:
         self._h_cache_reads = stats.handle(self._stat_cache_reads)
         self._values = stats.values
         self._scan_interval = config.dvmc.membar_injection_interval
+        #: Flight recorder (None unless REPRO_OBS_SPANS; see obs.spans).
+        self.spans = None
+        self._span_track = 0
         scheduler.post(self._scan_interval, self._scan_stale)
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; UO verdicts share one track."""
+        self.spans = spans
+        self._span_track = spans.track("checker.uo")
 
     # -- store path --------------------------------------------------------
     def commit_store(self, seq: int, addr: int, value: int) -> bool:
@@ -129,6 +138,13 @@ class UniprocessorOrderingChecker:
         entry.load_seq = None
         entry.store_seq = seq
         self._values[self._h_store_allocs] += 1
+        s = self.spans
+        if s is not None:
+            tid = s.tid_for(self.node, seq)
+            if tid:
+                s.instant(
+                    tid, self._span_track, K_UO, now, addr, seq, self.node
+                )
         return True
 
     def commit_stores(self, records) -> int:
@@ -144,6 +160,7 @@ class UniprocessorOrderingChecker:
         vc = self._vc
         now = self.scheduler.now
         capacity = self._capacity
+        s = self.spans
         done = 0
         for seq, addr, value in records:
             word = addr & ~0x3  # word_of, inlined
@@ -161,6 +178,12 @@ class UniprocessorOrderingChecker:
             entry.load_seq = None
             entry.store_seq = seq
             done += 1
+            if s is not None:
+                tid = s.tid_for(self.node, seq)
+                if tid:
+                    s.instant(
+                        tid, self._span_track, K_UO, now, addr, seq, self.node
+                    )
         if done:
             self._values[self._h_store_allocs] += done
         return done
@@ -173,6 +196,8 @@ class UniprocessorOrderingChecker:
             self._violate(
                 "store-no-vc-entry",
                 f"store seq {seq} performed at 0x{addr:x} with no live VC entry",
+                addr=addr,
+                seq=seq,
             )
             return
         entry.count -= 1
@@ -182,6 +207,8 @@ class UniprocessorOrderingChecker:
                     "store-value-mismatch",
                     f"word 0x{word:x}: cache got 0x{value_written:x}, "
                     f"VC holds 0x{entry.value:x}",
+                    addr=addr,
+                    seq=seq,
                 )
             if self.rmo_mode:
                 entry.last_used = self.scheduler.now
@@ -230,6 +257,13 @@ class UniprocessorOrderingChecker:
         seq: Optional[int] = None,
     ) -> None:
         """Replay a committed load; ``done(mismatch, replay_value)``."""
+        s = self.spans
+        if s is not None and s.cur:
+            # The core parks its trace id in ``cur`` around this call.
+            s.instant(
+                s.cur, self._span_track, K_REPLAY, self.scheduler.now,
+                addr, -1 if seq is None else seq, self.node,
+            )
         word = word_of(addr)
         entry = self._vc.get(word)
         if entry is not None and entry.count == 0 and not self.rmo_mode:
@@ -273,10 +307,12 @@ class UniprocessorOrderingChecker:
         for word in [w for w, e in self._vc.items() if e.count == 0]:
             del self._vc[word]
 
-    def report_mismatch(self, addr: int, original, replayed) -> None:
+    def report_mismatch(self, addr: int, original, replayed, seq: int = -1) -> None:
         self._violate(
             "load-replay-mismatch",
             f"load 0x{addr:x}: executed 0x{original:x}, replayed 0x{replayed:x}",
+            addr=addr,
+            seq=seq,
         )
 
     # -- housekeeping ----------------------------------------------------------
@@ -304,6 +340,7 @@ class UniprocessorOrderingChecker:
                     "store-lost",
                     f"store to 0x{word:x} committed at cycle "
                     f"{entry.oldest_commit_cycle} never performed",
+                    addr=word,
                 )
                 entry.oldest_commit_cycle = now  # report once per interval
                 entry.reported = True
@@ -316,8 +353,16 @@ class UniprocessorOrderingChecker:
         ):
             self.scheduler.post(self._scan_interval, self._scan_stale)
 
-    def _violate(self, kind: str, detail: str) -> None:
+    def _violate(
+        self, kind: str, detail: str, addr: int = 0, seq: int = -1
+    ) -> None:
         self.stats.incr(f"{self._stat}.violations")
+        s = self.spans
+        if s is not None:
+            s.violation(
+                "UO", self.node, self.scheduler.now,
+                addr=addr, seq=seq, detail=detail,
+            )
         self.violations(
             ViolationReport("UO", self.scheduler.now, self.node, kind, detail)
         )

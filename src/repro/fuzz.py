@@ -56,6 +56,9 @@ from repro.workloads.litmus_gen import LitmusSpec, classics, generate, slot_addr
 FATAL_ALWAYS = "missed_violation"
 FATAL_UNLESS_FAULT = "online_only"
 
+#: Cap on recorded reruns of non-fatal ``undecided`` cases per campaign.
+MAX_UNDECIDED_FORENSICS = 5
+
 
 @dataclass(frozen=True)
 class FuzzCase:
@@ -186,8 +189,8 @@ def case_programs(case: FuzzCase) -> List:
 # -- execution ---------------------------------------------------------------
 
 
-def run_case(case: FuzzCase, max_cycles: int = 2_000_000) -> CaseResult:
-    """Run one case through the full machine and both verifiers."""
+def _execute_case(case: FuzzCase, max_cycles: int):
+    """Run one case through the full machine; (system, trace, result)."""
     if case.fault is not None:
         # An injected fault may legitimately hang the machine; bound
         # the wasted simulated time (the partial trace is still
@@ -211,7 +214,13 @@ def run_case(case: FuzzCase, max_cycles: int = 2_000_000) -> CaseResult:
     result = system.run(
         max_cycles=max_cycles, allow_incomplete=case.fault is not None
     )
+    return system, trace, result
+
+
+def _differential(case: FuzzCase, trace: Trace, result) -> CaseResult:
+    """Classify one finished run against the offline oracle."""
     online_clean = not result.violations
+    model = ConsistencyModel[case.model]
     verdict = check_trace(trace, model, branch_budget=case.branch_budget)
     outcome = classify(online_clean, verdict.admissible, verdict.decided)
     detail = ""
@@ -230,6 +239,63 @@ def run_case(case: FuzzCase, max_cycles: int = 2_000_000) -> CaseResult:
         oracle_stats=dict(verdict.stats),
         detail=detail,
     )
+
+
+def run_case(case: FuzzCase, max_cycles: int = 2_000_000) -> CaseResult:
+    """Run one case through the full machine and both verifiers."""
+    _, trace, result = _execute_case(case, max_cycles)
+    return _differential(case, trace, result)
+
+
+def run_case_recorded(case: FuzzCase, max_cycles: int = 2_000_000):
+    """Re-run a case with the flight recorder on; (result, recorder).
+
+    Forces ``REPRO_OBS_SPANS=1`` at stride-1 sampling for the duration
+    of the run (the ambient environment is saved and restored), so the
+    recorder captures *every* operation of the shrunk reproducer.  The
+    recorder never feeds back into the simulation, hence the rerun's
+    verdict is bit-identical to the plain run the campaign classified.
+    """
+    from repro.obs import SPANS_CAP_ENV, SPANS_ENV, SPANS_OUT_ENV, SPANS_SAMPLE_ENV
+
+    keys = (SPANS_ENV, SPANS_SAMPLE_ENV, SPANS_CAP_ENV, SPANS_OUT_ENV)
+    saved = {key: os.environ.get(key) for key in keys}
+    os.environ[SPANS_ENV] = "1"
+    os.environ[SPANS_SAMPLE_ENV] = "1"
+    os.environ.pop(SPANS_CAP_ENV, None)
+    os.environ.pop(SPANS_OUT_ENV, None)  # callers export explicitly
+    try:
+        system, trace, result = _execute_case(case, max_cycles)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return _differential(case, trace, result), system.spans
+
+
+def write_forensics(
+    case: FuzzCase, detail: str, out_dir: str, stem: str
+) -> List[str]:
+    """Recorded rerun -> post-mortem + Chrome trace next to a reproducer.
+
+    Returns the artifact paths (``<stem>.postmortem.txt`` and
+    ``<stem>.trace.json`` under ``out_dir``).
+    """
+    from repro.obs.chrome_trace import write_chrome_trace
+    from repro.obs.forensics import post_mortem
+
+    result, recorder = run_case_recorded(case)
+    if recorder is None:  # pragma: no cover - recorder forced on above
+        return []
+    os.makedirs(out_dir, exist_ok=True)
+    pm_path = os.path.join(out_dir, f"{stem}.postmortem.txt")
+    with open(pm_path, "w") as fh:
+        fh.write(post_mortem(recorder, detail or result.detail))
+    trace_path = os.path.join(out_dir, f"{stem}.trace.json")
+    write_chrome_trace(trace_path, recorder)
+    return [pm_path, trace_path]
 
 
 # -- shrinking ---------------------------------------------------------------
@@ -409,6 +475,9 @@ class FuzzReport:
     corpus_size: int
     elapsed_seconds: float
     hub_snapshot: Dict[str, Dict] = field(default_factory=dict)
+    #: Flight-recorder artifacts (post-mortems + Chrome traces) written
+    #: next to the reproducers.
+    forensics: List[str] = field(default_factory=list)
 
     @property
     def new_mismatches(self) -> List[Dict]:
@@ -493,8 +562,27 @@ def run_fuzz_campaign(
     known = corpus_keys(corpus_dir) if corpus_dir else set()
     mismatches: List[Dict] = []
     reproducers: List[str] = []
+    forensics: List[str] = []
+    undecided_explained = 0
     for result in results:
         counters.record_case(result.outcome, result.oracle_stats)
+        if (
+            result.outcome == "undecided"
+            and reproducer_dir
+            and undecided_explained < MAX_UNDECIDED_FORENSICS
+        ):
+            # An exhausted oracle budget is not fatal, but the recorded
+            # rerun is cheap context for whoever raises the budget.
+            undecided_explained += 1
+            stem = f"undecided-{result.case.model.lower()}-{result.case.seed}"
+            try:
+                forensics.extend(
+                    write_forensics(
+                        result.case, result.detail, reproducer_dir, stem
+                    )
+                )
+            except Exception:  # pragma: no cover - diagnostics only
+                pass
         if not result.fatal:
             continue
         case, detail = result.case, result.detail
@@ -512,7 +600,18 @@ def run_fuzz_campaign(
         }
         mismatches.append(entry)
         if reproducer_dir:
-            reproducers.append(write_reproducer(case, detail, reproducer_dir))
+            path = write_reproducer(case, detail, reproducer_dir)
+            reproducers.append(path)
+            # Flight-recorder rerun: drop the automated post-mortem and
+            # the Chrome trace next to the committable reproducer so a
+            # fatal mismatch arrives pre-investigated.
+            stem = os.path.splitext(os.path.basename(path))[0]
+            try:
+                artifacts = write_forensics(case, detail, reproducer_dir, stem)
+            except Exception:  # pragma: no cover - diagnostics only
+                artifacts = []
+            forensics.extend(artifacts)
+            entry["forensics"] = artifacts
     outcomes = {
         name: value
         for name, value in counters.summary().items()
@@ -526,4 +625,5 @@ def run_fuzz_campaign(
         corpus_size=len(corpus_files(corpus_dir)) if corpus_dir else 0,
         elapsed_seconds=round(time.perf_counter() - start, 3),
         hub_snapshot=counters.snapshot(),
+        forensics=forensics,
     )

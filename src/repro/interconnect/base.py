@@ -59,6 +59,16 @@ class Network(ABC):
         self._incr = stats.incr
         self._values = stats.values
         self._cb_deliver_batch = self._deliver_batch
+        #: Flight recorder (:mod:`repro.obs.spans`); ``None`` unless
+        #: ``REPRO_OBS_SPANS`` is set — every record site is guarded so
+        #: the disabled path costs one attribute load.
+        self.spans = None
+        self._span_track = 0
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; one span track per network."""
+        self.spans = spans
+        self._span_track = spans.track(f"net.{self.name}")
 
     def register(self, node: int, handler: Callable[[Message], None]) -> None:
         """Attach the handler receiving messages addressed to ``node``."""

@@ -16,6 +16,7 @@ from repro.common.errors import ConfigError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.config import NetworkConfig
+from repro.obs.spans import K_BCAST
 
 from .base import Network
 from .message import Message
@@ -85,7 +86,17 @@ class BroadcastTreeNetwork(Network):
             values[hidx] += size
             order_index = self.order_count
             self.order_count += 1
-            self._post_at(start + ser + link_latency, self._broadcast, (msg, order_index))
+            deliver = start + ser + link_latency
+            s = self.spans
+            if s is not None and msg.tid:
+                # Arbitration + fanout as one span: root serialisation
+                # makes the delivery cycle known at send time.
+                s.span(
+                    msg.tid, self._span_track, K_BCAST,
+                    self.scheduler.now, deliver,
+                    msg.addr, msg.src, order_index,
+                )
+            self._post_at(deliver, self._broadcast, (msg, order_index))
 
     def _broadcast(self, msg: Message, order_index: int) -> None:
         # One scheduled event fans out to every node synchronously, so

@@ -59,6 +59,8 @@ class Message:
         t_begin/t_end: epoch begin/end logical timestamps (-1 absent).
         h_begin/h_end: epoch begin/end block hashes (-1 absent).
         order: broadcast total-order index (-1 none).
+        tid: flight-recorder trace id of the memory operation this
+            message serves (0 = untraced; see :mod:`repro.obs.spans`).
         no_recycle: never return this record to the freelist.
     """
 
@@ -79,6 +81,7 @@ class Message:
         "h_begin",
         "h_end",
         "order",
+        "tid",
         "no_recycle",
         "_in_pool",
         "_extras",
@@ -110,6 +113,7 @@ class Message:
         self.h_begin = -1
         self.h_end = -1
         self.order = -1
+        self.tid = 0
         self.no_recycle = meta is not None
         self._in_pool = False
         self._extras = meta
@@ -147,6 +151,7 @@ class Message:
         clone.h_begin = self.h_begin
         clone.h_end = self.h_end
         clone.order = self.order
+        clone.tid = self.tid
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -202,6 +207,7 @@ def acquire(
         msg.h_begin = -1
         msg.h_end = -1
         msg.order = -1
+        msg.tid = 0
         msg.no_recycle = False
         msg._in_pool = False
         msg._extras = None

@@ -44,6 +44,7 @@ from repro.common.errors import ConfigError
 from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.config import NetworkConfig
+from repro.obs.spans import K_LINK, K_MSG
 
 from .base import Network
 from .message import Message
@@ -63,7 +64,7 @@ def grid_shape(num_nodes: int) -> Tuple[int, int]:
 class _Link:
     """One directed link: serialisation + occupancy tracking."""
 
-    __slots__ = ("free_at", "key", "hidx", "high_water")
+    __slots__ = ("free_at", "key", "hidx", "high_water", "span_track")
 
     def __init__(self, key: str, hidx: int):
         self.free_at = 0
@@ -73,6 +74,8 @@ class _Link:
         #: Largest reservation backlog seen (cycles the link was already
         #: booked ahead when a new reservation landed).
         self.high_water = 0
+        #: Flight-recorder track id, interned on first traced use.
+        self.span_track = 0
 
 
 class TorusNetwork(Network):
@@ -211,14 +214,22 @@ class TorusNetwork(Network):
         values = self._values
         hop_fixed = self._hop_fixed
         express = self.express
+        spans = self.spans
         for msg in msgs:
             dst = msg.dst
             src = msg.src
             now = self.scheduler.now
+            traced = spans is not None and msg.tid != 0
             if dst == src:
                 # Local delivery (e.g. home node is the requestor):
                 # bypasses the network after the switch latency.
-                self.deliver_at(now + self._switch_latency, msg)
+                t = now + self._switch_latency
+                if traced:
+                    spans.span(
+                        msg.tid, self._span_track, K_MSG, now, t,
+                        msg.addr, src, dst,
+                    )
+                self.deliver_at(t, msg)
                 continue
             key = src * n + dst
             path = self._link_paths.get(key)
@@ -235,17 +246,28 @@ class TorusNetwork(Network):
                 t = now
                 for link in path:
                     free = link.free_at
+                    start = free if free > t else t
                     if free > t:
                         backlog = free - t
                         if backlog > link.high_water:
                             link.high_water = backlog
-                        link.free_at = free + ser
-                        t = free + ser + hop_fixed
-                    else:
-                        link.free_at = t + ser
-                        t = t + ser + hop_fixed
+                    link.free_at = start + ser
+                    t = start + ser + hop_fixed
                     values[link.hidx] += size
+                    if traced:
+                        lt = link.span_track
+                        if not lt:
+                            lt = link.span_track = spans.track(link.key)
+                        spans.span(
+                            msg.tid, lt, K_LINK, start, start + ser,
+                            msg.addr, src, dst,
+                        )
                 self.hop_events_elided += len(path) - 1
+                if traced:
+                    spans.span(
+                        msg.tid, self._span_track, K_MSG, now, t,
+                        msg.addr, src, dst,
+                    )
                 self.deliver_at(t, msg)
             else:
                 self.fallback_sends += 1
@@ -253,19 +275,30 @@ class TorusNetwork(Network):
                 times = []
                 for link in path:
                     free = link.free_at
+                    start = free if free > t else t
                     if free > t:
                         backlog = free - t
                         if backlog > link.high_water:
                             link.high_water = backlog
-                        link.free_at = free + ser
-                        t = free + ser + hop_fixed
-                    else:
-                        link.free_at = t + ser
-                        t = t + ser + hop_fixed
+                    link.free_at = start + ser
+                    t = start + ser + hop_fixed
                     values[link.hidx] += size
                     times.append(t)
+                    if traced:
+                        lt = link.span_track
+                        if not lt:
+                            lt = link.span_track = spans.track(link.key)
+                        spans.span(
+                            msg.tid, lt, K_LINK, start, start + ser,
+                            msg.addr, src, dst,
+                        )
                 if len(times) > 1:
                     self._post_at(times[0], self._cb_relay, (times, 0))
+                if traced:
+                    spans.span(
+                        msg.tid, self._span_track, K_MSG, now, t,
+                        msg.addr, src, dst,
+                    )
                 self.deliver_at(t, msg)
 
     def _relay(self, times: List[int], k: int) -> None:

@@ -19,6 +19,15 @@ Layout:
   hash, seed, git sha, python/platform).
 * :mod:`repro.obs.otrace` — ring-buffer backed sampled JSONL event
   trace (``REPRO_OBS_TRACE=path``).
+* :mod:`repro.obs.spans` — transaction flight recorder
+  (``REPRO_OBS_SPANS=1``): ints-only causal spans following each
+  memory operation across core, write buffer, caches, interconnect,
+  directory/snooping homes, SafetyNet and the DVMC checkers.
+* :mod:`repro.obs.chrome_trace` — Chrome/Perfetto ``trace_event``
+  JSON exporter for recorded spans (open in ``chrome://tracing``).
+* :mod:`repro.obs.forensics` — violation post-mortems: walks the
+  recorder backwards from a violating operation and extracts the
+  minimal causal slice (``repro.cli explain``).
 
 Enablement: ``REPRO_OBS=1`` in the environment (worker processes
 inherit it) or ``--obs`` on the CLI, which sets the variable before
@@ -49,6 +58,14 @@ TRACE_ENV = "REPRO_OBS_TRACE"
 TRACE_CAP_ENV = "REPRO_OBS_TRACE_CAP"
 #: Sampling stride for the event trace (keep every Nth operation).
 TRACE_SAMPLE_ENV = "REPRO_OBS_TRACE_SAMPLE"
+#: Environment variable enabling the transaction flight recorder.
+SPANS_ENV = "REPRO_OBS_SPANS"
+#: Ring capacity (closed spans kept) for the flight recorder.
+SPANS_CAP_ENV = "REPRO_OBS_SPANS_CAP"
+#: Sampling stride for the flight recorder (trace every Nth operation).
+SPANS_SAMPLE_ENV = "REPRO_OBS_SPANS_SAMPLE"
+#: Chrome trace_event JSON output path for the flight recorder.
+SPANS_OUT_ENV = "REPRO_OBS_SPANS_OUT"
 
 _FALSEY = ("", "0", "false", "no", "off")
 
@@ -61,6 +78,25 @@ def enabled() -> bool:
 def trace_path() -> str:
     """The event-trace output path, or "" when tracing is off."""
     return os.environ.get(TRACE_ENV, "").strip()
+
+
+def spans_enabled() -> bool:
+    """Whether the transaction flight recorder is on (``REPRO_OBS_SPANS``)."""
+    return os.environ.get(SPANS_ENV, "").strip().lower() not in _FALSEY
+
+
+def spans_out_path() -> str:
+    """The Chrome-trace output path for recorded spans, or ""."""
+    return os.environ.get(SPANS_OUT_ENV, "").strip()
+
+
+def new_span_recorder():
+    """A :class:`~repro.obs.spans.SpanRecorder` when enabled, else None."""
+    if not spans_enabled():
+        return None
+    from repro.obs.spans import SpanRecorder
+
+    return SpanRecorder.from_env()
 
 
 def new_hub() -> "MetricsHub | NullHub":
@@ -85,11 +121,18 @@ __all__ = [
     "OBS_ENV",
     "ObsHistogram",
     "PhaseTimer",
+    "SPANS_CAP_ENV",
+    "SPANS_ENV",
+    "SPANS_OUT_ENV",
+    "SPANS_SAMPLE_ENV",
     "TRACE_CAP_ENV",
     "TRACE_ENV",
     "TRACE_SAMPLE_ENV",
     "enabled",
     "new_hub",
     "new_phase_timer",
+    "new_span_recorder",
+    "spans_enabled",
+    "spans_out_path",
     "trace_path",
 ]

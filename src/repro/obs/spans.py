@@ -1,0 +1,410 @@
+"""Transaction flight recorder: ints-only causal spans per memory op.
+
+With ``REPRO_OBS_SPANS=1`` every sampled memory operation is assigned
+a **trace id** at issue (``processor/core.py``) and child spans are
+opened/closed at every hand-off the transaction makes on its way
+through the machine: write-buffer residency, cache-controller MSHR
+lifetime, per-link express-plane reservations and message flights,
+directory/snooping ownership transitions, SafetyNet checkpoints, and
+finally the DVMC verdicts (AR reorder check, UO commit/replay, CC
+epoch + MET processing).
+
+The storage discipline follows :class:`repro.dvmc.streaming.OpLog`:
+records are flat integers in preallocated parallel arrays, closed
+spans land in a ring that keeps the *last* ``capacity`` records (the
+tail right before a violation is what forensics wants), and op
+sampling (``REPRO_OBS_SPANS_SAMPLE=N``) bounds enabled-path cost.
+Recording never feeds back into the simulation: a recorder-on run is
+bit-identical to a recorder-off run (asserted by
+``tests/integration/test_spans_identity.py`` and the benchmark's
+``spans`` pass).
+
+Consumers: :mod:`repro.obs.chrome_trace` (Perfetto export) and
+:mod:`repro.obs.forensics` (violation post-mortems).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import SPANS_CAP_ENV, SPANS_SAMPLE_ENV
+
+#: Default ring capacity (closed spans kept).
+DEFAULT_CAPACITY = 65536
+#: First ring allocation (slots); the ring starts empty and grows
+#: geometrically from here up to ``capacity`` as spans are emitted.
+_GROW_MIN = 256
+#: Default op sampling stride (trace every Nth operation).  Forensic
+#: reruns (``repro.cli explain``, the fuzz rig) set stride 1 to record
+#: everything; the default keeps the always-on cost bounded (gated at
+#: ≤3% by the benchmark's ``span_overhead_pct``).  Infrastructure
+#: spans that belong to no operation (coherence epochs, MET informs,
+#: unsampled ownership transitions, checkpoints) are only recorded at
+#: stride 1 — under sampling they would be pure ring pressure with no
+#: sampled transaction to join against.
+DEFAULT_SAMPLE = 64
+
+# -- span kind codes (the ``kind`` column) ----------------------------------
+K_OP = 0  #: root span: one memory operation     a=op class  b=addr  c=seq
+K_WB = 1  #: write-buffer residency              a=addr      b=value c=seq
+K_MSHR = 2  #: cache-controller miss lifetime    a=block     b=kind  c=node
+K_MSG = 3  #: message flight (send -> deliver)   a=addr      b=src   c=dst
+K_LINK = 4  #: one link's reserved occupancy     a=addr      b=src   c=dst
+K_BCAST = 5  #: address-network broadcast        a=addr      b=src   c=order
+K_OWNER = 6  #: ownership transition (instant)   a=block     b=owner+1  c=home
+K_CKPT = 7  #: SafetyNet checkpoint (instant)    a=index     b=node count
+K_AR = 8  #: AR reorder verdict (instant)        a=op class  b=seq   c=node
+K_UO = 9  #: UO store commit (instant)           a=addr      b=seq   c=node
+K_REPLAY = 10  #: UO verification replay load    a=addr      b=seq   c=node
+K_EPOCH = 11  #: CC CET coherence epoch          a=block     b=etype c=node
+K_MET = 12  #: CC MET epoch processed (instant)  a=block     b=src   c=home
+K_VIOL = 13  #: checker violation (instant)      a=addr      b=node  c=checker
+
+KIND_NAMES = (
+    "op",
+    "wb",
+    "mshr",
+    "msg",
+    "link",
+    "bcast",
+    "owner",
+    "ckpt",
+    "ar",
+    "uo",
+    "replay",
+    "epoch",
+    "met",
+    "violation",
+)
+
+#: ``c`` column of :data:`K_VIOL` records.
+CHECKER_CODES = {"AR": 1, "UO": 2, "CC": 3}
+
+
+def _env_int(name: str, default: int, floor: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= floor else floor
+
+
+class SpanRecorder:
+    """Ring-buffered span store with interned track names.
+
+    A *track* is one timeline in the exported trace (one per core,
+    cache, link, home node, checker...).  A *trace id* (``tid``) ties
+    every span belonging to one memory operation together; ``tid 0``
+    marks infrastructure spans (epochs, checkpoints, unsampled
+    traffic) that belong to no single operation.
+
+    Root op spans live outside the ring (one slot per sampled op,
+    extended as child spans close) so a long run's tail of hand-off
+    records never evicts the op table forensics anchors on.
+    """
+
+    __slots__ = (
+        "capacity",
+        "sample",
+        "trace_infra",
+        "_size",
+        "seen_ops",
+        "dropped_ops",
+        "dropped_spans",
+        "next_tid",
+        "cur",
+        "count",
+        "force_closed",
+        "finalized",
+        "end_time",
+        "violations",
+        "_tid",
+        "_track",
+        "_kind",
+        "_t0",
+        "_t1",
+        "_a",
+        "_b",
+        "_c",
+        "_head",
+        "_open",
+        "_next_token",
+        "_ops",
+        "_seqmap",
+        "_tracks",
+        "_track_list",
+    )
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, sample: int = 1):
+        self.capacity = max(16, capacity)
+        self.sample = max(1, sample)
+        #: Record op-less infrastructure spans (epochs, MET informs,
+        #: checkpoints, unsampled ownership handoffs)?  Only at full
+        #: sampling — forensic reruns — where they can be joined to
+        #: transactions by block; under sampling they are skipped to
+        #: bound the always-on cost.
+        self.trace_infra = self.sample == 1
+        #: Operations offered at issue (before sampling).
+        self.seen_ops = 0
+        #: Sampled ops refused because the op table was full.
+        self.dropped_ops = 0
+        #: Closed spans evicted because the ring wrapped.
+        self.dropped_spans = 0
+        self.next_tid = 1
+        #: Side-channel: the trace id of the op the core is currently
+        #: handing to the cache controller (0 between hand-offs).
+        self.cur = 0
+        self.count = 0
+        #: Spans still open at finalize (closed with the end time).
+        self.force_closed = 0
+        self.finalized = False
+        self.end_time = 0
+        #: Rare, so not ints-only: one dict per checker violation
+        #: (checker/node/cycle/addr/seq/tid/detail) — the forensics
+        #: anchor of choice when a checker actually fired.
+        self.violations: List[Dict] = []
+        # The ring starts empty and grows geometrically up to
+        # ``capacity`` on demand (in ``_emit``): preallocating the full
+        # ring (8 x 64k list slots) costs more than an entire short
+        # run, and sampled always-on runs rarely need more than a few
+        # hundred slots.
+        self._size = 0
+        self._tid: List[int] = []
+        self._track: List[int] = []
+        self._kind: List[int] = []
+        self._t0: List[int] = []
+        self._t1: List[int] = []
+        self._a: List[int] = []
+        self._b: List[int] = []
+        self._c: List[int] = []
+        self._head = 0
+        self._open: Dict[int, Tuple[int, int, int, int, int, int, int]] = {}
+        self._next_token = 1
+        #: tid -> [track, t0, t1, op_class, addr, seq, node]
+        self._ops: Dict[int, List[int]] = {}
+        #: (node << 32 | seq) -> trace id of the sampled op.
+        self._seqmap: Dict[int, int] = {}
+        self._tracks: Dict[str, int] = {}
+        self._track_list: List[str] = []
+
+    @classmethod
+    def from_env(cls) -> "SpanRecorder":
+        """Recorder sized by ``REPRO_OBS_SPANS_CAP`` / ``_SAMPLE``."""
+        return cls(
+            capacity=_env_int(SPANS_CAP_ENV, DEFAULT_CAPACITY, 16),
+            sample=_env_int(SPANS_SAMPLE_ENV, DEFAULT_SAMPLE, 1),
+        )
+
+    # -- tracks -------------------------------------------------------------
+
+    def track(self, name: str) -> int:
+        """Intern ``name``; returns its stable track id."""
+        tracks = self._tracks
+        tid = tracks.get(name)
+        if tid is None:
+            tid = len(self._track_list)
+            tracks[name] = tid
+            self._track_list.append(name)
+        return tid
+
+    def track_names(self) -> List[str]:
+        return list(self._track_list)
+
+    # -- op roots -----------------------------------------------------------
+
+    def new_op(
+        self, track: int, node: int, op_class: int, addr: int, seq: int, t: int
+    ) -> int:
+        """Assign a trace id at issue; 0 when sampled out or full."""
+        seen = self.seen_ops
+        self.seen_ops = seen + 1
+        if self.sample > 1 and seen % self.sample:
+            return 0
+        if len(self._ops) >= self.capacity:
+            self.dropped_ops += 1
+            return 0
+        tid = self.next_tid
+        self.next_tid = tid + 1
+        self._ops[tid] = [track, t, t, op_class, addr, seq, node]
+        self._seqmap[node << 32 | seq] = tid
+        return tid
+
+    def tid_for(self, node: int, seq: int) -> int:
+        """The trace id of (node, seq), or 0 when not sampled."""
+        return self._seqmap.get(node << 32 | seq, 0)
+
+    def _extend(self, tid: int, t: int) -> None:
+        op = self._ops.get(tid)
+        if op is not None and t > op[2]:
+            op[2] = t
+
+    def op_touch(self, tid: int, t: int) -> None:
+        """Extend an op's root span to its latest hand-off time."""
+        if tid > 0:
+            self._extend(tid, t)
+
+    # -- spans --------------------------------------------------------------
+
+    def _emit(
+        self, tid: int, track: int, kind: int,
+        t0: int, t1: int, a: int, b: int, c: int,
+    ) -> None:
+        i = self._head
+        if i == self._size:
+            if i < self.capacity:
+                pad = [0] * (min(self.capacity, max(_GROW_MIN, i * 4)) - i)
+                self._tid.extend(pad)
+                self._track.extend(pad)
+                self._kind.extend(pad)
+                self._t0.extend(pad)
+                self._t1.extend(pad)
+                self._a.extend(pad)
+                self._b.extend(pad)
+                self._c.extend(pad)
+                self._size = i + len(pad)
+            else:
+                i = 0
+        self._tid[i] = tid
+        self._track[i] = track
+        self._kind[i] = kind
+        self._t0[i] = t0
+        self._t1[i] = t1
+        self._a[i] = a
+        self._b[i] = b
+        self._c[i] = c
+        self._head = i + 1
+        if self.count < self.capacity:
+            self.count += 1
+        else:
+            self.dropped_spans += 1
+
+    def open(
+        self, tid: int, track: int, kind: int,
+        t0: int, a: int = 0, b: int = 0, c: int = 0,
+    ) -> int:
+        """Open a child span; returns the token ``close`` pairs with."""
+        token = self._next_token
+        self._next_token = token + 1
+        self._open[token] = (tid, track, kind, t0, a, b, c)
+        return token
+
+    def close(self, token: int, t1: int) -> None:
+        rec = self._open.pop(token, None)
+        if rec is None:
+            return
+        self._emit(rec[0], rec[1], rec[2], rec[3], t1, rec[4], rec[5], rec[6])
+        if rec[0] > 0:
+            self._extend(rec[0], t1)
+
+    def span(
+        self, tid: int, track: int, kind: int,
+        t0: int, t1: int, a: int = 0, b: int = 0, c: int = 0,
+    ) -> None:
+        """Record a span whose end is already known at open time
+        (express-plane flights: delivery time is computed at send)."""
+        self._emit(tid, track, kind, t0, t1, a, b, c)
+        if tid > 0:
+            self._extend(tid, t1)
+
+    def instant(
+        self, tid: int, track: int, kind: int,
+        t: int, a: int = 0, b: int = 0, c: int = 0,
+    ) -> None:
+        self._emit(tid, track, kind, t, t, a, b, c)
+        if tid > 0:
+            self._extend(tid, t)
+
+    def violation(
+        self, checker: str, node: int, cycle: int,
+        addr: int = 0, seq: int = -1, detail: str = "",
+    ) -> None:
+        """Record a checker violation (instant + forensics anchor)."""
+        tid = self._seqmap.get(node << 32 | seq, 0) if seq >= 0 else 0
+        track = self.track(f"checker.{checker.lower()}")
+        self.instant(
+            tid, track, K_VIOL, cycle, addr, node,
+            CHECKER_CODES.get(checker, 0),
+        )
+        self.violations.append(
+            {
+                "checker": checker,
+                "node": node,
+                "cycle": cycle,
+                "addr": addr,
+                "seq": seq,
+                "tid": tid,
+                "detail": detail,
+            }
+        )
+
+    # -- finalize / export --------------------------------------------------
+
+    def finalize(self, end_time: int) -> None:
+        """Force-close dangling spans at the end of the run."""
+        if self.finalized:
+            return
+        self.finalized = True
+        self.end_time = end_time
+        for token in sorted(self._open):
+            self.force_closed += 1
+            self.close(token, end_time)
+        # Op roots end at their last touch, not at run end: no sweep.
+
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def events(self) -> List[Tuple[int, int, int, int, int, int, int, int]]:
+        """Ring records oldest-first: (tid, track, kind, t0, t1, a, b, c)."""
+        if self.count < self.capacity:
+            idx = range(self.count)
+        else:
+            head = self._head
+            idx = [*range(head, self.capacity), *range(head)]
+        tid, track, kind = self._tid, self._track, self._kind
+        t0, t1, a, b, c = self._t0, self._t1, self._a, self._b, self._c
+        return [
+            (tid[i], track[i], kind[i], t0[i], t1[i], a[i], b[i], c[i])
+            for i in idx
+        ]
+
+    def op_spans(self) -> Dict[int, Tuple[int, int, int, int, int, int, int]]:
+        """tid -> (track, t0, t1, op_class, addr, seq, node)."""
+        return {tid: tuple(op) for tid, op in self._ops.items()}
+
+    def records(self) -> List[Tuple[int, int, int, int, int, int, int, int]]:
+        """Op roots + ring events as one uniform record list.
+
+        Op roots are emitted as :data:`K_OP` records in tid order; ring
+        events follow in close order.
+        """
+        out = [
+            (tid, op[0], K_OP, op[1], op[2], op[3], op[4], op[5])
+            for tid, op in sorted(self._ops.items())
+        ]
+        out.extend(self.events())
+        return out
+
+    def stats(self) -> Dict[str, int]:
+        """Occupancy and loss accounting (observable interface)."""
+        return {
+            "capacity": self.capacity,
+            "sample": self.sample,
+            "seen_ops": self.seen_ops,
+            "traced_ops": len(self._ops),
+            "dropped_ops": self.dropped_ops,
+            "spans_kept": self.count,
+            "dropped_spans": self.dropped_spans,
+            "open_spans": len(self._open),
+            "force_closed": self.force_closed,
+            "tracks": len(self._track_list),
+            "violations": len(self.violations),
+        }
+
+
+def maybe_recorder(system) -> Optional[SpanRecorder]:
+    """The system's recorder, or None (works on any builder output)."""
+    return getattr(system, "spans", None)

@@ -35,6 +35,7 @@ from repro.config import SystemConfig
 from repro.consistency.models import ConsistencyModel
 from repro.consistency.ordering_table import OrderingTable
 from repro.consistency.tables import table_for
+from repro.obs.spans import K_WB
 
 from .operations import Batch, Compute, SetModel
 from .write_buffer import WBEntry, WriteBuffer
@@ -42,12 +43,22 @@ from .write_buffer import WBEntry, WriteBuffer
 #: Extra stall cycles charged for a load-order mis-speculation squash.
 SQUASH_PENALTY = 12
 
+#: Flight-recorder op-class codes (``a`` column of K_OP span records).
+_SPAN_OP_CLASS = {
+    OpType.LOAD: 0,
+    OpType.STORE: 1,
+    OpType.ATOMIC: 2,
+    OpType.MEMBAR: 3,
+    OpType.STBAR: 4,
+}
+
 
 class OpRec:
     """Pipeline bookkeeping for one in-flight operation."""
 
     __slots__ = (
         "seq",
+        "tid",
         "op_type",
         "addr",
         "value",
@@ -69,6 +80,8 @@ class OpRec:
 
     def __init__(self, seq: int, op) -> None:
         self.seq = seq
+        #: Flight-recorder trace id (0 = not traced / sampled out).
+        self.tid = 0
         kind: OpType = op.op_type
         self.op_type = kind
         # Per-kind field pick-up: the old getattr(op, ..., default)
@@ -268,6 +281,17 @@ class Core:
         #: Fault injection: XOR applied to the next load's bound value
         #: (models LSQ mis-forwarding / load reordering errors).
         self.fault_load_value_xor: Optional[int] = None
+        #: Transaction flight recorder (``REPRO_OBS_SPANS=1``), wired by
+        #: the builder; None costs one attribute load per guarded site.
+        self.spans = None
+        self._span_track = 0
+        self._span_wb_track = 0
+
+    def attach_spans(self, spans) -> None:
+        """Wire the flight recorder (never changes simulation results)."""
+        self.spans = spans
+        self._span_track = spans.track(f"core.{self.node}")
+        self._span_wb_track = spans.track(f"wb.{self.node}")
 
     # ------------------------------------------------------------------
     # Program driving
@@ -378,6 +402,12 @@ class Core:
             or kind is OpType.MEMBAR
             or kind is OpType.STBAR
         ) and rec.ord_row[self._store_si]
+        s = self.spans
+        if s is not None:
+            rec.tid = s.new_op(
+                self._span_track, self.node, _SPAN_OP_CLASS[kind],
+                rec.addr, rec.seq, self.scheduler.now,
+            )
         self._inflight.append(rec)
         self._values[self._ops_h[kind]] += 1
         rec.release = self._release_single
@@ -393,6 +423,7 @@ class Core:
         role_of = self._role_of
         ops_h = self._ops_h
         values = self._values
+        spans = self.spans
         for op in ops:
             rec = OpRec(self._next_seq, op)
             self._next_seq += 1
@@ -406,6 +437,11 @@ class Core:
                 or kind is OpType.MEMBAR
                 or kind is OpType.STBAR
             ) and rec.ord_row[self._store_si]
+            if spans is not None:
+                rec.tid = spans.new_op(
+                    self._span_track, self.node, _SPAN_OP_CLASS[kind],
+                    rec.addr, rec.seq, self.scheduler.now,
+                )
             self._inflight.append(rec)
             recs.append(rec)
             values[ops_h[kind]] += 1
@@ -451,7 +487,12 @@ class Core:
             if self.model is ConsistencyModel.SC:
                 # SC baseline optimisation: exclusive prefetch so the
                 # commit-time store usually hits in M (paper Section 4).
+                s = self.spans
+                if s is not None:
+                    s.cur = rec.tid
                 self.controller.prefetch_m(rec.addr)
+                if s is not None:
+                    s.cur = 0
             self._release(rec, None)
             self._kick()
         elif kind is OpType.ATOMIC:
@@ -517,13 +558,23 @@ class Core:
         if self._load_ordered:
             # Speculative issue; squash tracking via invalidations.
             self._spec_loads.setdefault(block_of(rec.addr), []).append(rec)
-            self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
+            self._traced_load(rec)
         else:
             # RMO: loads perform at execute, non-speculatively.
             if self._can_perform(rec):
-                self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
+                self._traced_load(rec)
             else:
                 self._ws_order.park(self._cb_execute_load, rec.poll_args)
+
+    def _traced_load(self, rec: OpRec) -> None:
+        """Issue a load to the cache with the recorder's current-tid
+        side channel set (the controller stamps requests from it)."""
+        s = self.spans
+        if s is not None:
+            s.cur = rec.tid
+        self.controller.load(rec.addr, lambda v: self._load_bound(rec, v))
+        if s is not None:
+            s.cur = 0
 
     def _load_bound(self, rec: OpRec, value: int) -> None:
         if self.uo is not None:
@@ -579,9 +630,14 @@ class Core:
                     rec.blocker = other
                 self._ws_order.park(self._cb_execute_atomic, rec.poll_args)
                 return
+        s = self.spans
+        if s is not None:
+            s.cur = rec.tid
         self.controller.atomic(
             rec.addr, rec.value, lambda old: self._atomic_done(rec, old)
         )
+        if s is not None:
+            s.cur = 0
 
     def _atomic_done(self, rec: OpRec, old_value: int) -> None:
         rec.executed = True
@@ -623,6 +679,13 @@ class Core:
                 entry = self.wb.insert(rec.seq, rec.addr, rec.value)
                 if self.uo is None:
                     entry.verified = True
+                s = self.spans
+                if s is not None and rec.tid:
+                    entry.tid = rec.tid
+                    entry.token = s.open(
+                        rec.tid, self._span_wb_track, K_WB,
+                        self.scheduler.now, rec.addr, rec.value, rec.seq,
+                    )
                 rec.committed = True
         else:
             rec.committed = True
@@ -669,7 +732,12 @@ class Core:
                 rec.bound_value = value
                 self._perform_load_when_final(rec)
 
+            s = self.spans
+            if s is not None:
+                s.cur = rec.tid
             self.controller.load(rec.addr, rebound)
+            if s is not None:
+                s.cur = 0
             return
         self._resolve_speculation(rec)
         self._mark_performed(rec)
@@ -688,7 +756,12 @@ class Core:
                 self.uo.store_performed(rec.seq, rec.addr, rec.value)
             self._mark_performed(rec)
 
+        s = self.spans
+        if s is not None:
+            s.cur = rec.tid
         self.controller.store(rec.addr, rec.value, done)
+        if s is not None:
+            s.cur = 0
 
     # ------------------------------------------------------------------
     # Verification stage (DVMC Uniprocessor Ordering, paper 4.1)
@@ -816,7 +889,9 @@ class Core:
                     self._incr(f"{self._stat}.load_squashes")
                     self._stall_until = self.scheduler.now + SQUASH_PENALTY
                 else:
-                    self.uo.report_mismatch(rec.addr, rec.bound_value, replay_value)
+                    self.uo.report_mismatch(
+                        rec.addr, rec.bound_value, replay_value, seq=rec.seq
+                    )
             rec.verified = True
             if self._load_ordered:
                 self._resolve_speculation(rec)
@@ -827,6 +902,9 @@ class Core:
                 self._release(rec, rec.bound_value)
             self._kick()
 
+        s = self.spans
+        if s is not None:
+            s.cur = rec.tid
         if rec.squashed and rec.release is not None:
             # Mis-speculated load whose value has not been delivered
             # yet: a real core re-executes it.  The VC compare is
@@ -837,8 +915,12 @@ class Core:
             self.controller.replay_load(
                 rec.addr, lambda value: done(value != rec.bound_value, value)
             )
+            if s is not None:
+                s.cur = 0
             return
         self.uo.replay_load(rec.addr, rec.bound_value, done, seq=rec.seq)
+        if s is not None:
+            s.cur = 0
 
     # ------------------------------------------------------------------
     # Perform bookkeeping
@@ -866,6 +948,9 @@ class Core:
         if rec.performed:
             return
         rec.performed = True
+        s = self.spans
+        if s is not None and rec.tid:
+            s.op_touch(rec.tid, self.scheduler.now)
         if self.ar is not None:
             self.ar.performed(rec.op_type, rec.seq, rec.mask)
         # Something became globally visible: every ordering gate
@@ -895,11 +980,21 @@ class Core:
     # Write-buffer interaction
     # ------------------------------------------------------------------
     def _issue_store(self, entry: WBEntry, on_done: Callable[[int], None]) -> None:
+        s = self.spans
+        if s is not None:
+            s.cur = entry.tid
         self.controller.store(entry.addr, entry.value, on_done)
+        if s is not None:
+            s.cur = 0
 
     def _store_performed(self, entry: WBEntry, old_value: int) -> None:
         if self.uo is not None:
             self.uo.store_performed(entry.seq, entry.addr, entry.value)
+        s = self.spans
+        if s is not None and entry.token:
+            # Write-buffer residency span: insert -> globally performed.
+            s.close(entry.token, self.scheduler.now)
+            entry.token = 0
         rec = self._find_rec(entry.seq)
         if rec is not None:
             self._mark_performed(rec)

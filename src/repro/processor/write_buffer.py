@@ -26,7 +26,16 @@ from repro.common.types import block_of, word_of
 class WBEntry:
     """One buffered store."""
 
-    __slots__ = ("seq", "addr", "value", "generation", "verified", "issued")
+    __slots__ = (
+        "seq",
+        "addr",
+        "value",
+        "generation",
+        "verified",
+        "issued",
+        "tid",
+        "token",
+    )
 
     def __init__(self, seq: int, addr: int, value: int, generation: int):
         self.seq = seq
@@ -35,6 +44,8 @@ class WBEntry:
         self.generation = generation
         self.verified = False  # UO checker replayed it (VC entry exists)
         self.issued = False  # handed to the cache controller
+        self.tid = 0  # flight-recorder trace id (0 = untraced)
+        self.token = 0  # open residency-span token (0 = none)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"WBEntry(seq={self.seq} addr=0x{self.addr:x} v={self.value})"

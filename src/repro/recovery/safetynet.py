@@ -28,6 +28,7 @@ from repro.common.events import Scheduler
 from repro.common.stats import StatsRegistry
 from repro.config import SystemConfig
 from repro.interconnect.message import acquire
+from repro.obs.spans import K_CKPT
 
 from repro.coherence.messages import Sn
 
@@ -65,8 +66,16 @@ class SafetyNet:
         self._send = send  # optional: callable(Message) for ckpt traffic
         self._checkpoints: Deque[Checkpoint] = deque()
         self._next_index = 0
+        #: Flight recorder (None unless REPRO_OBS_SPANS; see obs.spans).
+        self.spans = None
+        self._span_track = 0
         self._open_checkpoint()
         scheduler.after(self.config.checkpoint_interval, self._advance)
+
+    def attach_spans(self, spans) -> None:
+        """Attach the flight recorder; checkpoints share one track."""
+        self.spans = spans
+        self._span_track = spans.track("safetynet")
 
     # -- hook subscriptions -------------------------------------------------
     def attach(self, hooks) -> None:
@@ -80,11 +89,17 @@ class SafetyNet:
 
     # -- checkpoint lifecycle -------------------------------------------------
     def _open_checkpoint(self) -> None:
-        self._checkpoints.append(
-            Checkpoint(self._next_index, self.scheduler.now)
-        )
-        self._next_index += 1
+        index = self._next_index
+        self._checkpoints.append(Checkpoint(index, self.scheduler.now))
+        self._next_index = index + 1
         self.stats.incr("sn.checkpoints")
+        s = self.spans
+        if s is not None and s.trace_infra:
+            # K_CKPT instant: a=checkpoint index, b=live count.
+            s.instant(
+                0, self._span_track, K_CKPT, self.scheduler.now,
+                index, len(self._checkpoints), 0,
+            )
 
     def _advance(self) -> None:
         self._open_checkpoint()

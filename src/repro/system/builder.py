@@ -110,6 +110,9 @@ class System:
         self.obs_phases = obs.NULL_TIMER
         self.obs_trace = None  # TraceRing when REPRO_OBS_TRACE is set
         self._obs_trace_path: Optional[str] = None
+        #: Transaction flight recorder (SpanRecorder when
+        #: ``REPRO_OBS_SPANS`` is set; never feeds back into the run).
+        self.spans = None
 
     # -- address interleaving ------------------------------------------------
     def home_of(self, addr: int) -> int:
@@ -164,6 +167,13 @@ class System:
                 self.obs.gauge("run.cycles").set(self.scheduler.now)
             if self.obs_trace is not None and self._obs_trace_path:
                 self.obs_trace.write_jsonl(self._obs_trace_path)
+            if self.spans is not None:
+                self.spans.finalize(self.scheduler.now)
+                spans_out = obs.spans_out_path()
+                if spans_out:
+                    from repro.obs.chrome_trace import write_chrome_trace
+
+                    write_chrome_trace(spans_out, self.spans)
         if not result.completed and not allow_incomplete:
             stuck = [c.node for c in self.cores if not c.quiescent]
             raise DeadlockError(
@@ -280,6 +290,8 @@ def build_system(
 
         system.obs_trace = TraceRing.from_env()
         system._obs_trace_path = trace_dest
+    spans = obs.new_span_recorder()
+    system.spans = spans
 
     # Memories -----------------------------------------------------------
     system.memories = [
@@ -428,6 +440,29 @@ def build_system(
     )
     if system.obs.enabled:
         system.dvmc.attach_obs()
+
+    # Flight recorder (REPRO_OBS_SPANS) --------------------------------
+    # Attached last, in a fixed order, so track ids are deterministic
+    # across runs; every record site is guarded by a ``spans is None``
+    # check, keeping the disabled path to one attribute load.
+    if spans is not None:
+        system.data_network.attach_spans(spans)
+        if system.address_network is not None:
+            system.address_network.attach_spans(spans)
+        for cache_ctrl in system.cache_controllers:
+            cache_ctrl.attach_spans(spans)
+        for mem_ctrl in system.memory_controllers:
+            mem_ctrl.attach_spans(spans)
+        if system.dvmc.coherence_checker is not None:
+            system.dvmc.coherence_checker.attach_spans(spans)
+        if system.safetynet is not None:
+            system.safetynet.attach_spans(spans)
+        for core in system.cores:
+            core.attach_spans(spans)
+        for uo in system.dvmc.uo_checkers:
+            uo.attach_spans(spans)
+        for ar in system.dvmc.ar_checkers:
+            ar.attach_spans(spans)
     return system
 
 

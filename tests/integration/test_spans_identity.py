@@ -1,0 +1,72 @@
+"""Flight-recorder identity: recorder on == recorder off, bit for bit.
+
+The acceptance property of the transaction flight recorder (and the
+reason the benchmark's ``spans_identical`` flag exists): enabling
+``REPRO_OBS_SPANS`` — at any sampling stride — yields the same cycle
+count, the same violations, and the same value for every stats counter
+as a plain run.  The recorder observes hand-offs; it never sits on
+them.
+"""
+
+import pytest
+
+from repro.config import ProtocolKind, SystemConfig
+from repro.consistency.models import ConsistencyModel
+from repro.parallel import RunSpec, execute_run_spec
+
+MODELS = [ConsistencyModel.SC, ConsistencyModel.TSO, ConsistencyModel.RMO]
+
+SPAN_ENV_VARS = (
+    "REPRO_OBS_SPANS",
+    "REPRO_OBS_SPANS_CAP",
+    "REPRO_OBS_SPANS_SAMPLE",
+    "REPRO_OBS_SPANS_OUT",
+)
+
+
+def run_mode(spec, monkeypatch, spans: bool, sample: str = "1"):
+    for var in SPAN_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+    if spans:
+        monkeypatch.setenv("REPRO_OBS_SPANS", "1")
+        monkeypatch.setenv("REPRO_OBS_SPANS_SAMPLE", sample)
+    return execute_run_spec(spec)
+
+
+class TestSpansIdentity:
+    @pytest.mark.parametrize("protocol", list(ProtocolKind))
+    @pytest.mark.parametrize("model", MODELS)
+    def test_recorder_identical_across_protocol_and_model(
+        self, protocol, model, monkeypatch
+    ):
+        spec = RunSpec(
+            SystemConfig.protected(
+                protocol=protocol, model=model, num_nodes=4
+            ).with_seed(7),
+            "oltp",
+            40,
+        )
+        base = run_mode(spec, monkeypatch, spans=False)
+        recorded = run_mode(spec, monkeypatch, spans=True)
+        # Full deterministic payload: cycles, completion, violations,
+        # events and every stats counter (RunMetrics equality; the obs
+        # field is excluded by design).
+        assert base == recorded
+        assert base.counters == recorded.counters
+
+    @pytest.mark.parametrize("sample", ["1", "16", "1000000"])
+    def test_recorder_identical_at_any_stride(self, sample, monkeypatch):
+        spec = RunSpec(SystemConfig.protected().with_seed(3), "oltp", 80)
+        base = run_mode(spec, monkeypatch, spans=False)
+        recorded = run_mode(spec, monkeypatch, spans=True, sample=sample)
+        assert base == recorded
+
+    def test_chrome_export_is_transparent(self, monkeypatch, tmp_path):
+        spec = RunSpec(SystemConfig.protected().with_seed(3), "oltp", 80)
+        base = run_mode(spec, monkeypatch, spans=False)
+        out = tmp_path / "trace.json"
+        monkeypatch.setenv("REPRO_OBS_SPANS", "1")
+        monkeypatch.setenv("REPRO_OBS_SPANS_OUT", str(out))
+        recorded = execute_run_spec(spec)
+        assert base == recorded
+        assert out.exists()
